@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # ch-analysis — trace analyses behind the paper's studies
+//!
+//! * [`lifetime`] — register lifetime distributions (Fig. 4, 17, 18),
+//! * [`straight_increase`] — the inevitable STRAIGHT instruction-count
+//!   increase, split into nop / mv-MaxDistance / mv-LoopConstant (Fig. 3),
+//! * [`hands_sweep`] — remaining relay moves versus hand count (Fig. 7),
+//! * [`breakdown`] — executed-instruction class mix (Fig. 15) and
+//!   per-hand read/write usage (Fig. 16).
+//!
+//! Every analysis consumes the committed [`ch_common::inst::DynInst`]
+//! stream the interpreters produce — the same trace-driven methodology
+//! the paper used (its Fig. 3/4/7 come from RISC-V traces, not from a
+//! STRAIGHT compiler).
+
+pub mod breakdown;
+pub mod hands_sweep;
+pub mod lifetime;
+pub mod straight_increase;
+
+pub use breakdown::{hand_usage, instruction_mix, HandUsage, InstructionMix};
+pub use hands_sweep::{hands_sweep, HandsSweep};
+pub use lifetime::{lifetime_ccdf, lifetimes_of, LifetimeDist};
+pub use straight_increase::{straight_increase, StraightIncrease};

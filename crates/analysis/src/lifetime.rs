@@ -1,0 +1,169 @@
+//! Register lifetime distributions (Fig. 4, 17, 18).
+//!
+//! The lifetime of a definition is the number of dynamic instructions
+//! between it and its last read (0 if never read). The paper plots the
+//! *definition frequency of registers with lifetime > k* — a CCDF over
+//! definitions — and observes an `O(1/N)` power law.
+
+use ch_common::inst::{DstTag, DynInst, NO_PRODUCER};
+
+/// Per-definition lifetimes extracted from a trace.
+#[derive(Debug, Clone, Default)]
+pub struct LifetimeDist {
+    /// (definition seq, destination tag, lifetime in instructions).
+    pub defs: Vec<(u64, DstTag, u64)>,
+    /// Total committed instructions in the trace.
+    pub total_insts: u64,
+}
+
+/// Computes every definition's lifetime over a full trace.
+///
+/// # Examples
+///
+/// ```
+/// use ch_analysis::lifetimes_of;
+/// use ch_common::inst::{DstTag, DynInst};
+/// use ch_common::op::OpClass;
+///
+/// let trace = vec![
+///     DynInst::new(0, 0, OpClass::IntAlu).with_dst(DstTag::Reg(1)),
+///     DynInst::new(1, 4, OpClass::IntAlu).with_srcs(&[0]).with_dst(DstTag::Reg(2)),
+///     DynInst::new(2, 8, OpClass::IntAlu).with_srcs(&[0]),
+/// ];
+/// let d = lifetimes_of(trace.iter());
+/// assert_eq!(d.defs[0].2, 2); // def 0 last read at seq 2
+/// ```
+pub fn lifetimes_of<'a>(trace: impl Iterator<Item = &'a DynInst>) -> LifetimeDist {
+    let mut defs: Vec<(u64, DstTag)> = Vec::new();
+    let mut last_use: Vec<u64> = Vec::new(); // indexed by def order
+    let mut def_index: Vec<i64> = Vec::new(); // seq -> def order (-1 none)
+    let mut total = 0u64;
+    for inst in trace {
+        total += 1;
+        for p in inst.sources() {
+            if p != NO_PRODUCER {
+                if let Some(&di) = def_index.get(p as usize) {
+                    if di >= 0 {
+                        last_use[di as usize] = inst.seq;
+                    }
+                }
+            }
+        }
+        while def_index.len() <= inst.seq as usize {
+            def_index.push(-1);
+        }
+        if let Some(tag) = inst.dst {
+            def_index[inst.seq as usize] = defs.len() as i64;
+            defs.push((inst.seq, tag));
+            last_use.push(inst.seq);
+        }
+    }
+    LifetimeDist {
+        defs: defs
+            .into_iter()
+            .zip(last_use)
+            .map(|((seq, tag), lu)| (seq, tag, lu - seq))
+            .collect(),
+        total_insts: total,
+    }
+}
+
+/// CCDF over definitions: for each power-of-two bucket `k`, the fraction
+/// of definitions with lifetime ≥ `k` (the y-axis of Fig. 4/17/18),
+/// normalised by the total definition count.
+///
+/// `filter` selects which definitions participate (e.g. one hand for
+/// Fig. 18); pass `|_| true` for all.
+pub fn lifetime_ccdf(dist: &LifetimeDist, filter: impl Fn(DstTag) -> bool) -> Vec<(u64, f64)> {
+    let mut lifetimes: Vec<u64> = dist
+        .defs
+        .iter()
+        .filter(|(_, tag, _)| filter(*tag))
+        .map(|&(_, _, l)| l)
+        .collect();
+    lifetimes.sort_unstable();
+    let n = lifetimes.len().max(1) as f64;
+    let mut out = Vec::new();
+    let mut k = 1u64;
+    let max = lifetimes.last().copied().unwrap_or(0).max(1);
+    // Pad one zero bucket past the maximum so consumers see the cutoff
+    // (STRAIGHT's distribution ends exactly at 127).
+    while k <= max * 2 {
+        let idx = lifetimes.partition_point(|&l| l < k);
+        out.push((k, (lifetimes.len() - idx) as f64 / n));
+        k *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ch_common::inst::DstTag;
+    use ch_common::op::OpClass;
+
+    fn inst(seq: u64, srcs: &[u64], dst: Option<DstTag>) -> DynInst {
+        let mut i = DynInst::new(seq, seq * 4, OpClass::IntAlu).with_srcs(srcs);
+        i.dst = dst;
+        i
+    }
+
+    #[test]
+    fn unread_definition_has_zero_lifetime() {
+        let t = vec![inst(0, &[], Some(DstTag::Reg(1)))];
+        let d = lifetimes_of(t.iter());
+        assert_eq!(d.defs[0].2, 0);
+    }
+
+    #[test]
+    fn lifetime_spans_to_last_use() {
+        let t = vec![
+            inst(0, &[], Some(DstTag::Reg(1))),
+            inst(1, &[0], None),
+            inst(2, &[], Some(DstTag::Reg(2))),
+            inst(3, &[0], None), // reads def 0 again
+        ];
+        let d = lifetimes_of(t.iter());
+        assert_eq!(d.defs[0].2, 3);
+        assert_eq!(d.defs[1].2, 0);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_nonincreasing() {
+        let mut t = Vec::new();
+        // defs with lifetimes 1, 2, 4, ..., 64 (geometric).
+        let mut seq = 0u64;
+        for e in 0..7u64 {
+            let def = seq;
+            t.push(inst(def, &[], Some(DstTag::Reg(1))));
+            seq += 1 << e;
+            t.push(inst(seq, &[def], None));
+            seq += 1;
+        }
+        // renumber sequentially
+        for (i, inst) in t.iter_mut().enumerate() {
+            inst.seq = i as u64;
+        }
+        // (lifetimes distort, but monotonicity must hold regardless)
+        let d = lifetimes_of(t.iter());
+        let ccdf = lifetime_ccdf(&d, |_| true);
+        for w in ccdf.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+        assert!((ccdf[0].1 - 1.0).abs() < 1e-9 || ccdf[0].1 <= 1.0);
+    }
+
+    #[test]
+    fn filter_selects_hands() {
+        let t = vec![
+            inst(0, &[], Some(DstTag::Hand(0))),
+            inst(1, &[0], Some(DstTag::Hand(2))),
+            inst(2, &[1], None),
+        ];
+        let d = lifetimes_of(t.iter());
+        let only_t = lifetime_ccdf(&d, |tag| tag.hand() == Some(0));
+        let only_v = lifetime_ccdf(&d, |tag| tag.hand() == Some(2));
+        assert!(!only_t.is_empty());
+        assert!(!only_v.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Baseline ISAs for the Clockhands reproduction.
+//!
+//! The paper compares Clockhands against two architectures, both rebuilt
+//! here from scratch:
+//!
+//! * [`riscv`] — a conventional RISC: a RISC-V-like register-name ISA
+//!   together with the renaming machinery it forces on an out-of-order
+//!   core (register map table, free list, dependency-check logic, and
+//!   per-branch checkpoints — Section 2.1).
+//! * [`straight`] — STRAIGHT: operands are inter-instruction distances,
+//!   destinations come implicitly from a single ring buffer, and the
+//!   stack pointer is a special register updated with `SPADDi`
+//!   (Section 2.2).
+//!
+//! Both provide a functional interpreter emitting the same
+//! [`ch_common::inst::DynInst`] stream as the Clockhands interpreter, so
+//! the timing simulator and trace analyses treat all three uniformly.
+
+pub mod prog;
+pub mod riscv;
+pub mod straight;
+
+pub use prog::Prog;

@@ -1,0 +1,110 @@
+//! Generic program container shared by the two baseline ISAs.
+
+use std::collections::BTreeMap;
+
+/// Base address instructions live at (matches the Clockhands layout so
+/// PC-indexed structures behave identically across ISAs).
+pub const TEXT_BASE: u64 = 0x1_0000;
+
+/// Per-instruction static validity check.
+pub trait CheckInst {
+    /// Validates the instruction at index `at` in a program of `len`
+    /// instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the problem.
+    fn check(&self, at: u32, len: u32) -> Result<(), String>;
+}
+
+/// A program for either baseline ISA: code, labels, and initial data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prog<I> {
+    /// Instructions in layout order.
+    pub insts: Vec<I>,
+    /// Entry point (instruction index).
+    pub entry: u32,
+    /// Label name → instruction index.
+    pub labels: BTreeMap<String, u32>,
+    /// Initial data segments: (base address, bytes).
+    pub data: Vec<(u64, Vec<u8>)>,
+}
+
+impl<I> Default for Prog<I> {
+    fn default() -> Self {
+        Prog { insts: Vec::new(), entry: 0, labels: BTreeMap::new(), data: Vec::new() }
+    }
+}
+
+impl<I> Prog<I> {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Prog::default()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// PC of the instruction at `index`.
+    pub fn pc_of(&self, index: u32) -> u64 {
+        TEXT_BASE + 4 * index as u64
+    }
+}
+
+impl<I: CheckInst> Prog<I> {
+    /// Validates every instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns `"<index>: <problem>"` for the first invalid instruction,
+    /// or an error for an empty program.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.insts.is_empty() {
+            return Err("program has no instructions".to_string());
+        }
+        let len = self.insts.len() as u32;
+        for (i, inst) in self.insts.iter().enumerate() {
+            inst.check(i as u32, len).map_err(|e| format!("{i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy(bool);
+    impl CheckInst for Dummy {
+        fn check(&self, _at: u32, _len: u32) -> Result<(), String> {
+            if self.0 {
+                Ok(())
+            } else {
+                Err("bad".into())
+            }
+        }
+    }
+
+    #[test]
+    fn validation_flows_through() {
+        let mut p: Prog<Dummy> = Prog::new();
+        assert!(p.validate().is_err());
+        p.insts.push(Dummy(true));
+        assert!(p.validate().is_ok());
+        p.insts.push(Dummy(false));
+        assert_eq!(p.validate().unwrap_err(), "1: bad");
+    }
+
+    #[test]
+    fn pc_layout_matches_clockhands() {
+        let p: Prog<Dummy> = Prog::new();
+        assert_eq!(p.pc_of(2), TEXT_BASE + 8);
+    }
+}

@@ -1,0 +1,279 @@
+//! The register-renaming machinery a conventional RISC forces on an
+//! out-of-order core (Section 2.1 of the paper).
+//!
+//! * **RMT** (register map table): logical → physical mapping, read twice
+//!   and written once per instruction; its multi-port RAM area grows with
+//!   the square of the rename width.
+//! * **Free list**: out-of-life physical registers available for
+//!   allocation; a register is freed when the instruction that
+//!   *overwrites* its logical register commits.
+//! * **DCL** (dependency-check logic): comparators that detect
+//!   same-group read-after-write and write-after-write on logical
+//!   registers; the comparator count also grows quadratically in width.
+//! * **Checkpoints**: the full RMT (~570 bits, Table 1) captured per
+//!   branch for misprediction recovery.
+
+use super::NUM_REGS;
+use std::collections::VecDeque;
+
+/// Outcome of renaming one instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Renamed {
+    /// Physical destination, if the instruction writes a register.
+    pub dst: Option<u32>,
+    /// The previous mapping of the destination's logical register; must be
+    /// freed when this instruction commits.
+    pub prev_dst: Option<u32>,
+    /// Physical sources in operand order.
+    pub srcs: Vec<u32>,
+}
+
+/// Event counts produced while renaming (feed the energy model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RenameEvents {
+    /// RMT read ports exercised.
+    pub rmt_reads: u64,
+    /// RMT write ports exercised.
+    pub rmt_writes: u64,
+    /// DCL comparisons performed.
+    pub dcl_comparisons: u64,
+    /// Free-list pops.
+    pub freelist_pops: u64,
+}
+
+/// A full-RMT checkpoint (what RISC must save per branch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RmtSnapshot {
+    rmt: [u32; NUM_REGS as usize],
+}
+
+impl RmtSnapshot {
+    /// Checkpoint size in bits given the physical register count
+    /// (Table 1: 63 × ~9 bits ≈ 570 for RISC).
+    pub fn bits(phys_regs: u32) -> u32 {
+        let prbits = 32 - (phys_regs - 1).leading_zeros();
+        (NUM_REGS as u32 - 1) * prbits
+    }
+}
+
+/// The rename stage state: RMT + free list.
+///
+/// # Examples
+///
+/// ```
+/// use ch_baselines::riscv::rename::Renamer;
+///
+/// let mut r = Renamer::new(256);
+/// // `add x5, x5, x6` : reads the old mappings, allocates a new x5.
+/// let (out, ev) = r
+///     .rename_group(&[(Some(5), vec![5, 6])])
+///     .expect("free registers available");
+/// assert_ne!(out[0].dst, out[0].prev_dst);
+/// assert_eq!(ev.rmt_reads, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Renamer {
+    rmt: [u32; NUM_REGS as usize],
+    free: VecDeque<u32>,
+    phys_regs: u32,
+}
+
+impl Renamer {
+    /// Creates a renamer for `phys_regs` physical registers; logical
+    /// register `i` initially maps to physical `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_regs` is not larger than the logical register count.
+    pub fn new(phys_regs: u32) -> Self {
+        assert!(
+            phys_regs > NUM_REGS as u32,
+            "need more physical than logical registers"
+        );
+        let mut rmt = [0u32; NUM_REGS as usize];
+        for (i, m) in rmt.iter_mut().enumerate() {
+            *m = i as u32;
+        }
+        Renamer {
+            rmt,
+            free: (NUM_REGS as u32..phys_regs).collect(),
+            phys_regs,
+        }
+    }
+
+    /// Physical registers currently on the free list.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total physical registers.
+    pub fn phys_regs(&self) -> u32 {
+        self.phys_regs
+    }
+
+    /// Renames a group of instructions, each `(dst logical, src logicals)`
+    /// with `dst = None` for instructions without a destination.
+    ///
+    /// Returns `None` (stall, nothing changed) if the free list cannot
+    /// supply every destination in the group. Within the group,
+    /// same-register dependencies are forwarded exactly as the DCL would.
+    pub fn rename_group(
+        &mut self,
+        group: &[(Option<u8>, Vec<u8>)],
+    ) -> Option<(Vec<Renamed>, RenameEvents)> {
+        let needed = group.iter().filter(|(d, _)| d.is_some()).count();
+        if needed > self.free.len() {
+            return None;
+        }
+        let mut ev = RenameEvents::default();
+        let mut out = Vec::with_capacity(group.len());
+        // Same-group forwarding state: logical -> phys written earlier in
+        // this group (what the DCL computes with its comparators).
+        let mut local: Vec<(u8, u32)> = Vec::new();
+        for (i, (dst, srcs)) in group.iter().enumerate() {
+            // Each source is compared against every preceding dst in the
+            // group; each dst against preceding dsts (WAW ordering).
+            ev.dcl_comparisons += ((srcs.len() + dst.is_some() as usize) * i) as u64;
+            let srcs_phys = srcs
+                .iter()
+                .map(|&l| {
+                    ev.rmt_reads += 1;
+                    local
+                        .iter()
+                        .rev()
+                        .find(|&&(ll, _)| ll == l)
+                        .map(|&(_, p)| p)
+                        .unwrap_or(self.rmt[l as usize])
+                })
+                .collect();
+            let (dst_phys, prev) = match dst {
+                Some(l) => {
+                    ev.rmt_writes += 1;
+                    ev.freelist_pops += 1;
+                    let p = self.free.pop_front().expect("checked above");
+                    let prev = local
+                        .iter()
+                        .rev()
+                        .find(|&&(ll, _)| ll == *l)
+                        .map(|&(_, pp)| pp)
+                        .unwrap_or(self.rmt[*l as usize]);
+                    local.push((*l, p));
+                    (Some(p), Some(prev))
+                }
+                None => (None, None),
+            };
+            out.push(Renamed { dst: dst_phys, prev_dst: prev, srcs: srcs_phys });
+        }
+        // Commit the group's final mappings to the RMT.
+        for (l, p) in local {
+            self.rmt[l as usize] = p;
+        }
+        Some((out, ev))
+    }
+
+    /// Releases a physical register back to the free list (called when
+    /// the overwriting instruction commits, or when a squashed
+    /// instruction's allocation is rolled back).
+    pub fn release(&mut self, phys: u32) {
+        debug_assert!(phys < self.phys_regs);
+        self.free.push_back(phys);
+    }
+
+    /// Captures an RMT checkpoint.
+    pub fn snapshot(&self) -> RmtSnapshot {
+        RmtSnapshot { rmt: self.rmt }
+    }
+
+    /// Restores an RMT checkpoint. The caller must separately release the
+    /// physical registers allocated by squashed instructions.
+    pub fn restore(&mut self, snap: &RmtSnapshot) {
+        self.rmt = snap.rmt;
+    }
+
+    /// Current mapping of a logical register (test/debug aid).
+    pub fn mapping(&self, logical: u8) -> u32 {
+        self.rmt[logical as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn false_dependency_removed() {
+        let mut r = Renamer::new(128);
+        // Two writers of x5: they must get different physical registers.
+        let (out, _) = r
+            .rename_group(&[(Some(5), vec![]), (Some(5), vec![])])
+            .unwrap();
+        assert_ne!(out[0].dst, out[1].dst);
+        // The second's prev is the first's dst (WAW chain for freeing).
+        assert_eq!(out[1].prev_dst, out[0].dst);
+    }
+
+    #[test]
+    fn same_group_forwarding() {
+        let mut r = Renamer::new(128);
+        // `add x5,...; add x6, x5, ...` — the read of x5 must see the
+        // in-group writer, not the stale RMT entry.
+        let (out, _) = r
+            .rename_group(&[(Some(5), vec![]), (Some(6), vec![5])])
+            .unwrap();
+        assert_eq!(out[1].srcs[0], out[0].dst.unwrap());
+    }
+
+    #[test]
+    fn stall_when_freelist_exhausted() {
+        let mut r = Renamer::new(66); // only 2 free registers
+        assert!(r.rename_group(&[(Some(1), vec![]), (Some(2), vec![])]).is_some());
+        assert!(r.rename_group(&[(Some(3), vec![])]).is_none());
+        r.release(64);
+        assert!(r.rename_group(&[(Some(3), vec![])]).is_some());
+    }
+
+    #[test]
+    fn dcl_comparisons_grow_quadratically() {
+        let mut r = Renamer::new(1024);
+        let g4: Vec<(Option<u8>, Vec<u8>)> =
+            (0..4).map(|i| (Some(i as u8 + 1), vec![i as u8 + 1, 20])).collect();
+        let g8: Vec<(Option<u8>, Vec<u8>)> =
+            (0..8).map(|i| (Some(i as u8 + 1), vec![i as u8 + 1, 20])).collect();
+        let (_, e4) = r.rename_group(&g4).unwrap();
+        let (_, e8) = r.rename_group(&g8).unwrap();
+        // 3 comparisons per (inst, predecessor) pair: W(W-1)/2 pairs.
+        assert_eq!(e4.dcl_comparisons, 3 * 6);
+        assert_eq!(e8.dcl_comparisons, 3 * 28);
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let mut r = Renamer::new(128);
+        let snap = r.snapshot();
+        let before = r.mapping(7);
+        let (out, _) = r.rename_group(&[(Some(7), vec![])]).unwrap();
+        assert_ne!(r.mapping(7), before);
+        r.restore(&snap);
+        r.release(out[0].dst.unwrap());
+        assert_eq!(r.mapping(7), before);
+    }
+
+    #[test]
+    fn checkpoint_bits_table1() {
+        // 1024 physical registers -> 10 bits; 63 writable logicals.
+        assert_eq!(RmtSnapshot::bits(1024), 630);
+        // ~570 bits at 512 physical registers (9 bits each).
+        assert_eq!(RmtSnapshot::bits(512), 567);
+    }
+
+    #[test]
+    fn release_and_reuse_cycle() {
+        let mut r = Renamer::new(66);
+        for _ in 0..100 {
+            let (out, _) = r.rename_group(&[(Some(5), vec![5])]).unwrap();
+            // Commit immediately: free the overwritten register.
+            r.release(out[0].prev_dst.unwrap());
+        }
+        assert_eq!(r.free_count(), 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks over the reproduction's own machinery:
+//! compilation, functional emulation, and cycle simulation of the
+//! workload kernels, plus the hot predictor structures. These measure
+//! the *harness* (how fast the figures regenerate), complementing the
+//! `figures` binary which measures the *paper's* quantities.
+
+use ch_common::config::{MachineConfig, WidthClass};
+use ch_common::IsaKind;
+use ch_sim::cache::Cache;
+use ch_sim::tage::Tage;
+use ch_sim::Simulator;
+use ch_workloads::{Scale, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    for w in [Workload::Coremark, Workload::Xz] {
+        g.bench_function(format!("three_backends/{}", w.name()), |b| {
+            let src = w.source(Scale::Test);
+            b.iter(|| ch_compiler::compile(black_box(&src)).expect("compiles"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_interpreters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interp");
+    g.sample_size(10);
+    let set = Workload::Xz.compile(Scale::Test).expect("compiles");
+    g.bench_function("riscv/xz", |b| {
+        b.iter(|| {
+            let mut cpu =
+                ch_baselines::riscv::interp::Interpreter::new(set.riscv.clone()).expect("valid");
+            black_box(cpu.run(1_000_000_000).expect("runs").committed)
+        })
+    });
+    g.bench_function("straight/xz", |b| {
+        b.iter(|| {
+            let mut cpu = ch_baselines::straight::interp::Interpreter::new(set.straight.clone())
+                .expect("valid");
+            black_box(cpu.run(1_000_000_000).expect("runs").committed)
+        })
+    });
+    g.bench_function("clockhands/xz", |b| {
+        b.iter(|| {
+            let mut cpu =
+                clockhands::interp::Interpreter::new(set.clockhands.clone()).expect("valid");
+            black_box(cpu.run(1_000_000_000).expect("runs").committed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let set = Workload::Xz.compile(Scale::Test).expect("compiles");
+    let mut cpu = clockhands::interp::Interpreter::new(set.clockhands).expect("valid");
+    let (trace, _) = cpu.trace(1_000_000_000).expect("runs");
+    for width in [WidthClass::W4, WidthClass::W8, WidthClass::W16] {
+        g.bench_function(format!("clockhands/xz/{}", width.label()), |b| {
+            b.iter(|| {
+                let mut sim =
+                    Simulator::new(MachineConfig::preset(width, IsaKind::Clockhands));
+                for i in &trace {
+                    sim.step(black_box(i));
+                }
+                black_box(sim.finish().cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictors");
+    g.bench_function("tage/predict_update", |b| {
+        let mut t = Tage::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let pc = 0x1000 + (i % 64) * 4;
+            let taken = (i / 7) % 3 != 0;
+            let p = t.predict(black_box(pc));
+            t.update(pc, taken, p);
+            black_box(p)
+        })
+    });
+    g.bench_function("cache/access", |b| {
+        let cfg = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);
+        let mut cache = Cache::new(&cfg.l1d);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x95f1);
+            black_box(cache.access(black_box(i & 0xf_ffff)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compiler,
+    bench_interpreters,
+    bench_simulator,
+    bench_predictors
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures [--scale test|small|full] [ids...]
+//! ids: table1 table2 table3 fig3 fig4 fig7 fig13 fig14 fig15 fig16 fig17 fig18
+//! ```
+//!
+//! With no ids, everything runs (in paper order).
+
+use ch_bench as bench;
+use ch_workloads::Scale;
+
+fn main() {
+    let mut scale = Scale::Test;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("test") => Scale::Test,
+                    Some("small") => Scale::Small,
+                    Some("full") => Scale::Full,
+                    other => {
+                        eprintln!("unknown scale {other:?} (test|small|full)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("figures [--scale test|small|full] [ids...]");
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    let all = [
+        "table1", "table2", "table3", "fig3", "fig4", "fig7", "fig13", "fig14", "fig15",
+        "fig16", "fig17", "fig18", "ablation",
+    ];
+    if ids.is_empty() {
+        ids = all.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        let out = match id.as_str() {
+            "table1" => bench::table1(),
+            "table2" => bench::table2(),
+            "table3" => bench::table3(),
+            "fig3" => bench::fig3(scale),
+            "fig4" => bench::fig4(scale),
+            "fig7" => bench::fig7(scale),
+            "fig13" => bench::fig13(scale),
+            "fig14" => bench::fig14(scale),
+            "fig15" => bench::fig15(scale),
+            "fig16" => bench::fig16(scale),
+            "fig17" => bench::fig17(scale),
+            "fig18" => bench::fig18(scale),
+            "ablation" => bench::ablation(scale),
+            other => {
+                eprintln!("unknown experiment `{other}` (known: {all:?})");
+                std::process::exit(2);
+            }
+        };
+        println!("{out}");
+    }
+}

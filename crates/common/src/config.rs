@@ -1,0 +1,372 @@
+//! Machine configurations — Table 2 of the paper.
+//!
+//! Five scales are modelled (4-, 6-, 8-, 12- and 16-fetch). The 6-fetch
+//! model is derived from the Apple M1 parameters; the larger models enlarge
+//! the ROB aggressively and the scheduler / load-store queue conservatively,
+//! exactly as the paper describes.
+
+use crate::op::FuKind;
+use crate::IsaKind;
+
+/// Front-end width class (Table 2 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WidthClass {
+    /// 4-fetch model.
+    W4,
+    /// 6-fetch model (Apple-M1-derived).
+    W6,
+    /// 8-fetch model (headline energy comparison).
+    W8,
+    /// 12-fetch model.
+    W12,
+    /// 16-fetch futuristic up-scaled model.
+    W16,
+}
+
+impl WidthClass {
+    /// All five width classes in ascending order.
+    pub const ALL: [WidthClass; 5] = [
+        WidthClass::W4,
+        WidthClass::W6,
+        WidthClass::W8,
+        WidthClass::W12,
+        WidthClass::W16,
+    ];
+
+    /// Front-end width in instructions per cycle.
+    pub fn width(self) -> u32 {
+        match self {
+            WidthClass::W4 => 4,
+            WidthClass::W6 => 6,
+            WidthClass::W8 => 8,
+            WidthClass::W12 => 12,
+            WidthClass::W16 => 16,
+        }
+    }
+
+    /// Figure label ("4f".."16f").
+    pub fn label(self) -> &'static str {
+        match self {
+            WidthClass::W4 => "4f",
+            WidthClass::W6 => "6f",
+            WidthClass::W8 => "8f",
+            WidthClass::W12 => "12f",
+            WidthClass::W16 => "16f",
+        }
+    }
+
+    /// Reorder buffer capacity `R` (Table 2).
+    pub fn rob(self) -> u32 {
+        match self {
+            WidthClass::W4 => 256,
+            WidthClass::W6 => 640,
+            WidthClass::W8 => 1024,
+            WidthClass::W12 => 2048,
+            WidthClass::W16 => 4096,
+        }
+    }
+
+    /// Scheduler capacity `S` (Table 2).
+    pub fn scheduler(self) -> u32 {
+        match self {
+            WidthClass::W4 => 128,
+            WidthClass::W6 => 192,
+            WidthClass::W8 => 256,
+            WidthClass::W12 => 384,
+            WidthClass::W16 => 512,
+        }
+    }
+
+    /// Whether this is one of the two small models that use the halved
+    /// back end (the `⌈½×→⌉` annotation in Table 2).
+    fn halved_backend(self) -> bool {
+        matches!(self, WidthClass::W4 | WidthClass::W6)
+    }
+}
+
+impl std::fmt::Display for WidthClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One level of the cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Associativity (ways).
+    pub assoc: u32,
+    /// Line size in bytes.
+    pub line: u32,
+    /// Hit latency in cycles.
+    pub latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size / (self.line as u64 * self.assoc as u64)
+    }
+}
+
+/// A complete machine configuration (one column of Table 2 for one ISA).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Which ISA the machine runs.
+    pub isa: IsaKind,
+    /// Width class the configuration was derived from.
+    pub width_class: WidthClass,
+    /// Fetch/decode/rename/dispatch width, instructions per cycle.
+    pub front_width: u32,
+    /// Front-end depth in cycles: fetch(3)+decode(1)+[rename(2)+]dispatch(1).
+    pub front_latency: u32,
+    /// Maximum instructions issued to execution per cycle.
+    pub issue_width: u32,
+    /// Issue-to-execute latency (payload RAM read + register read).
+    pub issue_latency: u32,
+    /// Commit width (instructions retired per cycle).
+    pub commit_width: u32,
+    /// Reorder buffer capacity.
+    pub rob: u32,
+    /// Scheduler (issue queue) capacity.
+    pub scheduler: u32,
+    /// Load queue capacity (`S/2`).
+    pub load_queue: u32,
+    /// Store queue capacity (`3S/8`).
+    pub store_queue: u32,
+    /// Functional-unit counts, indexed by [`FuKind::index`].
+    pub fu_counts: [u32; 7],
+    /// Total physical registers (RISC: `R`; STRAIGHT/Clockhands: `128+R`).
+    pub phys_regs: u32,
+    /// Clockhands per-hand physical-register quotas `[t, u, v, s]`
+    /// (Table 2: t×(32+48R/64), u×(32+9R/64), v×(32+5R/64), s×(32+2R/64)).
+    pub hand_quotas: Option<[u32; 4]>,
+    /// Maximum source reference distance (STRAIGHT: 127; Clockhands: 16).
+    pub max_ref_distance: u32,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Shared L2 cache.
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub mem_latency: u32,
+    /// Stream-prefetcher distance (lines ahead).
+    pub prefetch_distance: u32,
+    /// Stream-prefetcher degree (lines per trigger).
+    pub prefetch_degree: u32,
+    /// Branch target buffer entries.
+    pub btb_entries: u32,
+    /// Branch target buffer associativity.
+    pub btb_assoc: u32,
+    /// Return address stack entries.
+    pub ras_entries: u32,
+    /// TAGE tagged components.
+    pub tage_components: u32,
+    /// TAGE maximum history length (bits).
+    pub tage_history: u32,
+    /// Store-set memory dependence predictor: producer table entries.
+    pub storeset_producers: u32,
+    /// Store-set memory dependence predictor: store-ID table entries.
+    pub storeset_ids: u32,
+}
+
+impl MachineConfig {
+    /// Builds the Table 2 configuration for `width` and `isa`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ch_common::config::{MachineConfig, WidthClass};
+    /// use ch_common::IsaKind;
+    ///
+    /// let risc = MachineConfig::preset(WidthClass::W16, IsaKind::Riscv);
+    /// let ch = MachineConfig::preset(WidthClass::W16, IsaKind::Clockhands);
+    /// assert_eq!(risc.front_latency, 7);
+    /// assert_eq!(ch.front_latency, 5);
+    /// assert_eq!(ch.phys_regs, 128 + 4096);
+    /// ```
+    pub fn preset(width: WidthClass, isa: IsaKind) -> Self {
+        let w = width.width();
+        let r = width.rob();
+        let s = width.scheduler();
+        // Execution units (Table 2): Int×8, Float×4, Load×3, Store×2,
+        // iMul×2, iDiv×1, fDiv×1 — halved (rounded up) for the two small
+        // models per the ⌈½×→⌉ annotation.
+        let full: [u32; 7] = [8, 4, 3, 2, 2, 1, 1];
+        let fu_counts = if width.halved_backend() {
+            let mut h = full;
+            for v in &mut h {
+                *v = v.div_ceil(2);
+            }
+            h
+        } else {
+            full
+        };
+        let issue_width = if width.halved_backend() || width == WidthClass::W8 {
+            8
+        } else {
+            16
+        };
+        let phys_regs = match isa {
+            IsaKind::Riscv => r,
+            IsaKind::Straight | IsaKind::Clockhands => 128 + r,
+        };
+        let hand_quotas = match isa {
+            IsaKind::Clockhands => Some([
+                32 + 48 * r / 64, // t
+                32 + 9 * r / 64,  // u
+                32 + 5 * r / 64,  // v
+                32 + 2 * r / 64,  // s
+            ]),
+            _ => None,
+        };
+        let max_ref_distance = match isa {
+            IsaKind::Riscv => 0,
+            IsaKind::Straight => 127,
+            IsaKind::Clockhands => 16,
+        };
+        MachineConfig {
+            isa,
+            width_class: width,
+            front_width: w,
+            front_latency: if isa.needs_rename() { 7 } else { 5 },
+            issue_width,
+            issue_latency: 4,
+            commit_width: w,
+            rob: r,
+            scheduler: s,
+            load_queue: s / 2,
+            store_queue: 3 * s / 8,
+            fu_counts,
+            phys_regs,
+            hand_quotas,
+            max_ref_distance,
+            l1i: CacheConfig { size: 128 << 10, assoc: 8, line: 64, latency: 3 },
+            l1d: CacheConfig { size: 128 << 10, assoc: 8, line: 64, latency: 3 },
+            l2: CacheConfig { size: 8 << 20, assoc: 16, line: 64, latency: 12 },
+            mem_latency: 80,
+            prefetch_distance: 8,
+            prefetch_degree: 2,
+            btb_entries: 8192,
+            btb_assoc: 4,
+            ras_entries: 16,
+            tage_components: 8,
+            tage_history: 130,
+            storeset_producers: 512,
+            storeset_ids: 4096,
+        }
+    }
+
+    /// Functional-unit count for one kind.
+    pub fn fu_count(&self, kind: FuKind) -> u32 {
+        self.fu_counts[kind.index()]
+    }
+
+    /// Number of logical registers the ISA exposes (Table 2).
+    pub fn logical_regs(&self) -> u32 {
+        match self.isa {
+            IsaKind::Riscv => 31 + 32,
+            IsaKind::Straight => 127,
+            IsaKind::Clockhands => 15 + 16 * 3,
+        }
+    }
+
+    /// Recovery-information (checkpoint) size in bits — Table 1.
+    ///
+    /// * RISC: one physical-register mapping per writable logical register.
+    /// * STRAIGHT: one register pointer plus the 64-bit special SP.
+    /// * Clockhands: four register pointers, nothing else.
+    pub fn checkpoint_bits(&self) -> u32 {
+        let prbits = 32 - (self.phys_regs - 1).leading_zeros();
+        match self.isa {
+            IsaKind::Riscv => 63 * prbits,
+            IsaKind::Straight => prbits + 64,
+            IsaKind::Clockhands => 4 * prbits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rob_and_scheduler_scaling() {
+        assert_eq!(WidthClass::W4.rob(), 256);
+        assert_eq!(WidthClass::W16.rob(), 4096);
+        assert_eq!(WidthClass::W8.scheduler(), 256);
+    }
+
+    #[test]
+    fn front_latency_differs_by_isa_only() {
+        for w in WidthClass::ALL {
+            assert_eq!(MachineConfig::preset(w, IsaKind::Riscv).front_latency, 7);
+            assert_eq!(MachineConfig::preset(w, IsaKind::Straight).front_latency, 5);
+            assert_eq!(MachineConfig::preset(w, IsaKind::Clockhands).front_latency, 5);
+        }
+    }
+
+    #[test]
+    fn hand_quotas_partition_the_register_file() {
+        for w in WidthClass::ALL {
+            let cfg = MachineConfig::preset(w, IsaKind::Clockhands);
+            let q = cfg.hand_quotas.unwrap();
+            assert_eq!(q.iter().sum::<u32>(), cfg.phys_regs, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn lsq_sizes_follow_scheduler() {
+        let cfg = MachineConfig::preset(WidthClass::W8, IsaKind::Riscv);
+        assert_eq!(cfg.load_queue, 128);
+        assert_eq!(cfg.store_queue, 96);
+    }
+
+    #[test]
+    fn checkpoint_bits_match_table1_shape() {
+        // 8-fetch: RISC phys regs = 1024 (10 bits); ST/CH = 1152 (11 bits).
+        let r = MachineConfig::preset(WidthClass::W8, IsaKind::Riscv);
+        let s = MachineConfig::preset(WidthClass::W8, IsaKind::Straight);
+        let c = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);
+        assert_eq!(r.checkpoint_bits(), 63 * 10);
+        assert_eq!(s.checkpoint_bits(), 11 + 64);
+        assert_eq!(c.checkpoint_bits(), 44);
+        assert!(r.checkpoint_bits() > 5 * s.checkpoint_bits());
+        assert!(s.checkpoint_bits() > c.checkpoint_bits());
+    }
+
+    #[test]
+    fn halved_backend_for_small_models() {
+        let small = MachineConfig::preset(WidthClass::W4, IsaKind::Riscv);
+        let big = MachineConfig::preset(WidthClass::W8, IsaKind::Riscv);
+        assert_eq!(small.fu_count(FuKind::Int), 4);
+        assert_eq!(big.fu_count(FuKind::Int), 8);
+        assert_eq!(small.issue_width, 8);
+        assert_eq!(
+            MachineConfig::preset(WidthClass::W12, IsaKind::Riscv).issue_width,
+            16
+        );
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let cfg = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);
+        assert_eq!(cfg.l1d.sets(), 256);
+        assert_eq!(cfg.l2.sets(), 8192);
+    }
+
+    #[test]
+    fn logical_register_counts_match_table2() {
+        assert_eq!(MachineConfig::preset(WidthClass::W4, IsaKind::Riscv).logical_regs(), 63);
+        assert_eq!(
+            MachineConfig::preset(WidthClass::W4, IsaKind::Straight).logical_regs(),
+            127
+        );
+        assert_eq!(
+            MachineConfig::preset(WidthClass::W4, IsaKind::Clockhands).logical_regs(),
+            63
+        );
+    }
+}

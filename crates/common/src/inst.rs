@@ -1,0 +1,215 @@
+//! The dynamic-instruction record exchanged between functional emulators,
+//! the timing simulator, and the trace analyses.
+//!
+//! A functional emulator executes a program and yields one [`DynInst`] per
+//! *committed* instruction, in program order. Register dataflow is resolved
+//! to *producer sequence numbers*: each source carries the `seq` of the
+//! dynamic instruction that produced the value. This makes the record
+//! ISA-agnostic — the three ISAs differ in *which* instructions exist
+//! (relay `mv`s, `nop`s, spills) and in destination tags, not in how the
+//! record is shaped.
+
+use crate::op::OpClass;
+
+/// Sentinel meaning "no producer": the source is a constant, the zero
+/// register, or a value that existed before the trace began.
+pub const NO_PRODUCER: u64 = u64::MAX;
+
+/// Destination tag: where an instruction's result goes, in ISA terms.
+///
+/// Used for the Fig. 16 hand-usage breakdown and by the per-ISA physical
+/// register allocation models in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DstTag {
+    /// Conventional RISC: a logical register number.
+    Reg(u8),
+    /// STRAIGHT: the implicitly allocated next slot of the single ring.
+    RingSlot,
+    /// Clockhands: a write to hand `0..4` (t, u, v, s in compiler order).
+    Hand(u8),
+}
+
+impl DstTag {
+    /// The hand index for a Clockhands write, if this is one.
+    pub fn hand(self) -> Option<u8> {
+        match self {
+            DstTag::Hand(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// Control-flow kind of a branch-class instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtrlKind {
+    /// Direct call (pushes the return address stack).
+    Call,
+    /// Return (pops the return address stack); always register-indirect.
+    Ret,
+    /// Unconditional direct jump.
+    Jump,
+    /// Register-indirect jump or call that is not a return.
+    IndirectJump,
+    /// Conditional direct branch.
+    Cond,
+}
+
+impl CtrlKind {
+    /// Whether the target comes from a register (needs the BTB to predict).
+    pub fn is_indirect(self) -> bool {
+        matches!(self, CtrlKind::Ret | CtrlKind::IndirectJump)
+    }
+}
+
+/// Resolved control-flow outcome of a branch-class instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CtrlInfo {
+    /// What kind of control transfer this is.
+    pub kind: CtrlKind,
+    /// Whether the branch was taken (always true except fall-through conds).
+    pub taken: bool,
+    /// The target address if taken.
+    pub target: u64,
+}
+
+/// Resolved memory access of a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u64,
+    /// Access size in bytes (1, 2, 4, or 8).
+    pub size: u8,
+}
+
+/// One committed dynamic instruction.
+///
+/// # Examples
+///
+/// ```
+/// use ch_common::inst::{DstTag, DynInst};
+/// use ch_common::op::OpClass;
+///
+/// let add = DynInst::new(7, 0x1000, OpClass::IntAlu)
+///     .with_srcs(&[3, 5])
+///     .with_dst(DstTag::Hand(0));
+/// assert_eq!(add.seq, 7);
+/// assert_eq!(add.sources().collect::<Vec<_>>(), vec![3, 5]);
+/// assert!(add.dst.is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynInst {
+    /// Commit-order sequence number (0-based, dense).
+    pub seq: u64,
+    /// Program counter of the static instruction.
+    pub pc: u64,
+    /// Operation class.
+    pub class: OpClass,
+    /// Producer `seq` for each register source; [`NO_PRODUCER`] when absent.
+    pub srcs: [u64; 2],
+    /// Destination tag, if the instruction writes a register.
+    pub dst: Option<DstTag>,
+    /// Memory access, for loads and stores.
+    pub mem: Option<MemAccess>,
+    /// Control-flow outcome, for branch-class instructions.
+    pub ctrl: Option<CtrlInfo>,
+}
+
+impl DynInst {
+    /// Creates a record with no sources, destination, memory, or control.
+    pub fn new(seq: u64, pc: u64, class: OpClass) -> Self {
+        DynInst {
+            seq,
+            pc,
+            class,
+            srcs: [NO_PRODUCER; 2],
+            dst: None,
+            mem: None,
+            ctrl: None,
+        }
+    }
+
+    /// Sets up to two register-source producers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than two sources are supplied.
+    pub fn with_srcs(mut self, producers: &[u64]) -> Self {
+        assert!(producers.len() <= 2, "at most two register sources");
+        for (slot, &p) in self.srcs.iter_mut().zip(producers) {
+            *slot = p;
+        }
+        self
+    }
+
+    /// Sets the destination tag.
+    pub fn with_dst(mut self, dst: DstTag) -> Self {
+        self.dst = Some(dst);
+        self
+    }
+
+    /// Sets the memory access.
+    pub fn with_mem(mut self, addr: u64, size: u8) -> Self {
+        self.mem = Some(MemAccess { addr, size });
+        self
+    }
+
+    /// Sets the control-flow outcome.
+    pub fn with_ctrl(mut self, kind: CtrlKind, taken: bool, target: u64) -> Self {
+        self.ctrl = Some(CtrlInfo { kind, taken, target });
+        self
+    }
+
+    /// Iterates over the present producer sequence numbers.
+    pub fn sources(&self) -> impl Iterator<Item = u64> + '_ {
+        self.srcs.iter().copied().filter(|&s| s != NO_PRODUCER)
+    }
+
+    /// Whether this instruction redirects the fetch stream.
+    pub fn redirects_fetch(&self) -> bool {
+        self.ctrl.map(|c| c.taken).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_skip_sentinels() {
+        let i = DynInst::new(0, 0, OpClass::IntAlu).with_srcs(&[42]);
+        assert_eq!(i.sources().collect::<Vec<_>>(), vec![42]);
+        let none = DynInst::new(0, 0, OpClass::Nop);
+        assert_eq!(none.sources().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn too_many_sources_panics() {
+        let _ = DynInst::new(0, 0, OpClass::IntAlu).with_srcs(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn redirects_only_when_taken() {
+        let taken = DynInst::new(0, 0, OpClass::CondBr).with_ctrl(CtrlKind::Cond, true, 0x40);
+        let not = DynInst::new(1, 4, OpClass::CondBr).with_ctrl(CtrlKind::Cond, false, 0x40);
+        let plain = DynInst::new(2, 8, OpClass::IntAlu);
+        assert!(taken.redirects_fetch());
+        assert!(!not.redirects_fetch());
+        assert!(!plain.redirects_fetch());
+    }
+
+    #[test]
+    fn ctrl_kind_indirection() {
+        assert!(CtrlKind::Ret.is_indirect());
+        assert!(CtrlKind::IndirectJump.is_indirect());
+        assert!(!CtrlKind::Call.is_indirect());
+        assert!(!CtrlKind::Cond.is_indirect());
+    }
+
+    #[test]
+    fn dst_tag_hand_accessor() {
+        assert_eq!(DstTag::Hand(2).hand(), Some(2));
+        assert_eq!(DstTag::Reg(5).hand(), None);
+        assert_eq!(DstTag::RingSlot.hand(), None);
+    }
+}

@@ -1,0 +1,112 @@
+#![warn(missing_docs)]
+
+//! Shared machine model for the Clockhands reproduction.
+//!
+//! This crate holds everything that is common to the three instruction set
+//! architectures evaluated in the paper (RISC-V-like "RISC", STRAIGHT, and
+//! Clockhands) and to the tools built on top of them:
+//!
+//! * [`op`] — operation classes and functional-unit kinds (the categories of
+//!   Fig. 15 of the paper) together with their execution latencies,
+//! * [`inst`] — the [`inst::DynInst`] dynamic-instruction record that
+//!   functional emulators produce and the timing simulator / trace analyses
+//!   consume,
+//! * [`config`] — the machine configurations of Table 2 (4- to 16-fetch),
+//! * [`mem`] — a sparse 64-bit byte-addressed memory used by the emulators,
+//! * [`stats`] — event counters shared by the simulator and the energy model.
+//!
+//! # Examples
+//!
+//! ```
+//! use ch_common::config::{MachineConfig, WidthClass};
+//! use ch_common::IsaKind;
+//!
+//! let cfg = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);
+//! assert_eq!(cfg.front_width, 8);
+//! // Rename-free ISAs have a two-cycle-shorter front end (5 vs 7 cycles).
+//! assert_eq!(cfg.front_latency, 5);
+//! ```
+
+pub mod config;
+pub mod exec;
+pub mod inst;
+pub mod mem;
+pub mod op;
+pub mod stats;
+
+pub use config::{MachineConfig, WidthClass};
+pub use inst::{CtrlInfo, CtrlKind, DynInst, MemAccess};
+pub use mem::Memory;
+pub use op::{FuKind, OpClass};
+pub use stats::Counters;
+
+/// Which of the three evaluated instruction set architectures a program,
+/// trace, or machine configuration belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IsaKind {
+    /// Conventional RISC (a RISC-V-like register-name ISA; needs renaming).
+    Riscv,
+    /// STRAIGHT: operands by inter-instruction distance, one ring buffer.
+    Straight,
+    /// Clockhands: operands by (hand, distance), four ring buffers.
+    Clockhands,
+}
+
+impl IsaKind {
+    /// All three ISAs in the order the paper's figures list them (R, S, C).
+    pub const ALL: [IsaKind; 3] = [IsaKind::Riscv, IsaKind::Straight, IsaKind::Clockhands];
+
+    /// Single-letter tag used in the paper's figures ("R", "S", "C").
+    pub fn tag(self) -> &'static str {
+        match self {
+            IsaKind::Riscv => "R",
+            IsaKind::Straight => "S",
+            IsaKind::Clockhands => "C",
+        }
+    }
+
+    /// Whether the ISA requires a register-renaming stage in hardware.
+    ///
+    /// Only the conventional RISC does; STRAIGHT and Clockhands resolve
+    /// operands with register-pointer arithmetic (Section 5.1 of the paper).
+    pub fn needs_rename(self) -> bool {
+        matches!(self, IsaKind::Riscv)
+    }
+}
+
+impl std::fmt::Display for IsaKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            IsaKind::Riscv => "RISC-V",
+            IsaKind::Straight => "STRAIGHT",
+            IsaKind::Clockhands => "Clockhands",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_tags_match_paper_figures() {
+        assert_eq!(IsaKind::Riscv.tag(), "R");
+        assert_eq!(IsaKind::Straight.tag(), "S");
+        assert_eq!(IsaKind::Clockhands.tag(), "C");
+    }
+
+    #[test]
+    fn only_risc_needs_rename() {
+        assert!(IsaKind::Riscv.needs_rename());
+        assert!(!IsaKind::Straight.needs_rename());
+        assert!(!IsaKind::Clockhands.needs_rename());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IsaKind::Clockhands.to_string(), "Clockhands");
+        assert_eq!(IsaKind::Straight.to_string(), "STRAIGHT");
+        assert_eq!(IsaKind::Riscv.to_string(), "RISC-V");
+    }
+}

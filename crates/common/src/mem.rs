@@ -1,0 +1,154 @@
+//! Sparse byte-addressed memory for the functional emulators.
+//!
+//! Pages are allocated lazily, so a 64-bit address space costs only what is
+//! touched. Reads of untouched memory return zero, which matches what the
+//! emulated programs (whose data sections are zero-initialised) expect.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A sparse little-endian memory.
+///
+/// # Examples
+///
+/// ```
+/// use ch_common::mem::Memory;
+///
+/// let mut m = Memory::new();
+/// m.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(m.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(m.read_u64(0x8000), 0); // untouched memory reads as zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Number of 4 KiB pages that have been touched.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads `size` bytes (1, 2, 4, or 8) little-endian, zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4, or 8.
+    pub fn read(&self, addr: u64, size: u8) -> u64 {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        let mut v = 0u64;
+        for i in 0..size as u64 {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4, or 8.
+    pub fn write(&mut self, addr: u64, size: u8, value: u64) {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "bad access size {size}");
+        for i in 0..size as u64 {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read(addr, 8)
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write(addr, 8, value);
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u64)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_sizes() {
+        let mut m = Memory::new();
+        for (size, val) in [(1u8, 0xab), (2, 0xabcd), (4, 0xabcd_ef01), (8, 0x0123_4567_89ab_cdef)]
+        {
+            m.write(0x100, size, val);
+            let mask = if size == 8 { u64::MAX } else { (1 << (8 * size)) - 1 };
+            assert_eq!(m.read(0x100, size), val & mask);
+        }
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_BITS) - 4; // straddles a page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn untouched_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(0xdead_0000, 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut m = Memory::new();
+        m.write_bytes(0x42, b"clockhands");
+        assert_eq!(m.read_bytes(0x42, 10), b"clockhands");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad access size")]
+    fn bad_size_panics() {
+        let m = Memory::new();
+        let _ = m.read(0, 3);
+    }
+}

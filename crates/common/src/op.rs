@@ -1,0 +1,254 @@
+//! Operation classes and functional-unit kinds.
+//!
+//! [`OpClass`] mirrors the instruction categories of Fig. 15 of the paper
+//! ("Call+Ret, Jump, CondBr, Load, Store, ALU, Mul+Div, FLOPs, Move, NOP,
+//! Others"); [`FuKind`] mirrors the execution units of Table 2
+//! ("Int×8, Float×4, Load×3, Store×2, iMul×2, iDiv×1, fDiv×1").
+
+/// Coarse operation class of an instruction.
+///
+/// Used for the Fig. 15 breakdown, for functional-unit routing in the timing
+/// simulator, and for per-class energy accounting.
+///
+/// # Examples
+///
+/// ```
+/// use ch_common::op::{FuKind, OpClass};
+///
+/// assert_eq!(OpClass::Load.fu_kind(), FuKind::Load);
+/// assert!(OpClass::CondBr.is_branch());
+/// assert!(!OpClass::IntAlu.is_branch());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// Function call or return (JAL/JALR with link, `ret`).
+    CallRet,
+    /// Unconditional direct jump.
+    Jump,
+    /// Conditional branch.
+    CondBr,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Simple integer ALU operation (add, logic, shift, compare, lui...).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide / remainder.
+    IntDiv,
+    /// Floating-point arithmetic (add/sub/mul/convert/compare).
+    Fp,
+    /// Floating-point divide / square root.
+    FpDiv,
+    /// Register-to-register move (the relay `mv` the paper counts).
+    Move,
+    /// No-operation (the convergence-point `nop` the paper counts).
+    Nop,
+    /// Anything else (fences, csr-ish system operations).
+    Other,
+}
+
+impl OpClass {
+    /// Every class, in the legend order of Fig. 15.
+    pub const ALL: [OpClass; 13] = [
+        OpClass::CallRet,
+        OpClass::Jump,
+        OpClass::CondBr,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::Fp,
+        OpClass::FpDiv,
+        OpClass::Move,
+        OpClass::Nop,
+        OpClass::Other,
+    ];
+
+    /// Label used in the Fig. 15 legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::CallRet => "Call+Ret",
+            OpClass::Jump => "Jump",
+            OpClass::CondBr => "CondBr",
+            OpClass::Load => "Load",
+            OpClass::Store => "Store",
+            OpClass::IntAlu => "ALU",
+            OpClass::IntMul | OpClass::IntDiv => "Mul+Div",
+            OpClass::Fp | OpClass::FpDiv => "FLOPs",
+            OpClass::Move => "Move",
+            OpClass::Nop => "NOP",
+            OpClass::Other => "Others",
+        }
+    }
+
+    /// Whether the class transfers control (ends a fetch group when taken).
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpClass::CallRet | OpClass::Jump | OpClass::CondBr)
+    }
+
+    /// Whether the class accesses memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// The functional unit the class executes on.
+    pub fn fu_kind(self) -> FuKind {
+        match self {
+            OpClass::Load => FuKind::Load,
+            OpClass::Store => FuKind::Store,
+            OpClass::IntMul => FuKind::IntMul,
+            OpClass::IntDiv => FuKind::IntDiv,
+            OpClass::Fp => FuKind::Float,
+            OpClass::FpDiv => FuKind::FpDiv,
+            // Branches, moves, nops and misc ops go down the integer pipes.
+            _ => FuKind::Int,
+        }
+    }
+
+    /// Execution latency in cycles, excluding memory-hierarchy time for
+    /// loads (the simulator adds cache latency on top of address generation).
+    pub fn exec_latency(self) -> u32 {
+        match self {
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 12,
+            OpClass::Fp => 4,
+            OpClass::FpDiv => 12,
+            OpClass::Load | OpClass::Store => 1, // address generation
+            _ => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Functional-unit kind, per Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuKind {
+    /// Simple integer ALU (also executes branches, moves, nops).
+    Int,
+    /// Floating-point pipe.
+    Float,
+    /// Load port.
+    Load,
+    /// Store port.
+    Store,
+    /// Integer multiplier.
+    IntMul,
+    /// Integer divider (unpipelined).
+    IntDiv,
+    /// Floating-point divider (unpipelined).
+    FpDiv,
+}
+
+impl FuKind {
+    /// All unit kinds.
+    pub const ALL: [FuKind; 7] = [
+        FuKind::Int,
+        FuKind::Float,
+        FuKind::Load,
+        FuKind::Store,
+        FuKind::IntMul,
+        FuKind::IntDiv,
+        FuKind::FpDiv,
+    ];
+
+    /// Whether the unit is pipelined (can accept a new op every cycle).
+    pub fn pipelined(self) -> bool {
+        !matches!(self, FuKind::IntDiv | FuKind::FpDiv)
+    }
+
+    /// Index into fixed-size per-unit arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FuKind::Int => 0,
+            FuKind::Float => 1,
+            FuKind::Load => 2,
+            FuKind::Store => 3,
+            FuKind::IntMul => 4,
+            FuKind::IntDiv => 5,
+            FuKind::FpDiv => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for FuKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FuKind::Int => "Int",
+            FuKind::Float => "Float",
+            FuKind::Load => "Load",
+            FuKind::Store => "Store",
+            FuKind::IntMul => "iMul",
+            FuKind::IntDiv => "iDiv",
+            FuKind::FpDiv => "fDiv",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_routes_to_a_unit() {
+        for c in OpClass::ALL {
+            // index() must be a valid array index for all reachable units
+            assert!(c.fu_kind().index() < FuKind::ALL.len());
+        }
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(OpClass::CallRet.is_branch());
+        assert!(OpClass::Jump.is_branch());
+        assert!(OpClass::CondBr.is_branch());
+        for c in [OpClass::Load, OpClass::Store, OpClass::IntAlu, OpClass::Nop] {
+            assert!(!c.is_branch());
+        }
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        for c in OpClass::ALL {
+            assert!(c.exec_latency() >= 1, "{c:?} latency must be >= 1");
+        }
+    }
+
+    #[test]
+    fn dividers_are_unpipelined() {
+        assert!(!FuKind::IntDiv.pipelined());
+        assert!(!FuKind::FpDiv.pipelined());
+        assert!(FuKind::Int.pipelined());
+        assert!(FuKind::Load.pipelined());
+    }
+
+    #[test]
+    fn fu_indices_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for f in FuKind::ALL {
+            assert!(seen.insert(f.index()));
+        }
+    }
+
+    #[test]
+    fn fig15_labels_merge_muldiv_and_fp() {
+        assert_eq!(OpClass::IntMul.label(), OpClass::IntDiv.label());
+        assert_eq!(OpClass::Fp.label(), OpClass::FpDiv.label());
+        assert_eq!(OpClass::Move.label(), "Move");
+    }
+}

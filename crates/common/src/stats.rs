@@ -1,0 +1,157 @@
+//! Event counters shared by the timing simulator and the energy model.
+//!
+//! The simulator increments these while it runs; the energy model multiplies
+//! them by per-event energies (McPAT-style) to produce the Fig. 14 stacks.
+//! This is a passive data structure, so its fields are public.
+
+/// Event counts accumulated over one simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Elapsed cycles.
+    pub cycles: u64,
+    /// Instructions fetched (including refetches after squash).
+    pub fetched: u64,
+    /// Fetch groups (I-cache lookups).
+    pub fetch_groups: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// Instructions decoded.
+    pub decoded: u64,
+    /// Instructions passing the physical-register allocation stage.
+    pub allocated: u64,
+    /// RISC only: register map table read ports exercised.
+    pub rmt_reads: u64,
+    /// RISC only: register map table write ports exercised.
+    pub rmt_writes: u64,
+    /// RISC only: dependency-check-logic comparisons performed.
+    pub dcl_comparisons: u64,
+    /// RISC only: free-list pops/pushes.
+    pub freelist_ops: u64,
+    /// STRAIGHT/Clockhands: register-pointer updates (adds into the
+    /// prefix-sum tree).
+    pub rp_updates: u64,
+    /// Checkpoints captured (branches entering the window).
+    pub checkpoints: u64,
+    /// Bits per checkpoint (configuration constant recorded for energy).
+    pub checkpoint_bits: u64,
+    /// Instructions dispatched into the ROB/scheduler.
+    pub dispatched: u64,
+    /// Scheduler wakeup broadcasts (one per completing producer).
+    pub sched_wakeups: u64,
+    /// Instructions issued to execution.
+    pub issued: u64,
+    /// Register-file read accesses.
+    pub regfile_reads: u64,
+    /// Register-file write accesses.
+    pub regfile_writes: u64,
+    /// Operations executed on integer units.
+    pub int_ops: u64,
+    /// Operations executed on floating-point units.
+    pub fp_ops: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Load-queue/store-queue associative searches.
+    pub lsq_searches: u64,
+    /// Store-to-load forwards.
+    pub stl_forwards: u64,
+    /// Memory-order violations detected (store-set training events).
+    pub mem_order_violations: u64,
+    /// D-cache accesses.
+    pub dcache_accesses: u64,
+    /// D-cache misses.
+    pub dcache_misses: u64,
+    /// L2 accesses (demand + prefetch).
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Prefetch requests issued.
+    pub prefetches: u64,
+    /// Conditional branches predicted.
+    pub branch_preds: u64,
+    /// Branch mispredictions (condition or target).
+    pub branch_mispredicts: u64,
+    /// Pipeline squashes (mispredict + memory-order recoveries).
+    pub squashes: u64,
+    /// ROB writes (dispatch) — tracked separately for the energy model.
+    pub rob_writes: u64,
+    /// ROB reads (commit).
+    pub rob_reads: u64,
+    /// Instructions committed.
+    pub committed: u64,
+}
+
+impl Counters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate (per predicted branch).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branch_preds == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branch_preds as f64
+        }
+    }
+
+    /// Adds every field of `other` into `self` (for aggregating runs).
+    pub fn merge(&mut self, other: &Counters) {
+        let dst: &mut Counters = self;
+        macro_rules! acc {
+            ($($f:ident),* $(,)?) => { $( dst.$f += other.$f; )* };
+        }
+        acc!(
+            cycles, fetched, fetch_groups, icache_misses, decoded, allocated, rmt_reads,
+            rmt_writes, dcl_comparisons, freelist_ops, rp_updates, checkpoints, checkpoint_bits,
+            dispatched, sched_wakeups, issued, regfile_reads, regfile_writes, int_ops, fp_ops,
+            loads, stores, lsq_searches, stl_forwards, mem_order_violations, dcache_accesses,
+            dcache_misses, l2_accesses, l2_misses, prefetches, branch_preds, branch_mispredicts,
+            squashes, rob_writes, rob_reads, committed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(Counters::new().ipc(), 0.0);
+        let c = Counters { cycles: 100, committed: 250, ..Counters::default() };
+        assert!((c.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mispredict_rate() {
+        let c = Counters {
+            branch_preds: 1000,
+            branch_mispredicts: 25,
+            ..Counters::default()
+        };
+        assert!((c.mispredict_rate() - 0.025).abs() < 1e-12);
+        assert_eq!(Counters::new().mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counters { cycles: 10, committed: 20, ..Counters::default() };
+        let b = Counters { cycles: 5, committed: 7, loads: 3, ..Counters::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 15);
+        assert_eq!(a.committed, 27);
+        assert_eq!(a.loads, 3);
+    }
+}

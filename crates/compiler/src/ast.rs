@@ -1,0 +1,225 @@
+//! Abstract syntax tree for Kern.
+
+/// Scalar value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit signed integer (also used for addresses).
+    Int,
+    /// 64-bit IEEE double.
+    Real,
+}
+
+/// Element type of an array declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemTy {
+    /// 8-byte signed integers.
+    Int,
+    /// 8-byte doubles.
+    Real,
+    /// 1-byte unsigned integers.
+    Byte,
+}
+
+impl ElemTy {
+    /// Element size in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            ElemTy::Int | ElemTy::Real => 8,
+            ElemTy::Byte => 1,
+        }
+    }
+
+    /// The scalar type an element loads as.
+    pub fn scalar(self) -> Ty {
+        match self {
+            ElemTy::Real => Ty::Real,
+            ElemTy::Int | ElemTy::Byte => Ty::Int,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+impl BinOp {
+    /// Whether the operator yields a boolean (0/1) integer.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`): 0 → 1, nonzero → 0.
+    Not,
+    /// Bitwise not (`~`).
+    BitNot,
+}
+
+/// An expression, tagged with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Expression node.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Variable reference (also yields the base address of an array).
+    Var(String),
+    /// Array element: `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Conversion `int(e)` or `real(e)`.
+    Cast(Ty, Box<Expr>),
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An array element.
+    Index(Expr, Expr),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local scalar declaration with optional initialiser.
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Scalar type.
+        ty: Ty,
+        /// Initial value.
+        init: Option<Expr>,
+    },
+    /// Local array declaration (stack allocated).
+    ArrDecl {
+        /// Array name.
+        name: String,
+        /// Element type.
+        elem: ElemTy,
+        /// Element count.
+        len: u64,
+    },
+    /// Assignment.
+    Assign(LValue, Expr),
+    /// `if (c) { .. } else { .. }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { .. }`.
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) { .. }` (init/step are statements).
+    For(Box<Stmt>, Expr, Box<Stmt>, Vec<Stmt>),
+    /// `return e;` / `return;`.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Expression evaluated for side effects (calls).
+    ExprStmt(Expr),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Scalar type.
+    pub ty: Ty,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Return type (`None` = void).
+    pub ret: Option<Ty>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// 1-based source line of the definition.
+    pub line: usize,
+}
+
+/// A global declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub elem: ElemTy,
+    /// Element count (1 for scalars).
+    pub len: u64,
+    /// Whether it was declared as a scalar.
+    pub scalar: bool,
+}
+
+/// A whole Kern translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Unit {
+    /// Globals in declaration order.
+    pub globals: Vec<GlobalDef>,
+    /// Functions in declaration order.
+    pub funcs: Vec<FnDef>,
+}

@@ -1,0 +1,1263 @@
+//! Clockhands backend: hand assignment + per-hand distance fixing
+//! (Section 6 of the paper).
+//!
+//! Hand assignment (Section 6.2):
+//! * **s** — the calling convention's hand: return address, arguments,
+//!   SP, and return values. No general values live here; between calls
+//!   the frame invariant is simply "SP is `s[0]`".
+//! * **v** — loop constants: single-definition values defined in the
+//!   entry block, ranked by loop-depth-weighted use count. They are
+//!   *never relayed*: nothing inside a loop writes `v`, so their
+//!   distance is frozen — this removes STRAIGHT's mv-LoopConstant
+//!   relays. Per the convention the top 8 `v` registers are callee-saved
+//!   (functions save and re-write the caller's `v[0..k-1]`).
+//! * **t** — block-local temporaries (most writes, Fig. 16).
+//! * **u** — everything longer-lived; relayed on CFG edges like
+//!   STRAIGHT, but only counting `u` writes, so far fewer relays.
+//!
+//! Because jumps and branches have no dst-hand, edges need no `nop`
+//! adjustment (Section 3.3(3)), and because each hand rotates
+//! independently, a block's live values cost relays only in their own
+//! hand.
+
+use crate::cfg::{liveness, loop_info, rpo, BitSet};
+use crate::ir::{Function, Ins, Module, Term, VReg};
+use ch_common::exec::{AluOp, LoadOp, StoreOp};
+use clockhands::hand::Hand;
+use clockhands::inst::{Inst as ChInst, Src};
+use clockhands::program::Program;
+use std::collections::HashMap;
+
+/// Per-hand in-block relay threshold (hard limit is 15, 14 on `s`).
+const RELAY_AT: i64 = 12;
+/// Maximum encodable distance on t/u/v.
+const MAX_DIST: i64 = 15;
+
+/// Compiles a module to a Clockhands program (with a `_start` stub).
+///
+/// # Errors
+///
+/// Returns a description of any unsatisfiable constraint.
+pub fn compile(module: &Module) -> Result<Program, String> {
+    let mut prog = Program::new();
+    let mut call_fixups: Vec<(usize, usize)> = Vec::new();
+    let mut fn_starts: Vec<u32> = Vec::new();
+
+    // _start: call main (return address to s), halt with s[1] (= the
+    // return value; s[0] is the restored SP).
+    prog.insts.push(ChInst::Call { dst: Hand::S, target: 0 });
+    call_fixups.push((0, module.main_index()));
+    prog.insts.push(ChInst::Halt { src: Src::Hand(Hand::S, 1) });
+    prog.labels.insert("_start".to_string(), 0);
+
+    for f in &module.funcs {
+        fn_starts.push(prog.insts.len() as u32);
+        prog.labels.insert(f.name.clone(), prog.insts.len() as u32);
+        FnCg::new(f, module, &mut prog, &mut call_fixups).run()?;
+    }
+    for (at, func) in call_fixups {
+        if let ChInst::Call { target, .. } = &mut prog.insts[at] {
+            *target = fn_starts[func];
+        }
+    }
+    prog.entry = 0;
+    Ok(prog)
+}
+
+/// A value's current location: its hand and the hand-local write index.
+#[derive(Debug, Clone, Copy)]
+struct Loc {
+    hand: Hand,
+    pos: i64,
+}
+
+struct FnCg<'a> {
+    f: &'a Function,
+    module: &'a Module,
+    out: &'a mut Program,
+    call_fixups: &'a mut Vec<(usize, usize)>,
+    /// Assigned hand per vreg.
+    assign: Vec<Hand>,
+    /// Current location of live vregs.
+    loc: HashMap<VReg, Loc>,
+    /// Per-hand write counters along the current path (by hand index).
+    counters: [i64; 4],
+    /// Position of the stack pointer within the s hand.
+    sp_pos: i64,
+    zero_vregs: BitSet,
+    /// v-assigned vregs (never relayed; defined in the entry block).
+    v_set: BitSet,
+    /// Number of own v writes.
+    v_count: usize,
+    /// Caller v registers saved/restored (the convention's 8 callee-saved
+    /// registers — all of them whenever this function writes v at all).
+    v_save_count: usize,
+    spill_off: HashMap<VReg, i32>,
+    /// Stack-resident vregs (demoted when a hand's live-in set exceeds
+    /// its capacity): loaded on use, stored through on definition.
+    stack_set: BitSet,
+    frame_size: i32,
+    ra_off: i32,
+    vsave_off: i32,
+    array_offsets: Vec<i32>,
+    block_starts: Vec<u32>,
+    fixups: Vec<(usize, usize)>,
+    /// Canonical per-hand live-in orders per block: (t list, u list).
+    entry_order: Vec<(Vec<VReg>, Vec<VReg>)>,
+    live_out: Vec<BitSet>,
+    /// Predecessor counts (single-pred blocks inherit state, no relays).
+    preds_count: Vec<usize>,
+    /// Saved path state for single-predecessor successors.
+    pending: HashMap<usize, (HashMap<VReg, Loc>, [i64; 4], i64)>,
+    /// Chosen entry layout per join: per hand (t, u), (vreg, distance).
+    layouts: Vec<[Vec<(VReg, i64)>; 2]>,
+    /// Hot natural delivery per block: (source loop depth, vreg → dist).
+    deliveries: Vec<Option<(u32, HashMap<VReg, i64>)>>,
+    /// Loop depth per block.
+    depth: Vec<u32>,
+    /// Fix-up writes emitted this pass.
+    fix_writes: u64,
+    /// Previous pass's deliveries (drift detection: a value is only a
+    /// stable natural if two consecutive passes deliver it identically).
+    deliveries_prev: Vec<Option<HashMap<VReg, i64>>>,
+}
+
+impl<'a> FnCg<'a> {
+    fn new(
+        f: &'a Function,
+        module: &'a Module,
+        out: &'a mut Program,
+        call_fixups: &'a mut Vec<(usize, usize)>,
+    ) -> Self {
+        let live = liveness(f);
+        let loops = loop_info(f);
+
+        // ---- Zero-constant vregs ----
+        let mut defs: HashMap<VReg, u32> = HashMap::new();
+        let mut def_block: HashMap<VReg, usize> = HashMap::new();
+        let mut zeroes: Vec<VReg> = Vec::new();
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for ins in &b.insts {
+                if let Some(d) = ins.dst() {
+                    *defs.entry(d).or_default() += 1;
+                    def_block.insert(d, bi);
+                    if matches!(ins, Ins::Const { val: 0, .. }) {
+                        zeroes.push(d);
+                    }
+                }
+            }
+        }
+        let mut zero_vregs = BitSet::new(f.num_vregs());
+        for z in zeroes {
+            if defs[&z] == 1 {
+                zero_vregs.insert(z);
+            }
+        }
+
+        // ---- Hand assignment ----
+        let has_calls = f
+            .blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|i| matches!(i, Ins::Call { .. })));
+        // With calls only the 8 callee-saved v registers are reliable.
+        let v_budget = if has_calls { 8 } else { 15 };
+        let mut benefit: HashMap<VReg, u64> = HashMap::new();
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let w = 1 + 100 * loops.depth[bi] as u64;
+            for ins in &b.insts {
+                for s in ins.srcs() {
+                    if bi != 0 {
+                        *benefit.entry(s).or_default() += w;
+                    }
+                }
+            }
+            for s in b.term.srcs() {
+                if bi != 0 {
+                    *benefit.entry(s).or_default() += w;
+                }
+            }
+        }
+        let is_param = |v: VReg| f.params.contains(&v);
+        let mut v_candidates: Vec<(u64, VReg)> = benefit
+            .iter()
+            .filter(|(&v, _)| {
+                if zero_vregs.contains(v) {
+                    return false;
+                }
+                let single_entry_def =
+                    defs.get(&v) == Some(&1) && def_block.get(&v) == Some(&0);
+                let pristine_param = is_param(v) && !defs.contains_key(&v);
+                single_entry_def || pristine_param
+            })
+            .map(|(&v, &b)| (b, v))
+            .collect();
+        v_candidates.sort_by(|a, b| b.cmp(a));
+        let mut v_set = BitSet::new(f.num_vregs());
+        let mut v_count = 0usize;
+        for (ben, v) in v_candidates {
+            if v_count >= v_budget || ben == 0 {
+                break;
+            }
+            v_set.insert(v);
+            v_count += 1;
+        }
+
+        // t vs u (Section 4.3): short-lived results go to t, the rest to
+        // u. Cross-block values are long-lived by definition; block-local
+        // values go to u when their def-use span exceeds what the t ring
+        // can hold (t receives roughly one write per instruction).
+        let mut crosses = BitSet::new(f.num_vregs());
+        for b in 0..f.blocks.len() {
+            crosses.union_with(&live.live_in[b]);
+            crosses.union_with(&live.live_out[b]);
+        }
+        let mut long_span = BitSet::new(f.num_vregs());
+        const SPAN_LIMIT: usize = 10;
+        for b in &f.blocks {
+            let mut first_def: HashMap<VReg, usize> = HashMap::new();
+            for (i, ins) in b.insts.iter().enumerate() {
+                for src in ins.srcs() {
+                    if let Some(&d) = first_def.get(&src) {
+                        if i - d > SPAN_LIMIT {
+                            long_span.insert(src);
+                        }
+                    }
+                }
+                if let Some(d) = ins.dst() {
+                    first_def.entry(d).or_insert(i);
+                }
+            }
+            for src in b.term.srcs() {
+                if let Some(&d) = first_def.get(&src) {
+                    if b.insts.len() - d > SPAN_LIMIT {
+                        long_span.insert(src);
+                    }
+                }
+            }
+        }
+        let mut assign = vec![Hand::T; f.num_vregs()];
+        for v in 0..f.num_vregs() as u32 {
+            assign[v as usize] = if v_set.contains(v) {
+                Hand::V
+            } else if crosses.contains(v) || long_span.contains(v) {
+                Hand::U
+            } else {
+                Hand::T
+            };
+        }
+
+        // Canonical edge orders: t and u live-ins ascending; v and zero
+        // vregs are never relayed.
+        let entry_order: Vec<(Vec<VReg>, Vec<VReg>)> = live
+            .live_in
+            .iter()
+            .map(|s| {
+                let mut t = Vec::new();
+                let mut u = Vec::new();
+                for v in s.iter() {
+                    if zero_vregs.contains(v) || v_set.contains(v) {
+                        continue;
+                    }
+                    match assign[v as usize] {
+                        Hand::T => t.push(v),
+                        Hand::U => u.push(v),
+                        _ => {}
+                    }
+                }
+                (t, u)
+            })
+            .collect();
+
+        // ---- Capacity: demote low-benefit values to the stack when a
+        // block's u live-ins exceed what edge relays can rotate (7 of the
+        // 16 u registers, leaving headroom for the relay sequence). ----
+        let mut full_benefit: HashMap<VReg, u64> = HashMap::new();
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let w = 1 + 100 * loops.depth[bi] as u64;
+            for ins in &b.insts {
+                for src in ins.srcs() {
+                    *full_benefit.entry(src).or_default() += w;
+                }
+            }
+        }
+        let mut entry_order = entry_order;
+        let mut stack_set = BitSet::new(f.num_vregs());
+        const EDGE_CAP: usize = 7;
+        loop {
+            let mut victim: Option<VReg> = None;
+            for (_, u) in &entry_order {
+                if u.len() > EDGE_CAP {
+                    victim = u
+                        .iter()
+                        .copied()
+                        .min_by_key(|v| full_benefit.get(v).copied().unwrap_or(0));
+                    break;
+                }
+            }
+            match victim {
+                Some(v) => {
+                    stack_set.insert(v);
+                    for (_, u) in &mut entry_order {
+                        u.retain(|&x| x != v);
+                    }
+                }
+                None => break,
+            }
+        }
+
+        FnCg {
+            f,
+            module,
+            out,
+            call_fixups,
+            assign,
+            loc: HashMap::new(),
+            counters: [0; 4],
+            sp_pos: -1,
+            zero_vregs,
+            v_set,
+            v_count,
+            v_save_count: if v_count > 0 { 8 } else { 0 },
+            spill_off: HashMap::new(),
+            stack_set,
+            frame_size: 0,
+            ra_off: 0,
+            vsave_off: 0,
+            array_offsets: Vec::new(),
+            block_starts: vec![0; f.blocks.len()],
+            fixups: Vec::new(),
+            entry_order,
+            live_out: live.live_out,
+            preds_count: f.predecessors().iter().map(|p| p.len()).collect(),
+            pending: HashMap::new(),
+            layouts: Vec::new(),
+            deliveries: Vec::new(),
+            depth: loops.depth.clone(),
+            fix_writes: 0,
+            deliveries_prev: Vec::new(),
+        }
+    }
+
+    /// Pushes an instruction, advancing its destination hand's counter.
+    fn push(&mut self, i: ChInst) {
+        if let Some(h) = i.dst() {
+            self.counters[h.index()] += 1;
+        }
+        self.out.insts.push(i);
+    }
+
+    /// Records that the next write to `hand` defines vreg `v` (call just
+    /// before pushing the defining instruction).
+    fn define(&mut self, v: VReg, hand: Hand) {
+        self.loc.insert(v, Loc { hand, pos: self.counters[hand.index()] });
+    }
+
+    fn dist_of(&self, l: Loc) -> i64 {
+        self.counters[l.hand.index()] - 1 - l.pos
+    }
+
+    /// Reads vreg `v` as a source operand.
+    fn src(&self, v: VReg) -> Result<Src, String> {
+        if self.zero_vregs.contains(v) {
+            return Ok(Src::Zero);
+        }
+        let l = self
+            .loc
+            .get(&v)
+            .ok_or_else(|| format!("{}: v{v} has no location", self.f.name))?;
+        let d = self.dist_of(*l);
+        let limit = if l.hand == Hand::S { MAX_DIST - 1 } else { MAX_DIST };
+        if !(0..=limit).contains(&d) {
+            return Err(format!("{}: v{v} at {}-distance {d}", self.f.name, l.hand));
+        }
+        Ok(Src::Hand(l.hand, d as u8))
+    }
+
+    /// Reads the stack pointer.
+    fn sp_src(&self) -> Result<Src, String> {
+        let d = self.counters[Hand::S.index()] - 1 - self.sp_pos;
+        if !(0..MAX_DIST).contains(&d) {
+            return Err(format!("{}: SP at s-distance {d}", self.f.name));
+        }
+        Ok(Src::Hand(Hand::S, d as u8))
+    }
+
+    /// Reloads a stack-resident vreg if it has no valid register
+    /// position, so a following read succeeds.
+    fn ensure_loaded(&mut self, v: VReg) -> Result<(), String> {
+        if !self.stack_set.contains(v) || self.zero_vregs.contains(v) {
+            return Ok(());
+        }
+        if let Some(&l) = self.loc.get(&v) {
+            let limit = if l.hand == Hand::S { MAX_DIST - 3 } else { MAX_DIST - 2 };
+            if self.dist_of(l) <= limit {
+                return Ok(());
+            }
+        }
+        let off = *self
+            .spill_off
+            .get(&v)
+            .ok_or_else(|| format!("{}: v{v} has no stack slot", self.f.name))?;
+        let h = self.assign[v as usize];
+        let sp = self.sp_src()?;
+        self.define(v, h);
+        self.push(ChInst::Load { op: LoadOp::Ld, dst: h, base: sp, offset: off });
+        Ok(())
+    }
+
+    /// Stores a just-defined stack-resident vreg through to its slot.
+    fn write_through(&mut self, v: VReg) -> Result<(), String> {
+        if !self.stack_set.contains(v) || self.zero_vregs.contains(v) {
+            return Ok(());
+        }
+        let off = self.spill_off[&v];
+        let val = self.src(v)?;
+        let sp = self.sp_src()?;
+        self.push(ChInst::Store { op: StoreOp::Sd, value: val, base: sp, offset: off });
+        Ok(())
+    }
+
+    /// Relays still-needed t/u values whose distance reached `threshold`.
+    /// v values are never relayed — that is the point of the v hand.
+    fn relay_over(&mut self, threshold: i64, keep: &dyn Fn(VReg) -> bool) -> Result<(), String> {
+        for _guard in 0..256 {
+            // Deterministic choice: deepest value first, vreg id ties.
+            let mut victim: Option<(i64, VReg, Hand)> = None;
+            for (&v, &l) in &self.loc {
+                if self.zero_vregs.contains(v)
+                    || matches!(l.hand, Hand::V | Hand::S)
+                    || self.stack_set.contains(v)
+                {
+                    continue;
+                }
+                let d = self.dist_of(l);
+                if keep(v) && d >= threshold && victim.map(|(bd, bv, _)| (d, v) > (bd, bv)).unwrap_or(true)
+                {
+                    victim = Some((d, v, l.hand));
+                }
+            }
+            let victim = victim.map(|(_, v, h)| (v, h));
+            match victim {
+                Some((v, hand)) => {
+                    let s = self.src(v)?;
+                    self.define(v, hand);
+                    self.push(ChInst::Mv { dst: hand, src: s });
+                }
+                None => return Ok(()),
+            }
+        }
+        Err(format!("{}: relay pressure too high", self.f.name))
+    }
+
+    fn run(mut self) -> Result<(), String> {
+        // ---- Frame layout: [ra][v-saves][call spills][arrays] ----
+        let mut needs_spill = BitSet::new(self.f.num_vregs());
+        for (b, blk) in self.f.blocks.iter().enumerate() {
+            for (i, ins) in blk.insts.iter().enumerate() {
+                if let Ins::Call { dst, .. } = ins {
+                    let mut after = self.live_out[b].clone();
+                    for later in &blk.insts[i + 1..] {
+                        for s in later.srcs() {
+                            after.insert(s);
+                        }
+                    }
+                    for s in blk.term.srcs() {
+                        after.insert(s);
+                    }
+                    if let Some(d) = dst {
+                        after.remove(*d);
+                    }
+                    needs_spill.union_with(&after);
+                }
+            }
+        }
+        self.ra_off = 0;
+        let mut off = 8i32;
+        self.vsave_off = off;
+        off += 8 * self.v_save_count as i32;
+        needs_spill.union_with(&self.stack_set);
+        for v in needs_spill.iter() {
+            if self.zero_vregs.contains(v) || self.v_set.contains(v) {
+                continue;
+            }
+            self.spill_off.insert(v, off);
+            off += 8;
+        }
+        for &sz in &self.f.frame_slots {
+            self.array_offsets.push(off);
+            off += ((sz + 7) / 8 * 8) as i32;
+        }
+        self.frame_size = (off + 15) / 16 * 16;
+
+        // Initial layouts: canonical per-hand (deepest first, distances
+        // k-1 .. 0 — in Clockhands the edge jump writes no hand, so the
+        // last relayed value sits at distance 0).
+        self.layouts = self
+            .entry_order
+            .iter()
+            .map(|(t, u)| {
+                let mk = |o: &Vec<VReg>| {
+                    let k = o.len() as i64;
+                    o.iter().enumerate().map(|(j, &v)| (v, k - 1 - j as i64)).collect()
+                };
+                [mk(t), mk(u)]
+            })
+            .collect();
+
+        // Iterated distance fixing (Section 6.1): probe the natural
+        // positions each edge delivers, let joins adopt the hottest
+        // edge's layout, re-emit.
+        let fn_start = self.out.insts.len();
+        let cf_start = self.call_fixups.len();
+        self.deliveries_prev = vec![None; self.f.blocks.len()];
+        for pass in 0..4 {
+            self.out.insts.truncate(fn_start);
+            self.call_fixups.truncate(cf_start);
+            self.fixups.clear();
+            self.pending.clear();
+            self.deliveries = vec![None; self.f.blocks.len()];
+            self.fix_writes = 0;
+            let order = rpo(self.f);
+            for (oi, &b) in order.iter().enumerate() {
+                let next = order.get(oi + 1).copied();
+                self.gen_block(b, oi == 0, next)?;
+            }
+            if pass == 3 || self.fix_writes == 0 {
+                break;
+            }
+            self.update_layouts();
+            self.deliveries_prev = self
+                .deliveries
+                .iter()
+                .map(|d| d.as_ref().map(|(_, n)| n.clone()))
+                .collect();
+        }
+        for (at, blk) in std::mem::take(&mut self.fixups) {
+            let t = self.block_starts[blk];
+            match &mut self.out.insts[at] {
+                ChInst::Branch { target, .. } | ChInst::Jump { target } => *target = t,
+                _ => unreachable!("fixup on non-branch"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Adopts each join's hottest natural delivery as its entry layout;
+    /// undeliverable values fall back to explicit relay slots.
+    fn update_layouts(&mut self) {
+        const LIMIT: i64 = 12;
+        for b in 0..self.f.blocks.len() {
+            let nat = match &self.deliveries[b] {
+                Some((_, nat)) => nat.clone(),
+                None => continue,
+            };
+            let prev = self.deliveries_prev[b].clone();
+            let stable = |v: VReg, d: i64| -> bool {
+                match &prev {
+                    Some(p) => p.get(&v) == Some(&d),
+                    None => true, // first update: optimistic
+                }
+            };
+            let (t_order, u_order) = self.entry_order[b].clone();
+            let mut new_layout: [Vec<(VReg, i64)>; 2] = [Vec::new(), Vec::new()];
+            for (hi, order) in [t_order, u_order].into_iter().enumerate() {
+                let mut used: std::collections::HashSet<i64> = std::collections::HashSet::new();
+                let mut naturals: Vec<(VReg, i64)> = Vec::new();
+                let mut relays: Vec<VReg> = Vec::new();
+                for &v in &order {
+                    match nat.get(&v) {
+                        Some(&d)
+                            if (0..=LIMIT).contains(&d) && stable(v, d) && used.insert(d) =>
+                        {
+                            naturals.push((v, d));
+                        }
+                        _ => relays.push(v),
+                    }
+                }
+                // Steady state: the relay group (r values) is re-emitted
+                // on every edge, shifting unemitted naturals by r —
+                // relays sit at 0..r-1, naturals at observed + r.
+                loop {
+                    let r = relays.len() as i64;
+                    match naturals.iter().position(|&(_, d)| d + r > LIMIT) {
+                        Some(i) => relays.push(naturals.remove(i).0),
+                        None => break,
+                    }
+                }
+                let r = relays.len() as i64;
+                new_layout[hi] = naturals.into_iter().map(|(v, d)| (v, d + r)).collect();
+                for (i, v) in relays.into_iter().enumerate() {
+                    new_layout[hi].push((v, i as i64));
+                }
+            }
+            self.layouts[b] = new_layout;
+        }
+    }
+
+    /// Minimal fix writes per hand so every layout target lands at its
+    /// distance: emitted fixes occupy distances `0..c` (jumps write no
+    /// hand), an unemitted value drifts to `current + c`.
+    fn min_fix_writes(&self, targets: &[(VReg, i64)]) -> i64 {
+        let maxd = targets.iter().map(|&(_, d)| d).max().map(|d| d + 1).unwrap_or(0);
+        'outer: for c in 0..=maxd {
+            for &(v, d) in targets {
+                if d >= c {
+                    match self.loc.get(&v) {
+                        Some(&l) if self.dist_of(l) + c == d => {}
+                        _ => continue 'outer,
+                    }
+                }
+            }
+            return c;
+        }
+        maxd
+    }
+
+    /// Entry state for a non-entry block: each hand's live-ins sit at
+    /// distances `k_h - 1 - j` (the edge emitted `k_h` relays in that
+    /// hand; jumps write no hand, so nothing shifts afterwards). v values
+    /// keep their frozen positions.
+    fn block_entry_state(&mut self, b: usize, v_positions: &HashMap<VReg, i64>) {
+        self.loc.clear();
+        self.counters = [0; 4];
+        for (&v, &pos) in v_positions {
+            self.loc.insert(v, Loc { hand: Hand::V, pos });
+        }
+        self.counters[Hand::V.index()] = self.v_count as i64;
+        // SP is s[0] at every block boundary.
+        self.counters[Hand::S.index()] = 1;
+        self.sp_pos = 0;
+        for (hi, hand) in [(0, Hand::T), (1, Hand::U)] {
+            for (v, d) in self.layouts[b][hi].clone() {
+                // distance d at entry (counter 0): pos = -1 - d.
+                self.loc.insert(v, Loc { hand, pos: -1 - d });
+            }
+        }
+    }
+
+    fn gen_block(&mut self, b: usize, is_entry: bool, next: Option<usize>) -> Result<(), String> {
+        self.block_starts[b] = self.out.insts.len() as u32;
+
+        // v positions are global to the function (frozen after entry).
+        let v_positions: HashMap<VReg, i64> = self
+            .loc
+            .iter()
+            .filter(|(_, l)| l.hand == Hand::V)
+            .map(|(&v, l)| (v, l.pos))
+            .collect();
+
+        if is_entry {
+            self.gen_entry_prologue()?;
+        } else if let Some((loc, counters, sp_pos)) = self.pending.remove(&b) {
+            // Single predecessor: inherit its exact path state.
+            self.loc = loc;
+            self.counters = counters;
+            self.sp_pos = sp_pos;
+        } else {
+            self.block_entry_state(b, &v_positions);
+        }
+
+        let blk = &self.f.blocks[b];
+        let mut last_use: HashMap<VReg, usize> = HashMap::new();
+        for (i, ins) in blk.insts.iter().enumerate() {
+            for s in ins.srcs() {
+                last_use.insert(s, i);
+            }
+        }
+        let nins = blk.insts.len();
+        for s in blk.term.srcs() {
+            last_use.insert(s, nins);
+        }
+        let live_out = self.live_out[b].clone();
+
+        let insts = blk.insts.clone();
+        for (i, ins) in insts.iter().enumerate() {
+            let lu = &last_use;
+            let lo = &live_out;
+            let keep =
+                move |v: VReg| lo.contains(v) || lu.get(&v).map(|&l| l > i).unwrap_or(false);
+            self.relay_over(RELAY_AT, &keep)?;
+            self.gen_ins(ins, i, &last_use, &live_out)?;
+        }
+        let term = blk.term.clone();
+        self.gen_term(b, &term, next)?;
+        Ok(())
+    }
+
+    /// Function entry: calling-convention state, frame setup, caller
+    /// v-saves, parameter moves.
+    fn gen_entry_prologue(&mut self) -> Result<(), String> {
+        self.loc.clear();
+        self.counters = [0; 4];
+        // s hand at entry: s[0]=RA, s[1..n]=args, s[n+1]=caller SP.
+        let n = self.f.params.len() as i64;
+        self.counters[Hand::S.index()] = n + 2;
+        let ra_pos = n + 1;
+        for (i, &p) in self.f.params.iter().enumerate() {
+            self.loc.insert(p, Loc { hand: Hand::S, pos: n - i as i64 });
+        }
+        let caller_sp_pos = 0i64;
+
+        // SP = caller SP - frame (paper: `addi s, s[X], -amount`,
+        // X = number of arguments plus one).
+        let d = self.counters[Hand::S.index()] - 1 - caller_sp_pos;
+        debug_assert_eq!(d, n + 1);
+        self.sp_pos = self.counters[Hand::S.index()];
+        self.push(ChInst::AluImm {
+            op: AluOp::Add,
+            dst: Hand::S,
+            src1: Src::Hand(Hand::S, d as u8),
+            imm: -self.frame_size,
+        });
+        // Spill RA (one deeper after the SP write).
+        let ra_d = self.counters[Hand::S.index()] - 1 - ra_pos;
+        let sp = self.sp_src()?;
+        self.push(ChInst::Store {
+            op: StoreOp::Sd,
+            value: Src::Hand(Hand::S, ra_d as u8),
+            base: sp,
+            offset: self.ra_off,
+        });
+        // Save the caller's v[0..7] (every callee-saved register — the
+        // caller may rely on any of them) before any own v write.
+        for j in 0..self.v_save_count {
+            let sp = self.sp_src()?;
+            self.push(ChInst::Store {
+                op: StoreOp::Sd,
+                value: Src::Hand(Hand::V, j as u8),
+                base: sp,
+                offset: self.vsave_off + 8 * j as i32,
+            });
+        }
+        // Own v writes start at model position 0.
+        self.counters[Hand::V.index()] = 0;
+        // Move parameters out of s into their assigned hands.
+        for &p in &self.f.params.clone() {
+            if self.zero_vregs.contains(p) {
+                continue;
+            }
+            let hand = self.assign[p as usize];
+            let s = self.src(p)?;
+            self.define(p, hand);
+            self.push(ChInst::Mv { dst: hand, src: s });
+            self.write_through(p)?;
+        }
+        Ok(())
+    }
+
+    fn gen_ins(
+        &mut self,
+        ins: &Ins,
+        i: usize,
+        last_use: &HashMap<VReg, usize>,
+        live_out: &BitSet,
+    ) -> Result<(), String> {
+        // Reload every stack-resident source before computing any
+        // distance (a reload is a write and would shift them).
+        for src in ins.srcs() {
+            self.ensure_loaded(src)?;
+        }
+        self.gen_ins_inner(ins, i, last_use, live_out)?;
+        if let Some(d) = ins.dst() {
+            self.write_through(d)?;
+        }
+        Ok(())
+    }
+
+    fn gen_ins_inner(
+        &mut self,
+        ins: &Ins,
+        i: usize,
+        last_use: &HashMap<VReg, usize>,
+        live_out: &BitSet,
+    ) -> Result<(), String> {
+        match ins {
+            Ins::Const { dst, val } => {
+                if self.zero_vregs.contains(*dst) {
+                    return Ok(());
+                }
+                let h = self.assign[*dst as usize];
+                self.define(*dst, h);
+                self.push(ChInst::Li { dst: h, imm: *val });
+            }
+            Ins::FConst { dst, val } => {
+                let h = self.assign[*dst as usize];
+                self.define(*dst, h);
+                self.push(ChInst::Li { dst: h, imm: val.to_bits() as i64 });
+            }
+            Ins::GlobalAddr { dst, id } => {
+                let h = self.assign[*dst as usize];
+                self.define(*dst, h);
+                self.push(ChInst::Li { dst: h, imm: self.module.globals[*id].addr as i64 });
+            }
+            Ins::FrameAddr { dst, slot } => {
+                let h = self.assign[*dst as usize];
+                let sp = self.sp_src()?;
+                self.define(*dst, h);
+                self.push(ChInst::AluImm {
+                    op: AluOp::Add,
+                    dst: h,
+                    src1: sp,
+                    imm: self.array_offsets[*slot],
+                });
+            }
+            Ins::Bin { op, dst, a, b } => {
+                let s1 = self.src(*a)?;
+                let s2 = self.src(*b)?;
+                let h = self.assign[*dst as usize];
+                self.define(*dst, h);
+                self.push(ChInst::Alu { op: *op, dst: h, src1: s1, src2: s2 });
+            }
+            Ins::BinImm { op, dst, a, imm } => {
+                let s1 = self.src(*a)?;
+                let h = self.assign[*dst as usize];
+                self.define(*dst, h);
+                self.push(ChInst::AluImm { op: *op, dst: h, src1: s1, imm: *imm });
+            }
+            Ins::Load { op, dst, addr, off } => {
+                let base = self.src(*addr)?;
+                let h = self.assign[*dst as usize];
+                self.define(*dst, h);
+                self.push(ChInst::Load { op: *op, dst: h, base, offset: *off });
+            }
+            Ins::Store { op, val, addr, off } => {
+                let value = self.src(*val)?;
+                let base = self.src(*addr)?;
+                self.push(ChInst::Store { op: *op, value, base, offset: *off });
+            }
+            Ins::Copy { dst, src } => {
+                let s = self.src(*src)?;
+                let h = self.assign[*dst as usize];
+                self.define(*dst, h);
+                self.push(ChInst::Mv { dst: h, src: s });
+            }
+            Ins::Call { dst, callee, args } => {
+                // 1. Spill live t/u values (v survives: callee-saved).
+                let mut after: Vec<VReg> = self
+                    .loc
+                    .keys()
+                    .copied()
+                    .filter(|&v| {
+                        (live_out.contains(v)
+                            || last_use.get(&v).map(|&l| l > i).unwrap_or(false))
+                            && Some(v) != *dst
+                            && !self.zero_vregs.contains(v)
+                            && !self.stack_set.contains(v)
+                            && self.loc[&v].hand != Hand::V
+                    })
+                    .collect();
+                after.sort_unstable();
+                for &v in &after {
+                    let s = self.src(v)?;
+                    let off = *self
+                        .spill_off
+                        .get(&v)
+                        .ok_or_else(|| format!("{}: v{v} has no spill slot", self.f.name))?;
+                    let sp = self.sp_src()?;
+                    self.push(ChInst::Store { op: StoreOp::Sd, value: s, base: sp, offset: off });
+                }
+                // 2. Push args argN..arg1 into s (SP is already the most
+                //    recent s write, so the callee finds it at s[n+1]).
+                for &a in args.iter().rev() {
+                    let s = self.src(a)?;
+                    self.push(ChInst::Mv { dst: Hand::S, src: s });
+                }
+                // 3. Call (RA written to s).
+                let at = self.out.insts.len();
+                self.push(ChInst::Call { dst: Hand::S, target: 0 });
+                self.call_fixups.push((at, *callee));
+                // 4. After return: t/u positions dead; v preserved by the
+                //    convention; s[0]=restored SP, s[1]=return value.
+                let v_positions: Vec<(VReg, Loc)> = self
+                    .loc
+                    .iter()
+                    .filter(|(_, l)| l.hand == Hand::V)
+                    .map(|(&v, &l)| (v, l))
+                    .collect();
+                self.loc.clear();
+                for (v, l) in v_positions {
+                    self.loc.insert(v, l);
+                }
+                let sc = self.counters[Hand::S.index()];
+                let (new_sc, retval_pos) =
+                    if dst.is_some() { (sc + 2, sc) } else { (sc + 1, sc) };
+                self.counters[Hand::S.index()] = new_sc;
+                self.sp_pos = new_sc - 1;
+                if let Some(d) = dst {
+                    self.loc.insert(*d, Loc { hand: Hand::S, pos: retval_pos });
+                    // Move it out of s promptly (s churns at every call).
+                    let h = self.assign[*d as usize];
+                    let s = self.src(*d)?;
+                    self.define(*d, h);
+                    self.push(ChInst::Mv { dst: h, src: s });
+                }
+                // 5. Reload spilled values into their hands.
+                for &v in &after {
+                    let off = self.spill_off[&v];
+                    let h = self.assign[v as usize];
+                    let sp = self.sp_src()?;
+                    self.define(v, h);
+                    self.push(ChInst::Load { op: LoadOp::Ld, dst: h, base: sp, offset: off });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Transfers control to `t`: a single-predecessor target inherits the
+    /// path state; a join receives, per hand, exactly the writes needed
+    /// to realise its entry layout (zero on the stabilised hot edge).
+    /// Jumps write no hand (Section 3.3(3)), so they are only emitted
+    /// when the layout demands one and never disturb distances.
+    fn take_edge(&mut self, from: usize, t: usize, can_fallthrough: bool) -> Result<(), String> {
+        if self.preds_count[t] == 1 {
+            if !can_fallthrough {
+                let at = self.out.insts.len();
+                self.push(ChInst::Jump { target: 0 });
+                self.fixups.push((at, t));
+            }
+            self.pending.insert(t, (self.loc.clone(), self.counters, self.sp_pos));
+            return Ok(());
+        }
+        // Record the natural delivery for the layout update.
+        let d_from = self.depth[from];
+        let record = self.deliveries[t].as_ref().map(|(d, _)| *d < d_from).unwrap_or(true);
+        if record {
+            let mut nat = HashMap::new();
+            for hi in 0..2 {
+                for &(v, _) in &self.layouts[t][hi] {
+                    if let Some(&l) = self.loc.get(&v) {
+                        nat.insert(v, self.dist_of(l));
+                    }
+                }
+            }
+            self.deliveries[t] = Some((d_from, nat));
+        }
+        for (hi, hand) in [(0, Hand::T), (1, Hand::U)] {
+            let targets = self.layouts[t][hi].clone();
+            let mut c = self.min_fix_writes(&targets);
+            // Pre-relay (deepest first) any to-be-emitted value whose
+            // read would overflow by the time its slot comes up. Distinct
+            // distances guarantee deepest-first never overflows itself.
+            for _round in 0..64 {
+                let mut victim: Option<(VReg, i64)> = None;
+                for &(v, d) in &targets {
+                    if d < c {
+                        if let Some(&l) = self.loc.get(&v) {
+                            let cur = self.dist_of(l);
+                            if cur + (c - 1 - d) > MAX_DIST
+                                && victim.map(|(_, bd)| cur > bd).unwrap_or(true)
+                            {
+                                victim = Some((v, cur));
+                            }
+                        }
+                    }
+                }
+                match victim {
+                    Some((v, _)) => {
+                        let sop = self.src(v)?;
+                        self.define(v, hand);
+                        self.push(ChInst::Mv { dst: hand, src: sop });
+                        self.fix_writes += 1;
+                        c = self.min_fix_writes(&targets);
+                    }
+                    None => break,
+                }
+            }
+            for slot in (0..c).rev() {
+                self.fix_writes += 1;
+                match targets.iter().find(|&&(_, d)| d == slot) {
+                    Some(&(v, _)) => {
+                        let sop = self.src(v)?;
+                        self.define(v, hand);
+                        self.push(ChInst::Mv { dst: hand, src: sop });
+                    }
+                    None => self.push(ChInst::Li { dst: hand, imm: 0 }),
+                }
+            }
+        }
+        if !can_fallthrough {
+            let at = self.out.insts.len();
+            self.push(ChInst::Jump { target: 0 });
+            self.fixups.push((at, t));
+        }
+        Ok(())
+    }
+
+    fn gen_term(&mut self, from: usize, term: &Term, next: Option<usize>) -> Result<(), String> {
+        match term {
+            Term::Jump(t) => self.take_edge(from, *t, next == Some(*t)),
+            Term::CondBr { cond, a, b, then_, else_ } => {
+                if then_ == else_ {
+                    return self.take_edge(from, *then_, next == Some(*then_));
+                }
+                self.ensure_loaded(*a)?;
+                self.ensure_loaded(*b)?;
+                let s1 = self.src(*a)?;
+                let s2 = self.src(*b)?;
+                let br_at = self.out.insts.len();
+                self.push(ChInst::Branch { cond: *cond, src1: s1, src2: s2, target: 0 });
+                let saved_loc = self.loc.clone();
+                let saved_counters = self.counters;
+                let saved_sp = self.sp_pos;
+                let then_direct = self.preds_count[*then_] == 1 || {
+                    self.min_fix_writes(&self.layouts[*then_][0]) == 0
+                        && self.min_fix_writes(&self.layouts[*then_][1]) == 0
+                };
+                let can_ft = then_direct && next == Some(*else_);
+                self.take_edge(from, *else_, can_ft)?;
+                self.loc = saved_loc;
+                self.counters = saved_counters;
+                self.sp_pos = saved_sp;
+                if then_direct {
+                    let here = self.out.insts.len();
+                    self.take_edge(from, *then_, true)?;
+                    debug_assert_eq!(here, self.out.insts.len());
+                    self.fixups.push((br_at, *then_));
+                } else {
+                    let stub = self.out.insts.len() as u32;
+                    self.take_edge(from, *then_, false)?;
+                    if let ChInst::Branch { target, .. } = &mut self.out.insts[br_at] {
+                        *target = stub;
+                    }
+                }
+                Ok(())
+            }
+            Term::Ret(v) => {
+                // Epilogue: reload RA into u, restore the caller's v
+                // registers, write the return value to s, restore the
+                // caller SP to s (paper: `addi s, s[1], amount`), return.
+                if let Some(rv) = v {
+                    self.ensure_loaded(*rv)?;
+                }
+                let ra_u_pos = self.counters[Hand::U.index()];
+                let sp = self.sp_src()?;
+                self.push(ChInst::Load {
+                    op: LoadOp::Ld,
+                    dst: Hand::U,
+                    base: sp,
+                    offset: self.ra_off,
+                });
+                // Restore the caller's v[0..7]: write X_7 first so X_0
+                // ends at v[0].
+                for j in (0..self.v_save_count).rev() {
+                    let sp = self.sp_src()?;
+                    self.push(ChInst::Load {
+                        op: LoadOp::Ld,
+                        dst: Hand::V,
+                        base: sp,
+                        offset: self.vsave_off + 8 * j as i32,
+                    });
+                }
+                if let Some(rv) = v {
+                    let s = self.src(*rv)?;
+                    self.push(ChInst::Mv { dst: Hand::S, src: s });
+                }
+                let spsrc = self.sp_src()?;
+                self.push(ChInst::AluImm {
+                    op: AluOp::Add,
+                    dst: Hand::S,
+                    src1: spsrc,
+                    imm: self.frame_size,
+                });
+                let ra_d = self.counters[Hand::U.index()] - 1 - ra_u_pos;
+                self.push(ChInst::JumpReg { src: Src::Hand(Hand::U, ra_d as u8) });
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_ir;
+    use clockhands::interp::Interpreter;
+
+    fn compile_src(src: &str) -> Program {
+        let m = build_ir(src).expect("ir");
+        let prog = compile(&m).expect("codegen");
+        prog.validate().expect("valid");
+        prog
+    }
+
+    fn run(src: &str) -> u64 {
+        let mut cpu = Interpreter::new(compile_src(src)).expect("interp");
+        cpu.run(100_000_000).expect("runs").exit_value
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run("fn main() -> int { return 6 * 7; }"), 42);
+        assert_eq!(run("fn main() -> int { var a: int = 10; return a % 3; }"), 1);
+    }
+
+    #[test]
+    fn sum_loop() {
+        let src = "fn main() -> int {
+                var s: int = 0;
+                for (var i: int = 1; i <= 10; i += 1) { s += i; }
+                return s;
+            }";
+        assert_eq!(run(src), 55);
+    }
+
+    #[test]
+    fn loop_constants_live_in_v_without_relays() {
+        let src = "global a: int[100];
+            fn main() -> int {
+                var s: int = 0;
+                for (var i: int = 0; i < 100; i += 1) { s += a[i] + 7; }
+                return s;
+            }";
+        assert_eq!(run(src), 700);
+        // The loop must not write the v hand (that is the whole point):
+        // dynamically, v writes happen only in prologue/epilogue, never
+        // per iteration. 100 iterations => far fewer than 100 v writes.
+        let mut cpu = Interpreter::new(compile_src(src)).unwrap();
+        let (trace, _) = cpu.trace(10_000_000).unwrap();
+        let v_writes = trace
+            .iter()
+            .filter(|d| d.dst.and_then(|t| t.hand()) == Some(Hand::V.index() as u8))
+            .count();
+        assert!(v_writes < 30, "v written {v_writes} times (should be entry/exit only)");
+    }
+
+    #[test]
+    fn arrays_and_globals() {
+        let src = "global a: int[32];
+            fn main() -> int {
+                for (var i: int = 0; i < 32; i += 1) { a[i] = i * 3; }
+                var s: int = 0;
+                for (var i: int = 0; i < 32; i += 1) { s += a[i]; }
+                return s;
+            }";
+        assert_eq!(run(src), (0..32u64).map(|i| i * 3).sum());
+    }
+
+    #[test]
+    fn calls_preserve_v_hand() {
+        let src = "fn add(a: int, b: int) -> int { return a + b; }
+            fn main() -> int {
+                var s: int = 0;
+                for (var i: int = 0; i < 10; i += 1) {
+                    s = add(s, i);       // call inside the loop
+                }
+                return s;
+            }";
+        assert_eq!(run(src), 45);
+    }
+
+    #[test]
+    fn recursion() {
+        let src = "fn fib(n: int) -> int {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn main() -> int { return fib(15); }";
+        assert_eq!(run(src), 610);
+    }
+
+    #[test]
+    fn floating_point() {
+        let src = "fn main() -> int {
+                var x: real = 1.5;
+                var y: real = 2.5;
+                return int(x * y * 4.0);
+            }";
+        assert_eq!(run(src), 15);
+    }
+
+    #[test]
+    fn local_arrays() {
+        let src = "fn main() -> int {
+                var a: int[8];
+                for (var i: int = 0; i < 8; i += 1) { a[i] = i + 1; }
+                return a[0] + a[7];
+            }";
+        assert_eq!(run(src), 9);
+    }
+
+    #[test]
+    fn nested_loops() {
+        let src = "fn main() -> int {
+                var s: int = 0;
+                for (var i: int = 0; i < 10; i += 1) {
+                    for (var j: int = 0; j < 10; j += 1) { s += i * j; }
+                }
+                return s;
+            }";
+        assert_eq!(run(src), 2025);
+    }
+
+    #[test]
+    fn fewer_moves_than_straight() {
+        // The headline claim: Clockhands needs far fewer relay moves.
+        let src = "global a: int[64];
+            fn main() -> int {
+                var s: int = 0;
+                for (var i: int = 0; i < 64; i += 1) {
+                    s += a[i] * 3 + i;
+                }
+                return s;
+            }";
+        assert_eq!(run(src), (0..64u64).sum::<u64>());
+        // Compare *executed* moves, the paper's Fig. 15 metric: STRAIGHT
+        // relays every live value (including loop constants) on every
+        // iteration; Clockhands keeps the constants frozen in v.
+        let m = build_ir(src).unwrap();
+        let ch = compile(&m).unwrap();
+        let st = super::super::straight::compile(&m).unwrap();
+        let mut chi = Interpreter::new(ch).unwrap();
+        let (ch_trace, _) = chi.trace(1_000_000).unwrap();
+        let mut sti = ch_baselines::straight::interp::Interpreter::new(st).unwrap();
+        let (st_trace, _) = sti.trace(1_000_000).unwrap();
+        let ch_mv =
+            ch_trace.iter().filter(|d| d.class == ch_common::op::OpClass::Move).count();
+        let st_mv =
+            st_trace.iter().filter(|d| d.class == ch_common::op::OpClass::Move).count();
+        assert!(
+            2 * ch_mv < st_mv,
+            "Clockhands should execute far fewer relays: {ch_mv} vs {st_mv}"
+        );
+        // And fewer instructions overall.
+        assert!(ch_trace.len() < st_trace.len());
+    }
+
+    #[test]
+    fn void_functions() {
+        let src = "global g: int;
+            fn bump() { g = g + 1; }
+            fn main() -> int {
+                bump(); bump(); bump();
+                return g;
+            }";
+        assert_eq!(run(src), 3);
+    }
+
+    #[test]
+    fn deep_call_chain_restores_v() {
+        // Each level uses its own v constants; the convention must
+        // restore the caller's on every return.
+        let src = "global a: int[4];
+            fn leaf(x: int) -> int {
+                var s: int = 0;
+                for (var i: int = 0; i < 4; i += 1) { s += a[i] + x; }
+                return s;
+            }
+            fn mid(x: int) -> int {
+                var s: int = 0;
+                for (var i: int = 0; i < 3; i += 1) { s += leaf(x) + a[0]; }
+                return s;
+            }
+            fn main() -> int {
+                a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+                var s: int = 0;
+                for (var i: int = 0; i < 2; i += 1) { s += mid(i) + a[3]; }
+                return s;
+            }";
+        // leaf(x) = 10 + 4x ; mid(x) = 3*(leaf(x)+1) = 3*(11+4x)
+        // main = (mid(0)+4) + (mid(1)+4) = (33+4)+(45+4) = 86
+        assert_eq!(run(src), 86);
+    }
+}

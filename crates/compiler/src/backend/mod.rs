@@ -1,0 +1,5 @@
+//! The three register-assignment backends (Fig. 10 of the paper).
+
+pub mod clockhands;
+pub mod riscv;
+pub mod straight;

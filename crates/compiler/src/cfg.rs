@@ -1,0 +1,336 @@
+//! CFG utilities: reachability, ordering, liveness, and loop analysis.
+
+use crate::ir::{BlockId, Function};
+use std::collections::HashSet;
+
+/// A dense bit set over virtual registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set sized for `n` elements.
+    pub fn new(n: usize) -> Self {
+        BitSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Inserts `i`; returns whether the set changed.
+    pub fn insert(&mut self, i: u32) -> bool {
+        let (w, b) = ((i / 64) as usize, i % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        self.words[w] != old
+    }
+
+    /// Removes `i`.
+    pub fn remove(&mut self, i: u32) {
+        let (w, b) = ((i / 64) as usize, i % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: u32) -> bool {
+        let (w, b) = ((i / 64) as usize, i % 64);
+        self.words[w] >> b & 1 == 1
+    }
+
+    /// Unions `other` into `self`; returns whether anything changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64).filter_map(move |b| {
+                if bits >> b & 1 == 1 {
+                    Some((w * 64 + b) as u32)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// Blocks reachable from the entry.
+pub fn reachable(f: &Function) -> Vec<bool> {
+    let mut seen = vec![false; f.blocks.len()];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.blocks[b].term.succs() {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Reverse postorder over reachable blocks, starting at the entry.
+pub fn rpo(f: &Function) -> Vec<BlockId> {
+    let mut visited = vec![false; f.blocks.len()];
+    let mut post = Vec::new();
+    // Iterative DFS with an explicit "exit" marker.
+    let mut stack: Vec<(BlockId, bool)> = vec![(0, false)];
+    while let Some((b, processed)) = stack.pop() {
+        if processed {
+            post.push(b);
+            continue;
+        }
+        if visited[b] {
+            continue;
+        }
+        visited[b] = true;
+        stack.push((b, true));
+        for s in f.blocks[b].term.succs().into_iter().rev() {
+            if !visited[s] {
+                stack.push((s, false));
+            }
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Per-block live-in / live-out virtual register sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Registers live at each block entry.
+    pub live_in: Vec<BitSet>,
+    /// Registers live at each block exit.
+    pub live_out: Vec<BitSet>,
+}
+
+/// Computes liveness by iterating the backward dataflow to a fixed point.
+pub fn liveness(f: &Function) -> Liveness {
+    let n = f.blocks.len();
+    let nv = f.num_vregs();
+    // use/def per block.
+    let mut use_: Vec<BitSet> = Vec::with_capacity(n);
+    let mut def: Vec<BitSet> = Vec::with_capacity(n);
+    for b in &f.blocks {
+        let mut u = BitSet::new(nv);
+        let mut d = BitSet::new(nv);
+        for ins in &b.insts {
+            for s in ins.srcs() {
+                if !d.contains(s) {
+                    u.insert(s);
+                }
+            }
+            if let Some(x) = ins.dst() {
+                d.insert(x);
+            }
+        }
+        for s in b.term.srcs() {
+            if !d.contains(s) {
+                u.insert(s);
+            }
+        }
+        use_.push(u);
+        def.push(d);
+    }
+    let mut live_in: Vec<BitSet> = (0..n).map(|_| BitSet::new(nv)).collect();
+    let mut live_out: Vec<BitSet> = (0..n).map(|_| BitSet::new(nv)).collect();
+    let order = rpo(f);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().rev() {
+            let mut out = BitSet::new(nv);
+            for s in f.blocks[b].term.succs() {
+                out.union_with(&live_in[s]);
+            }
+            if out != live_out[b] {
+                live_out[b] = out;
+                changed = true;
+            }
+            // in = use ∪ (out − def)
+            let mut inn = live_out[b].clone();
+            for d in def[b].iter() {
+                inn.remove(d);
+            }
+            inn.union_with(&use_[b]);
+            if inn != live_in[b] {
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+/// Natural-loop information.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// Loop nesting depth of each block (0 = not in a loop).
+    pub depth: Vec<u32>,
+    /// Loop headers in discovery order, with their body block sets.
+    pub loops: Vec<(BlockId, HashSet<BlockId>)>,
+}
+
+/// Finds natural loops from back edges (edge `t → h` where `h` dominates
+/// `t` is approximated by `h` being an ancestor in the DFS — for reducible
+/// CFGs produced by our structured lowering this is exact).
+pub fn loop_info(f: &Function) -> LoopInfo {
+    // Dominator-lite: structured control flow from the lowering produces
+    // reducible graphs, so a back edge is any edge to a block currently on
+    // the DFS stack.
+    let n = f.blocks.len();
+    let mut on_stack = vec![false; n];
+    let mut visited = vec![false; n];
+    let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new();
+    // Iterative DFS tracking the stack.
+    enum Ev {
+        Enter(BlockId),
+        Exit(BlockId),
+    }
+    let mut stack = vec![Ev::Enter(0)];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(b) => {
+                if visited[b] {
+                    continue;
+                }
+                visited[b] = true;
+                on_stack[b] = true;
+                stack.push(Ev::Exit(b));
+                for s in f.blocks[b].term.succs() {
+                    if on_stack[s] {
+                        back_edges.push((b, s));
+                    } else if !visited[s] {
+                        stack.push(Ev::Enter(s));
+                    }
+                }
+            }
+            Ev::Exit(b) => on_stack[b] = false,
+        }
+    }
+    // Natural loop body of back edge t -> h: h plus everything reaching t
+    // without passing through h.
+    let preds = f.predecessors();
+    let mut loops: Vec<(BlockId, HashSet<BlockId>)> = Vec::new();
+    for (t, h) in back_edges {
+        let mut body: HashSet<BlockId> = [h, t].into_iter().collect();
+        let mut work = vec![t];
+        while let Some(b) = work.pop() {
+            if b == h {
+                continue;
+            }
+            for &p in &preds[b] {
+                if body.insert(p) {
+                    work.push(p);
+                }
+            }
+        }
+        // Merge loops with the same header (multiple back edges).
+        if let Some((_, existing)) = loops.iter_mut().find(|(hh, _)| *hh == h) {
+            existing.extend(body);
+        } else {
+            loops.push((h, body));
+        }
+    }
+    let mut depth = vec![0u32; n];
+    for (_, body) in &loops {
+        for &b in body {
+            depth[b] += 1;
+        }
+    }
+    LoopInfo { depth, loops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parser::parse;
+
+    fn func(src: &str) -> Function {
+        lower(&parse(src).unwrap()).unwrap().funcs.remove(0)
+    }
+
+    #[test]
+    fn bitset_ops() {
+        let mut s = BitSet::new(200);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(130));
+        assert!(s.contains(130));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 130]);
+        assert_eq!(s.len(), 2);
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let f = func("fn main() -> int { var a: int = 1; if (a > 0) { a = 2; } return a; }");
+        let order = rpo(&f);
+        assert_eq!(order[0], 0);
+        // Every reachable block appears exactly once.
+        let r = reachable(&f);
+        assert_eq!(order.len(), r.iter().filter(|&&x| x).count());
+    }
+
+    #[test]
+    fn liveness_across_loop() {
+        let f = func(
+            "fn main() -> int {
+                 var s: int = 0;
+                 var n: int = 10;
+                 for (var i: int = 0; i < n; i += 1) { s += i; }
+                 return s;
+             }",
+        );
+        let lv = liveness(&f);
+        let li = loop_info(&f);
+        // The loop header must have s, n, i live-in.
+        let (header, _) = li.loops[0];
+        assert!(lv.live_in[header].len() >= 3);
+    }
+
+    #[test]
+    fn loop_depths() {
+        let f = func(
+            "fn main() -> int {
+                 var s: int = 0;
+                 for (var i: int = 0; i < 3; i += 1) {
+                     for (var j: int = 0; j < 3; j += 1) { s += j; }
+                 }
+                 return s;
+             }",
+        );
+        let li = loop_info(&f);
+        assert_eq!(li.loops.len(), 2);
+        let max_depth = *li.depth.iter().max().unwrap();
+        assert_eq!(max_depth, 2, "inner loop body is at depth 2");
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let f = func("fn main() -> int { return 1; }");
+        let li = loop_info(&f);
+        assert!(li.loops.is_empty());
+        assert!(li.depth.iter().all(|&d| d == 0));
+    }
+}

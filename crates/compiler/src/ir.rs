@@ -1,0 +1,339 @@
+//! The Kern intermediate representation.
+//!
+//! A function is a control-flow graph of basic blocks over an unlimited
+//! set of *virtual registers*. The IR is deliberately **not** SSA:
+//! a mutable Kern variable maps to one virtual register that is assigned
+//! many times. The distance-based backends (STRAIGHT, Clockhands)
+//! reconcile multiple definitions with their edge-relay schemes, which is
+//! exactly the role φ-functions would play.
+
+use crate::ast::Ty;
+use ch_common::exec::{AluOp, BrCond, LoadOp, StoreOp};
+
+/// A virtual register.
+pub type VReg = u32;
+
+/// A basic-block id (index into [`Function::blocks`]).
+pub type BlockId = usize;
+
+/// Base address where globals are laid out.
+pub const GLOBAL_BASE: u64 = 0x20_0000;
+
+/// One (non-terminator) IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ins {
+    /// Integer constant.
+    Const {
+        /// Destination.
+        dst: VReg,
+        /// Value.
+        val: i64,
+    },
+    /// Real constant (stored as bits).
+    FConst {
+        /// Destination.
+        dst: VReg,
+        /// Value.
+        val: f64,
+    },
+    /// Address of a global.
+    GlobalAddr {
+        /// Destination.
+        dst: VReg,
+        /// Index into [`Module::globals`].
+        id: usize,
+    },
+    /// Address of a stack-frame slot (a local array).
+    FrameAddr {
+        /// Destination.
+        dst: VReg,
+        /// Index into [`Function::frame_slots`].
+        slot: usize,
+    },
+    /// Two-register operation.
+    Bin {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// Register-immediate operation.
+    BinImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// Memory load.
+    Load {
+        /// Width/extension.
+        op: LoadOp,
+        /// Destination.
+        dst: VReg,
+        /// Address register.
+        addr: VReg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Memory store.
+    Store {
+        /// Width.
+        op: StoreOp,
+        /// Value register.
+        val: VReg,
+        /// Address register.
+        addr: VReg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Function call.
+    Call {
+        /// Result register, if the callee returns a value.
+        dst: Option<VReg>,
+        /// Index into [`Module::funcs`].
+        callee: usize,
+        /// Argument registers.
+        args: Vec<VReg>,
+    },
+    /// Register copy (introduced by lowering of `&&`/`||` and by passes).
+    Copy {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        src: VReg,
+    },
+}
+
+impl Ins {
+    /// Destination register, if any.
+    pub fn dst(&self) -> Option<VReg> {
+        match *self {
+            Ins::Const { dst, .. }
+            | Ins::FConst { dst, .. }
+            | Ins::GlobalAddr { dst, .. }
+            | Ins::FrameAddr { dst, .. }
+            | Ins::Bin { dst, .. }
+            | Ins::BinImm { dst, .. }
+            | Ins::Load { dst, .. }
+            | Ins::Copy { dst, .. } => Some(dst),
+            Ins::Store { .. } => None,
+            Ins::Call { dst, .. } => dst,
+        }
+    }
+
+    /// Source registers in operand order.
+    pub fn srcs(&self) -> Vec<VReg> {
+        match self {
+            Ins::Const { .. }
+            | Ins::FConst { .. }
+            | Ins::GlobalAddr { .. }
+            | Ins::FrameAddr { .. } => vec![],
+            Ins::Bin { a, b, .. } => vec![*a, *b],
+            Ins::BinImm { a, .. } => vec![*a],
+            Ins::Load { addr, .. } => vec![*addr],
+            Ins::Store { val, addr, .. } => vec![*val, *addr],
+            Ins::Call { args, .. } => args.clone(),
+            Ins::Copy { src, .. } => vec![*src],
+        }
+    }
+
+    /// Whether the instruction has side effects (must not be removed).
+    pub fn has_side_effects(&self) -> bool {
+        matches!(self, Ins::Store { .. } | Ins::Call { .. })
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch.
+    CondBr {
+        /// Comparison.
+        cond: BrCond,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+        /// Target when the comparison holds.
+        then_: BlockId,
+        /// Target otherwise.
+        else_: BlockId,
+    },
+    /// Function return.
+    Ret(Option<VReg>),
+}
+
+impl Term {
+    /// Successor blocks.
+    pub fn succs(&self) -> Vec<BlockId> {
+        match *self {
+            Term::Jump(b) => vec![b],
+            Term::CondBr { then_, else_, .. } => vec![then_, else_],
+            Term::Ret(_) => vec![],
+        }
+    }
+
+    /// Source registers read by the terminator.
+    pub fn srcs(&self) -> Vec<VReg> {
+        match *self {
+            Term::Jump(_) => vec![],
+            Term::CondBr { a, b, .. } => vec![a, b],
+            Term::Ret(Some(v)) => vec![v],
+            Term::Ret(None) => vec![],
+        }
+    }
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Ins>,
+    /// Terminator.
+    pub term: Term,
+}
+
+/// An IR function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Virtual registers holding the parameters on entry.
+    pub params: Vec<VReg>,
+    /// Whether the function returns a value, and its type.
+    pub ret: Option<Ty>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Type of each virtual register.
+    pub vreg_ty: Vec<Ty>,
+    /// Stack-frame slot sizes in bytes (local arrays).
+    pub frame_slots: Vec<u64>,
+}
+
+impl Function {
+    /// Creates an empty function with one (empty) entry block.
+    pub fn new(name: impl Into<String>, ret: Option<Ty>) -> Self {
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            ret,
+            blocks: vec![Block { insts: Vec::new(), term: Term::Ret(None) }],
+            vreg_ty: Vec::new(),
+            frame_slots: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh virtual register of type `ty`.
+    pub fn new_vreg(&mut self, ty: Ty) -> VReg {
+        let v = self.vreg_ty.len() as VReg;
+        self.vreg_ty.push(ty);
+        v
+    }
+
+    /// Adds an empty block, returning its id.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block { insts: Vec::new(), term: Term::Ret(None) });
+        self.blocks.len() - 1
+    }
+
+    /// Number of virtual registers.
+    pub fn num_vregs(&self) -> usize {
+        self.vreg_ty.len()
+    }
+
+    /// Predecessor lists for every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for s in blk.term.succs() {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+}
+
+/// A global variable's layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalInfo {
+    /// Name.
+    pub name: String,
+    /// Absolute byte address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// A compiled translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Functions; entry is the one named `main`.
+    pub funcs: Vec<Function>,
+    /// Global layout.
+    pub globals: Vec<GlobalInfo>,
+}
+
+impl Module {
+    /// The index of `main`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module has no `main` (lowering rejects that earlier).
+    pub fn main_index(&self) -> usize {
+        self.funcs
+            .iter()
+            .position(|f| f.name == "main")
+            .expect("module has a main function")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vreg_and_block_allocation() {
+        let mut f = Function::new("f", Some(Ty::Int));
+        let a = f.new_vreg(Ty::Int);
+        let b = f.new_vreg(Ty::Real);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(f.vreg_ty[1], Ty::Real);
+        let blk = f.new_block();
+        assert_eq!(blk, 1);
+    }
+
+    #[test]
+    fn predecessors() {
+        let mut f = Function::new("f", None);
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let c = f.new_vreg(Ty::Int);
+        f.blocks[0].term = Term::CondBr { cond: BrCond::Eq, a: c, b: c, then_: b1, else_: b2 };
+        f.blocks[b1].term = Term::Jump(b2);
+        let preds = f.predecessors();
+        assert_eq!(preds[b1], vec![0]);
+        assert_eq!(preds[b2], vec![0, b1]);
+    }
+
+    #[test]
+    fn ins_accessors() {
+        let st = Ins::Store { op: StoreOp::Sd, val: 1, addr: 2, off: 0 };
+        assert_eq!(st.dst(), None);
+        assert_eq!(st.srcs(), vec![1, 2]);
+        assert!(st.has_side_effects());
+        let add = Ins::Bin { op: AluOp::Add, dst: 0, a: 1, b: 2 };
+        assert_eq!(add.dst(), Some(0));
+        assert!(!add.has_side_effects());
+    }
+}

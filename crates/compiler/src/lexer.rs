@@ -1,0 +1,279 @@
+//! Lexer for Kern, the C-like kernel language compiled to all three ISAs.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real (floating-point) literal.
+    Real(f64),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    /// `fn`
+    Fn,
+    /// `var`
+    Var,
+    /// `global`
+    Global,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `int`
+    Int,
+    /// `real`
+    Real,
+    /// `byte`
+    Byte,
+    /// `void`
+    Void,
+}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "fn" => Kw::Fn,
+        "var" => Kw::Var,
+        "global" => Kw::Global,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "for" => Kw::For,
+        "return" => Kw::Return,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "int" => Kw::Int,
+        "real" => Kw::Real,
+        "byte" => Kw::Byte,
+        "void" => Kw::Void,
+        _ => return None,
+    })
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// A lexing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises Kern source.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on malformed numbers or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match keyword(word) {
+                    Some(k) => Tok::Kw(k),
+                    None => Tok::Ident(word.to_string()),
+                };
+                out.push(Spanned { tok, line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_real = false;
+                if c == '0' && bytes.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let v = i64::from_str_radix(&src[start + 2..i], 16).map_err(|_| LexError {
+                        line,
+                        message: format!("bad hex literal `{}`", &src[start..i]),
+                    })?;
+                    out.push(Spanned { tok: Tok::Int(v), line });
+                    continue;
+                }
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).map(|b| (*b as char).is_ascii_digit()).unwrap_or(false)
+                {
+                    is_real = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_real = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let tok = if is_real {
+                    Tok::Real(text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("bad real literal `{text}`"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("bad integer literal `{text}`"),
+                    })?)
+                };
+                out.push(Spanned { tok, line });
+            }
+            _ => {
+                // Longest-match punctuation.
+                const PUNCTS: [&str; 33] = [
+                    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+=", "-=",
+                    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",",
+                    "=", "<", ">", "+", "-", "!", ":",
+                ];
+                const SINGLES: [&str; 7] = ["*", "/", "%", "&", "|", "^", "~"];
+                let rest = &src[i..];
+                let mut matched = None;
+                for p in PUNCTS.iter().chain(SINGLES.iter()) {
+                    if rest.starts_with(p) {
+                        matched = Some(*p);
+                        break;
+                    }
+                }
+                match matched {
+                    Some(p) => {
+                        out.push(Spanned { tok: Tok::Punct(p), line });
+                        i += p.len();
+                    }
+                    None => {
+                        return Err(LexError {
+                            line,
+                            message: format!("unexpected character `{c}`"),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("fn foo"),
+            vec![Tok::Kw(Kw::Fn), Tok::Ident("foo".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42), Tok::Eof]);
+        assert_eq!(toks("0x1f"), vec![Tok::Int(31), Tok::Eof]);
+        assert_eq!(toks("1.5"), vec![Tok::Real(1.5), Tok::Eof]);
+        assert_eq!(toks("2e3"), vec![Tok::Real(2000.0), Tok::Eof]);
+    }
+
+    #[test]
+    fn bare_dot_is_an_error() {
+        // A dot only appears inside a real literal (digit on both sides).
+        assert!(lex("1 . 2").is_err());
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            toks("a <= b << 2"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<<"),
+                Tok::Int(2),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_counted() {
+        let ts = lex("a // comment\nb").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn unknown_char_is_error() {
+        assert!(lex("a @ b").is_err());
+    }
+}

@@ -1,0 +1,120 @@
+#![warn(missing_docs)]
+
+//! # Kern compiler — one source, three instruction sets
+//!
+//! The paper's compiler (Fig. 10) shares the front end and instruction
+//! selection across RISC-V, STRAIGHT, and Clockhands and differs only in
+//! the register-assignment phase. This crate mirrors that structure for
+//! **Kern**, a C-like kernel language:
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] — the shared front end,
+//! * [`lower`] — typed lowering to a CFG IR ([`ir`]),
+//! * [`passes`] — target-independent clean-up,
+//! * [`cfg`] — liveness and loop analyses used by all backends,
+//! * [`backend`] — the three register-assignment strategies:
+//!   * `riscv`: linear-scan allocation onto 31+32 logical registers,
+//!   * `straight`: edge-relay distance fixing with a single ring and the
+//!     `SPADDi` special stack pointer,
+//!   * `clockhands`: hand assignment (Section 6.2) followed by per-hand
+//!     distance fixing.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ch_compiler::compile;
+//!
+//! let src = "fn main() -> int {
+//!     var s: int = 0;
+//!     for (var i: int = 1; i <= 10; i += 1) { s += i; }
+//!     return s;
+//! }";
+//! let out = compile(src)?;
+//! // The same program, three ways.
+//! assert!(!out.riscv.is_empty() && !out.straight.is_empty() && !out.clockhands.is_empty());
+//! # Ok::<(), ch_compiler::CompileError>(())
+//! ```
+
+pub mod ast;
+pub mod backend;
+pub mod cfg;
+pub mod ir;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod passes;
+
+use ch_baselines::riscv::RvProgram;
+use ch_baselines::straight::StProgram;
+use clockhands::Program as ChProgram;
+
+/// Any error produced along the compilation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Front-end (lex/parse) failure.
+    Parse(parser::ParseError),
+    /// Type/lowering failure.
+    Lower(lower::LowerError),
+    /// Back-end failure (e.g. an unsatisfiable distance constraint).
+    Backend(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Lower(e) => write!(f, "lowering error: {e}"),
+            CompileError::Backend(e) => write!(f, "backend error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<parser::ParseError> for CompileError {
+    fn from(e: parser::ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<lower::LowerError> for CompileError {
+    fn from(e: lower::LowerError) -> Self {
+        CompileError::Lower(e)
+    }
+}
+
+/// The same Kern program compiled for all three ISAs.
+#[derive(Debug, Clone)]
+pub struct CompiledSet {
+    /// RISC-V-like binary.
+    pub riscv: RvProgram,
+    /// STRAIGHT binary.
+    pub straight: StProgram,
+    /// Clockhands binary.
+    pub clockhands: ChProgram,
+}
+
+/// Builds the optimised IR module for a source text.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on front-end or lowering failure.
+pub fn build_ir(src: &str) -> Result<ir::Module, CompileError> {
+    let unit = parser::parse(src)?;
+    let mut module = lower::lower(&unit)?;
+    passes::optimize(&mut module);
+    Ok(module)
+}
+
+/// Compiles a Kern source for all three ISAs.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for front-end, lowering, or backend failures.
+pub fn compile(src: &str) -> Result<CompiledSet, CompileError> {
+    let module = build_ir(src)?;
+    Ok(CompiledSet {
+        riscv: backend::riscv::compile(&module).map_err(CompileError::Backend)?,
+        straight: backend::straight::compile(&module).map_err(CompileError::Backend)?,
+        clockhands: backend::clockhands::compile(&module).map_err(CompileError::Backend)?,
+    })
+}

@@ -1,0 +1,349 @@
+//! IR clean-up passes: unreachable-block pruning, dead-code elimination,
+//! local constant folding, and loop-invariant constant hoisting.
+
+use crate::cfg::{loop_info, reachable};
+use crate::ir::{Block, Function, Ins, Module, Term, VReg};
+use std::collections::{HashMap, HashSet};
+
+/// Runs the standard pass pipeline on every function.
+pub fn optimize(module: &mut Module) {
+    for f in &mut module.funcs {
+        prune_unreachable(f);
+        merge_straightline(f);
+        fold_constants(f);
+        hoist_constants(f);
+        fold_constants(f);
+        eliminate_dead_code(f);
+    }
+}
+
+/// Merges `B → S` when `B` ends in an unconditional jump to `S` and `S`
+/// has no other predecessor. Fewer blocks mean fewer edge-relay points
+/// for the distance backends and fewer jumps for everyone.
+pub fn merge_straightline(f: &mut Function) {
+    loop {
+        let preds = f.predecessors();
+        let mut merged = false;
+        for b in 0..f.blocks.len() {
+            let s = match f.blocks[b].term {
+                Term::Jump(s) => s,
+                _ => continue,
+            };
+            if s == b || s == 0 || preds[s].len() != 1 {
+                continue;
+            }
+            let succ = std::mem::replace(
+                &mut f.blocks[s],
+                Block { insts: Vec::new(), term: Term::Jump(s) },
+            );
+            f.blocks[b].insts.extend(succ.insts);
+            f.blocks[b].term = succ.term;
+            merged = true;
+            break;
+        }
+        if !merged {
+            break;
+        }
+    }
+    prune_unreachable(f);
+}
+
+/// Hoists constants (`Const`, `FConst`, `GlobalAddr`, `FrameAddr`) that
+/// are rematerialised inside loops up to the entry block, deduplicating
+/// equal values into one canonical vreg.
+///
+/// This is what makes the three backends comparable the way the paper
+/// intends: RISC keeps the hoisted constant in a register across the loop
+/// (Fig. 1(b) holds `N` in `a1`), STRAIGHT must relay it every iteration
+/// (Fig. 2(a)), and Clockhands parks it in the `v` hand for free.
+pub fn hoist_constants(f: &mut Function) {
+    let loops = loop_info(f);
+    // Key identifying a constant-producing instruction.
+    #[derive(PartialEq, Eq, Hash, Clone, Copy)]
+    enum Key {
+        Int(i64),
+        Real(u64),
+        Global(usize),
+        Frame(usize),
+    }
+    fn key_of(ins: &Ins) -> Option<(Key, VReg)> {
+        match *ins {
+            Ins::Const { dst, val } => Some((Key::Int(val), dst)),
+            Ins::FConst { dst, val } => Some((Key::Real(val.to_bits()), dst)),
+            Ins::GlobalAddr { dst, id } => Some((Key::Global(id), dst)),
+            Ins::FrameAddr { dst, slot } => Some((Key::Frame(slot), dst)),
+            _ => None,
+        }
+    }
+    // Definition counts (only single-def dsts can be safely rewritten).
+    let mut defs: HashMap<VReg, u32> = HashMap::new();
+    for b in &f.blocks {
+        for ins in &b.insts {
+            if let Some(d) = ins.dst() {
+                *defs.entry(d).or_default() += 1;
+            }
+        }
+    }
+    // Candidate keys: constants defined (single-def) inside a loop.
+    let mut canon: HashMap<Key, VReg> = HashMap::new();
+    let mut rewrites: HashMap<VReg, Key> = HashMap::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        if loops.depth[bi] == 0 {
+            continue;
+        }
+        for ins in &b.insts {
+            if let Some((key, dst)) = key_of(ins) {
+                if defs.get(&dst) == Some(&1) {
+                    canon.entry(key).or_insert(u32::MAX);
+                    rewrites.insert(dst, key);
+                }
+            }
+        }
+    }
+    if rewrites.is_empty() {
+        return;
+    }
+    // Allocate canonical vregs and prepend their defs to the entry block.
+    let mut entry_defs = Vec::new();
+    let mut keys: Vec<Key> = canon.keys().copied().collect();
+    keys.sort_by_key(|k| match *k {
+        Key::Int(v) => (0u8, v as u64),
+        Key::Real(b) => (1, b),
+        Key::Global(i) => (2, i as u64),
+        Key::Frame(s) => (3, s as u64),
+    });
+    for key in keys {
+        let ty = match key {
+            Key::Real(_) => crate::ast::Ty::Real,
+            _ => crate::ast::Ty::Int,
+        };
+        let nv = f.new_vreg(ty);
+        canon.insert(key, nv);
+        entry_defs.push(match key {
+            Key::Int(v) => Ins::Const { dst: nv, val: v },
+            Key::Real(b) => Ins::FConst { dst: nv, val: f64::from_bits(b) },
+            Key::Global(id) => Ins::GlobalAddr { dst: nv, id },
+            Key::Frame(slot) => Ins::FrameAddr { dst: nv, slot },
+        });
+    }
+    for (i, d) in entry_defs.into_iter().enumerate() {
+        f.blocks[0].insts.insert(i, d);
+    }
+    // Rewrite: drop the in-loop defs, redirect uses to the canonical vreg.
+    let subst = |v: VReg| -> VReg {
+        match rewrites.get(&v) {
+            Some(k) => canon[k],
+            None => v,
+        }
+    };
+    for b in &mut f.blocks {
+        b.insts.retain(|ins| match key_of(ins) {
+            Some((_, dst)) => !rewrites.contains_key(&dst),
+            None => true,
+        });
+        for ins in &mut b.insts {
+            match ins {
+                Ins::Bin { a, b, .. } => {
+                    *a = subst(*a);
+                    *b = subst(*b);
+                }
+                Ins::BinImm { a, .. } => *a = subst(*a),
+                Ins::Load { addr, .. } => *addr = subst(*addr),
+                Ins::Store { val, addr, .. } => {
+                    *val = subst(*val);
+                    *addr = subst(*addr);
+                }
+                Ins::Call { args, .. } => {
+                    for a in args {
+                        *a = subst(*a);
+                    }
+                }
+                Ins::Copy { src, .. } => *src = subst(*src),
+                _ => {}
+            }
+        }
+        match &mut b.term {
+            Term::CondBr { a, b: rb, .. } => {
+                *a = subst(*a);
+                *rb = subst(*rb);
+            }
+            Term::Ret(Some(v)) => *v = subst(*v),
+            _ => {}
+        }
+    }
+}
+
+/// Removes unreachable blocks (remapping block ids).
+pub fn prune_unreachable(f: &mut Function) {
+    let keep = reachable(f);
+    if keep.iter().all(|&k| k) {
+        return;
+    }
+    let mut remap: Vec<Option<usize>> = Vec::with_capacity(f.blocks.len());
+    let mut next = 0usize;
+    for &k in &keep {
+        remap.push(if k {
+            next += 1;
+            Some(next - 1)
+        } else {
+            None
+        });
+    }
+    let mut blocks = Vec::with_capacity(next);
+    for (i, b) in std::mem::take(&mut f.blocks).into_iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        let mut b = b;
+        b.term = match b.term {
+            Term::Jump(t) => Term::Jump(remap[t].expect("target reachable")),
+            Term::CondBr { cond, a, b: rb, then_, else_ } => Term::CondBr {
+                cond,
+                a,
+                b: rb,
+                then_: remap[then_].expect("target reachable"),
+                else_: remap[else_].expect("target reachable"),
+            },
+            Term::Ret(v) => Term::Ret(v),
+        };
+        blocks.push(b);
+    }
+    f.blocks = blocks;
+}
+
+/// Removes instructions whose destination is never read anywhere and that
+/// have no side effects. Iterates to a fixed point (removing one dead
+/// instruction can make its operands dead too).
+pub fn eliminate_dead_code(f: &mut Function) {
+    loop {
+        let mut used: HashSet<VReg> = HashSet::new();
+        for b in &f.blocks {
+            for ins in &b.insts {
+                used.extend(ins.srcs());
+            }
+            used.extend(b.term.srcs());
+        }
+        // Multi-definition vregs: a def is only dead if *no* use exists at
+        // all (conservative but sound without SSA).
+        let mut removed = false;
+        for b in &mut f.blocks {
+            let before = b.insts.len();
+            b.insts.retain(|ins| {
+                ins.has_side_effects()
+                    || match ins.dst() {
+                        Some(d) => used.contains(&d),
+                        None => true,
+                    }
+            });
+            removed |= b.insts.len() != before;
+        }
+        if !removed {
+            break;
+        }
+    }
+}
+
+/// Local constant folding: within each block, tracks vregs holding known
+/// integer constants (killed at redefinition) and folds `Bin`/`BinImm`
+/// over them. Folding is local-only because vregs are not SSA.
+pub fn fold_constants(f: &mut Function) {
+    for b in &mut f.blocks {
+        let mut known: HashMap<VReg, i64> = HashMap::new();
+        for ins in &mut b.insts {
+            let folded: Option<(VReg, i64)> = match ins {
+                Ins::Const { dst, val } => Some((*dst, *val)),
+                Ins::Bin { op, dst, a, b } if !op.is_fp() => {
+                    match (known.get(a), known.get(b)) {
+                        (Some(&x), Some(&y)) => {
+                            let v = op.eval(x as u64, y as u64) as i64;
+                            Some((*dst, v))
+                        }
+                        _ => None,
+                    }
+                }
+                Ins::BinImm { op, dst, a, imm } if !op.is_fp() => match known.get(a) {
+                    Some(&x) => {
+                        let v = op.eval(x as u64, *imm as i64 as u64) as i64;
+                        Some((*dst, v))
+                    }
+                    None => None,
+                },
+                _ => None,
+            };
+            match folded {
+                Some((dst, val)) => {
+                    *ins = Ins::Const { dst, val };
+                    known.insert(dst, val);
+                }
+                None => {
+                    if let Some(d) = ins.dst() {
+                        known.remove(&d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parser::parse;
+
+    fn func_opt(src: &str) -> Function {
+        let mut m = lower(&parse(src).unwrap()).unwrap();
+        optimize(&mut m);
+        m.funcs.remove(0)
+    }
+
+    #[test]
+    fn unreachable_blocks_pruned() {
+        let f = func_opt("fn main() -> int { return 1; var x: int = 2; return x; }");
+        // Dead code after return is gone; the function is a single block.
+        assert_eq!(f.blocks.len(), 1);
+    }
+
+    #[test]
+    fn dead_instructions_removed() {
+        let f = func_opt(
+            "fn main() -> int {
+                 var unused: int = 42;
+                 var a: int = 7;
+                 return a;
+             }",
+        );
+        let n: usize = f.blocks.iter().map(|b| b.insts.len()).sum();
+        // Only `a = 7` should survive.
+        assert_eq!(n, 1, "got {:?}", f.blocks);
+    }
+
+    #[test]
+    fn constants_folded_locally() {
+        let f = func_opt("fn main() -> int { var a: int = 2 * 3 + 4; return a; }");
+        let consts: Vec<i64> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter_map(|i| match i {
+                Ins::Const { val, .. } => Some(*val),
+                _ => None,
+            })
+            .collect();
+        assert!(consts.contains(&10), "2*3+4 folds to 10: {consts:?}");
+    }
+
+    #[test]
+    fn stores_and_calls_survive_dce() {
+        let f = func_opt(
+            "global g: int;
+             fn main() -> int { g = 5; return 0; }",
+        );
+        let has_store = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i, Ins::Store { .. }));
+        assert!(has_store);
+    }
+}

@@ -1,0 +1,551 @@
+//! Textual assembler and disassembler for Clockhands.
+//!
+//! The syntax follows the paper's listings (Fig. 1(d), Fig. 6):
+//!
+//! ```text
+//! .loop:
+//!     sw    v[0], 0(t[1])
+//!     addi  t, t[1], 4
+//!     addi  t, t[1], 1
+//!     bne   t[0], v[1], .loop
+//! ```
+//!
+//! Destinations are hand names (`t`, `u`, `v`, `s`); sources are
+//! `hand[distance]` or `zero`; `#` starts a comment; labels end with `:`.
+//! A `.data <addr> <u64>...` directive seeds the initial memory image.
+
+use crate::hand::Hand;
+use crate::inst::{Inst, Src};
+use crate::program::Program;
+use ch_common::exec::{AluOp, BrCond, LoadOp, StoreOp};
+use std::collections::BTreeMap;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, message: message.into() })
+}
+
+fn parse_src(tok: &str, line: usize) -> Result<Src, AsmError> {
+    if tok == "zero" {
+        return Ok(Src::Zero);
+    }
+    let (hand, rest) = tok.split_at(1);
+    let hand = match Hand::parse(hand) {
+        Some(h) => h,
+        None => return err(line, format!("unknown source operand `{tok}`")),
+    };
+    let rest = rest.trim();
+    if !rest.starts_with('[') || !rest.ends_with(']') {
+        return err(line, format!("source `{tok}` must look like {hand}[k] or zero"));
+    }
+    let d: u8 = match rest[1..rest.len() - 1].parse() {
+        Ok(d) => d,
+        Err(_) => return err(line, format!("bad distance in `{tok}`")),
+    };
+    Ok(Src::Hand(hand, d))
+}
+
+fn parse_dst(tok: &str, line: usize) -> Result<Hand, AsmError> {
+    match Hand::parse(tok) {
+        Some(h) => Ok(h),
+        None => err(line, format!("unknown destination hand `{tok}`")),
+    }
+}
+
+fn parse_imm<T: TryFrom<i64>>(tok: &str, line: usize) -> Result<T, AsmError> {
+    let v = if let Some(hex) = tok.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| ())
+    } else if let Some(hex) = tok.strip_prefix("-0x") {
+        i64::from_str_radix(hex, 16).map(|v| -v).map_err(|_| ())
+    } else {
+        tok.parse::<i64>().map_err(|_| ())
+    };
+    match v.ok().and_then(|v| T::try_from(v).ok()) {
+        Some(v) => Ok(v),
+        None => err(line, format!("bad immediate `{tok}`")),
+    }
+}
+
+/// Splits `off(base)` into (offset, base src).
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i32, Src), AsmError> {
+    let open = match tok.find('(') {
+        Some(i) => i,
+        None => return err(line, format!("expected off(base), got `{tok}`")),
+    };
+    if !tok.ends_with(')') {
+        return err(line, format!("expected off(base), got `{tok}`"));
+    }
+    let off: i32 = if tok[..open].is_empty() {
+        0
+    } else {
+        parse_imm(&tok[..open], line)?
+    };
+    let base = parse_src(&tok[open + 1..tok.len() - 1], line)?;
+    Ok((off, base))
+}
+
+fn alu_op(m: &str) -> Option<AluOp> {
+    use AluOp::*;
+    Some(match m {
+        "add" => Add,
+        "sub" => Sub,
+        "sll" => Sll,
+        "slt" => Slt,
+        "sltu" => Sltu,
+        "xor" => Xor,
+        "srl" => Srl,
+        "sra" => Sra,
+        "or" => Or,
+        "and" => And,
+        "addw" => Addw,
+        "subw" => Subw,
+        "sllw" => Sllw,
+        "srlw" => Srlw,
+        "sraw" => Sraw,
+        "mul" => Mul,
+        "div" => Div,
+        "divu" => Divu,
+        "rem" => Rem,
+        "remu" => Remu,
+        "mulw" => Mulw,
+        "divw" => Divw,
+        "remw" => Remw,
+        "fadd" => Fadd,
+        "fsub" => Fsub,
+        "fmul" => Fmul,
+        "fdiv" => Fdiv,
+        "fmin" => Fmin,
+        "fmax" => Fmax,
+        "feq" => Feq,
+        "flt" => Flt,
+        "fle" => Fle,
+        "fcvt.d.l" => Fcvtdl,
+        "fcvt.l.d" => Fcvtld,
+        "fmv.d.x" => Fmvdx,
+        _ => return None,
+    })
+}
+
+fn alu_imm_op(m: &str) -> Option<AluOp> {
+    use AluOp::*;
+    Some(match m {
+        "addi" => Add,
+        "slti" => Slt,
+        "sltiu" => Sltu,
+        "xori" => Xor,
+        "ori" => Or,
+        "andi" => And,
+        "slli" => Sll,
+        "srli" => Srl,
+        "srai" => Sra,
+        "addiw" => Addw,
+        "slliw" => Sllw,
+        "srliw" => Srlw,
+        "sraiw" => Sraw,
+        _ => return None,
+    })
+}
+
+fn load_op(m: &str) -> Option<LoadOp> {
+    Some(match m {
+        "lb" => LoadOp::Lb,
+        "lh" => LoadOp::Lh,
+        "lw" => LoadOp::Lw,
+        "ld" => LoadOp::Ld,
+        "lbu" => LoadOp::Lbu,
+        "lhu" => LoadOp::Lhu,
+        "lwu" => LoadOp::Lwu,
+        _ => return None,
+    })
+}
+
+fn store_op(m: &str) -> Option<StoreOp> {
+    Some(match m {
+        "sb" => StoreOp::Sb,
+        "sh" => StoreOp::Sh,
+        "sw" => StoreOp::Sw,
+        "sd" => StoreOp::Sd,
+        _ => return None,
+    })
+}
+
+fn br_cond(m: &str) -> Option<BrCond> {
+    Some(match m {
+        "beq" => BrCond::Eq,
+        "bne" => BrCond::Ne,
+        "blt" => BrCond::Lt,
+        "bge" => BrCond::Ge,
+        "bltu" => BrCond::Ltu,
+        "bgeu" => BrCond::Geu,
+        _ => return None,
+    })
+}
+
+enum PendingTarget {
+    None,
+    Label(String),
+}
+
+/// Assembles Clockhands source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] naming the offending line for syntax errors,
+/// unknown mnemonics or operands, and undefined labels.
+///
+/// # Examples
+///
+/// ```
+/// use clockhands::asm::assemble;
+///
+/// let p = assemble("li t, 42\nhalt t[0]")?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), clockhands::asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut prog = Program::new();
+    let mut labels: BTreeMap<String, u32> = BTreeMap::new();
+    let mut pending: Vec<(usize, usize, String)> = Vec::new(); // (inst idx, line, label)
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(i) = text.find('#') {
+            text = &text[..i];
+        }
+        let mut text = text.trim();
+        // Leading labels, possibly several, possibly followed by an inst.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(label.to_string(), prog.insts.len() as u32).is_some() {
+                return err(line, format!("duplicate label `{label}`"));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        // Directives.
+        if let Some(rest) = text.strip_prefix(".data") {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.is_empty() {
+                return err(line, ".data needs an address");
+            }
+            let addr: i64 = parse_imm(toks[0], line)?;
+            let mut bytes = Vec::new();
+            for t in &toks[1..] {
+                let v: i64 = parse_imm(t, line)?;
+                bytes.extend_from_slice(&(v as u64).to_le_bytes());
+            }
+            prog.data.push((addr as u64, bytes));
+            continue;
+        }
+        // Mnemonic + comma-separated operands.
+        let (mnem, ops_text) = match text.find(char::is_whitespace) {
+            Some(i) => (&text[..i], text[i..].trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<String> = if ops_text.is_empty() {
+            Vec::new()
+        } else {
+            ops_text.split(',').map(|s| s.trim().to_string()).collect()
+        };
+        let need = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                err(line, format!("`{mnem}` expects {n} operands, got {}", ops.len()))
+            }
+        };
+
+        let mut target = PendingTarget::None;
+        let inst = if let Some(op) = alu_op(mnem) {
+            need(3)?;
+            Inst::Alu {
+                op,
+                dst: parse_dst(&ops[0], line)?,
+                src1: parse_src(&ops[1], line)?,
+                src2: parse_src(&ops[2], line)?,
+            }
+        } else if let Some(op) = alu_imm_op(mnem) {
+            need(3)?;
+            Inst::AluImm {
+                op,
+                dst: parse_dst(&ops[0], line)?,
+                src1: parse_src(&ops[1], line)?,
+                imm: parse_imm(&ops[2], line)?,
+            }
+        } else if let Some(op) = load_op(mnem) {
+            need(2)?;
+            let (offset, base) = parse_mem_operand(&ops[1], line)?;
+            Inst::Load { op, dst: parse_dst(&ops[0], line)?, base, offset }
+        } else if let Some(op) = store_op(mnem) {
+            need(2)?;
+            let (offset, base) = parse_mem_operand(&ops[1], line)?;
+            Inst::Store { op, value: parse_src(&ops[0], line)?, base, offset }
+        } else if let Some(cond) = br_cond(mnem) {
+            need(3)?;
+            target = PendingTarget::Label(ops[2].clone());
+            Inst::Branch {
+                cond,
+                src1: parse_src(&ops[0], line)?,
+                src2: parse_src(&ops[1], line)?,
+                target: 0,
+            }
+        } else {
+            match mnem {
+                "li" => {
+                    need(2)?;
+                    Inst::Li { dst: parse_dst(&ops[0], line)?, imm: parse_imm(&ops[1], line)? }
+                }
+                "mv" => {
+                    need(2)?;
+                    Inst::Mv { dst: parse_dst(&ops[0], line)?, src: parse_src(&ops[1], line)? }
+                }
+                "j" => {
+                    need(1)?;
+                    target = PendingTarget::Label(ops[0].clone());
+                    Inst::Jump { target: 0 }
+                }
+                "call" => {
+                    need(2)?;
+                    target = PendingTarget::Label(ops[1].clone());
+                    Inst::Call { dst: parse_dst(&ops[0], line)?, target: 0 }
+                }
+                "jalr" => {
+                    need(2)?;
+                    Inst::CallReg {
+                        dst: parse_dst(&ops[0], line)?,
+                        src: parse_src(&ops[1], line)?,
+                    }
+                }
+                "jr" | "ret" => {
+                    need(1)?;
+                    Inst::JumpReg { src: parse_src(&ops[0], line)? }
+                }
+                "nop" => {
+                    need(0)?;
+                    Inst::Nop
+                }
+                "halt" => {
+                    need(1)?;
+                    Inst::Halt { src: parse_src(&ops[0], line)? }
+                }
+                _ => return err(line, format!("unknown mnemonic `{mnem}`")),
+            }
+        };
+        if let PendingTarget::Label(l) = target {
+            pending.push((prog.insts.len(), line, l));
+        }
+        prog.insts.push(inst);
+    }
+
+    for (idx, line, label) in pending {
+        let t = match labels.get(&label) {
+            Some(&t) => t,
+            None => return err(line, format!("undefined label `{label}`")),
+        };
+        match &mut prog.insts[idx] {
+            Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target, .. } => {
+                *target = t;
+            }
+            _ => unreachable!("pending target on non-branch"),
+        }
+    }
+    prog.labels = labels;
+    Ok(prog)
+}
+
+fn fmt_target(prog: &Program, target: u32) -> String {
+    for (name, &idx) in &prog.labels {
+        if idx == target {
+            return name.clone();
+        }
+    }
+    format!("@{target}")
+}
+
+/// Disassembles a program back to source text (labels preserved when the
+/// program carries them; synthetic `@index` targets otherwise).
+pub fn disassemble(prog: &Program) -> String {
+    let mut by_index: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+    for (name, &idx) in &prog.labels {
+        by_index.entry(idx).or_default().push(name);
+    }
+    let mut out = String::new();
+    for (base, words) in &prog.data {
+        out.push_str(&format!(".data 0x{base:x}"));
+        for chunk in words.chunks(8) {
+            let mut v = [0u8; 8];
+            v[..chunk.len()].copy_from_slice(chunk);
+            out.push_str(&format!(" {}", u64::from_le_bytes(v) as i64));
+        }
+        out.push('\n');
+    }
+    for (i, inst) in prog.insts.iter().enumerate() {
+        if let Some(names) = by_index.get(&(i as u32)) {
+            for n in names {
+                out.push_str(&format!("{n}:\n"));
+            }
+        }
+        out.push_str("    ");
+        out.push_str(&fmt_inst(prog, inst));
+        out.push('\n');
+    }
+    out
+}
+
+fn fmt_inst(prog: &Program, inst: &Inst) -> String {
+    match *inst {
+        Inst::Alu { op, dst, src1, src2 } => {
+            format!("{} {dst}, {src1}, {src2}", op.mnemonic())
+        }
+        Inst::AluImm { op, dst, src1, imm } => {
+            let m = match op {
+                AluOp::Add => "addi",
+                AluOp::Slt => "slti",
+                AluOp::Sltu => "sltiu",
+                AluOp::Xor => "xori",
+                AluOp::Or => "ori",
+                AluOp::And => "andi",
+                AluOp::Sll => "slli",
+                AluOp::Srl => "srli",
+                AluOp::Sra => "srai",
+                AluOp::Addw => "addiw",
+                AluOp::Sllw => "slliw",
+                AluOp::Srlw => "srliw",
+                AluOp::Sraw => "sraiw",
+                other => return format!("{} {dst}, {src1}, {imm} ; imm", other.mnemonic()),
+            };
+            format!("{m} {dst}, {src1}, {imm}")
+        }
+        Inst::Li { dst, imm } => format!("li {dst}, {imm}"),
+        Inst::Load { op, dst, base, offset } => {
+            format!("{} {dst}, {offset}({base})", op.mnemonic())
+        }
+        Inst::Store { op, value, base, offset } => {
+            format!("{} {value}, {offset}({base})", op.mnemonic())
+        }
+        Inst::Branch { cond, src1, src2, target } => {
+            format!("{} {src1}, {src2}, {}", cond.mnemonic(), fmt_target(prog, target))
+        }
+        Inst::Jump { target } => format!("j {}", fmt_target(prog, target)),
+        Inst::Call { dst, target } => format!("call {dst}, {}", fmt_target(prog, target)),
+        Inst::CallReg { dst, src } => format!("jalr {dst}, {src}"),
+        Inst::JumpReg { src } => format!("jr {src}"),
+        Inst::Mv { dst, src } => format!("mv {dst}, {src}"),
+        Inst::Nop => "nop".to_string(),
+        Inst::Halt { src } => format!("halt {src}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_paper_iota() {
+        // Fig. 1(d), adapted to explicit syntax.
+        let p = assemble(
+            "iota:
+                 ble_stub:
+                 li t, 0
+             .L3:
+                 sw t[0], 0(s[1])
+                 addiw t, t[0], 1
+                 addi s, s[1], 4
+                 bne t[0], s[2], .L3
+                 jr s[0]",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.labels[".L3"], 1);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = assemble("li t, 1\nbogus t, 2").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let e = assemble("j .nowhere").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let e = assemble(".a:\nnop\n.a:\nnop").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        let e = assemble("add t, t[0]").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn mem_operand_forms() {
+        let p = assemble("ld t, 8(s[0])\nsd t[0], (s[0])\nhalt t[0]").unwrap();
+        assert!(matches!(p.insts[0], Inst::Load { offset: 8, .. }));
+        assert!(matches!(p.insts[1], Inst::Store { offset: 0, .. }));
+    }
+
+    #[test]
+    fn data_directive() {
+        let p = assemble(".data 0x2000 1 -2 3\nhalt s[0]").unwrap();
+        assert_eq!(p.data.len(), 1);
+        assert_eq!(p.data[0].0, 0x2000);
+        assert_eq!(p.data[0].1.len(), 24);
+    }
+
+    #[test]
+    fn disassemble_roundtrip() {
+        let src = "start:
+    li t, 100
+.loop:
+    addi t, t[0], -1
+    sw t[0], 0(s[0])
+    bne t[0], zero, .loop
+    fadd u, t[0], t[0]
+    call s, start
+    jalr s, u[0]
+    jr s[0]
+    nop
+    halt t[0]";
+        let p1 = assemble(src).unwrap();
+        let text = disassemble(&p1);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p1.insts, p2.insts);
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = assemble("li t, 0x10\nli t, -0x10\nhalt t[0]").unwrap();
+        assert_eq!(p.insts[0], Inst::Li { dst: Hand::T, imm: 16 });
+        assert_eq!(p.insts[1], Inst::Li { dst: Hand::T, imm: -16 });
+    }
+}

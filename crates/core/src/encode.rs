@@ -1,0 +1,447 @@
+//! 32-bit binary instruction encoding.
+//!
+//! Fig. 5 of the paper keeps `opcode`/`funct` identical to RISC-V and
+//! replaces the three 5-bit register fields with hand/distance fields:
+//! a 2-bit destination hand and two 6-bit sources (2-bit hand + 4-bit
+//! distance), 14 operand bits in total against RISC's 15.
+//!
+//! Concrete layout used here (low bit first):
+//!
+//! ```text
+//! [6:0]   opcode        [8:7]  dst-hand     [11:9] funct3
+//! [17:12] src1 (hand<<4 | dist)
+//! [23:18] src2 (hand<<4 | dist)            R-type: [31:24] funct8
+//! I-type (no src2):       [31:18] imm14 (signed)
+//! S/B-type (no dst-hand): [31:24]++[8:7] imm10 (signed)
+//! J-type (call):          [31:9]  imm23 (signed, instruction words)
+//! ```
+//!
+//! The `zero` register is encoded as `s[15]` (`0b11_1111`), which is why
+//! the `s` hand has only 15 addressable registers (Section 4.5).
+
+use crate::hand::Hand;
+use crate::inst::{Inst, Src};
+use ch_common::exec::{AluOp, BrCond, LoadOp, StoreOp};
+
+/// Major opcodes (7 bits), loosely mirroring RV64G groupings.
+mod opc {
+    pub const ALU: u32 = 0b011_0011; // R-type integer / FP (funct8 selects)
+    pub const ALU_IMM: u32 = 0b001_0011;
+    pub const LOAD: u32 = 0b000_0011;
+    pub const STORE: u32 = 0b010_0011;
+    pub const BRANCH: u32 = 0b110_0011;
+    pub const JAL: u32 = 0b110_1111;
+    pub const JALR: u32 = 0b110_0111;
+    pub const LI: u32 = 0b011_0111;
+    pub const SYS: u32 = 0b111_0011; // nop / halt / jr / mv
+}
+
+/// An encoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate does not fit its field.
+    ImmRange {
+        /// The value that did not fit.
+        value: i64,
+        /// Field width in bits.
+        bits: u32,
+    },
+    /// A source distance is not encodable in 6 bits.
+    BadSrc,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::ImmRange { value, bits } => {
+                write!(f, "immediate {value} does not fit in {bits} bits")
+            }
+            EncodeError::BadSrc => f.write_str("source distance not encodable"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// A decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn src_bits(src: Src) -> Result<u32, EncodeError> {
+    match src {
+        Src::Zero => Ok(0b11_1111),
+        Src::Hand(h, d) => {
+            if !src.is_encodable() {
+                return Err(EncodeError::BadSrc);
+            }
+            Ok(((h.index() as u32) << 4) | d as u32)
+        }
+    }
+}
+
+fn src_from_bits(b: u32) -> Src {
+    if b == 0b11_1111 {
+        Src::Zero
+    } else {
+        Src::Hand(Hand::from_index((b >> 4) as usize), (b & 0xf) as u8)
+    }
+}
+
+fn check_imm(value: i64, bits: u32) -> Result<u32, EncodeError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if value < min || value > max {
+        return Err(EncodeError::ImmRange { value, bits });
+    }
+    Ok((value as u64 as u32) & ((1u32 << bits) - 1))
+}
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn alu_funct(op: AluOp) -> (u32, u32) {
+    // (funct3, funct8) — dense table; funct8 distinguishes FP/M ops.
+    use AluOp::*;
+    let idx = match op {
+        Add => 0,
+        Sub => 1,
+        Sll => 2,
+        Slt => 3,
+        Sltu => 4,
+        Xor => 5,
+        Srl => 6,
+        Sra => 7,
+        Or => 8,
+        And => 9,
+        Addw => 10,
+        Subw => 11,
+        Sllw => 12,
+        Srlw => 13,
+        Sraw => 14,
+        Mul => 15,
+        Div => 16,
+        Divu => 17,
+        Rem => 18,
+        Remu => 19,
+        Mulw => 20,
+        Divw => 21,
+        Remw => 22,
+        Fadd => 23,
+        Fsub => 24,
+        Fmul => 25,
+        Fdiv => 26,
+        Fmin => 27,
+        Fmax => 28,
+        Feq => 29,
+        Flt => 30,
+        Fle => 31,
+        Fcvtdl => 32,
+        Fcvtld => 33,
+        Fmvdx => 34,
+    };
+    (idx & 7, idx >> 3)
+}
+
+fn alu_from_funct(funct3: u32, funct8: u32) -> Option<AluOp> {
+    use AluOp::*;
+    const TABLE: [AluOp; 35] = [
+        Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And, Addw, Subw, Sllw, Srlw, Sraw, Mul, Div,
+        Divu, Rem, Remu, Mulw, Divw, Remw, Fadd, Fsub, Fmul, Fdiv, Fmin, Fmax, Feq, Flt, Fle,
+        Fcvtdl, Fcvtld, Fmvdx,
+    ];
+    TABLE.get(((funct8 << 3) | funct3) as usize).copied()
+}
+
+fn load_funct(op: LoadOp) -> u32 {
+    match op {
+        LoadOp::Lb => 0,
+        LoadOp::Lh => 1,
+        LoadOp::Lw => 2,
+        LoadOp::Ld => 3,
+        LoadOp::Lbu => 4,
+        LoadOp::Lhu => 5,
+        LoadOp::Lwu => 6,
+    }
+}
+
+fn load_from_funct(f: u32) -> Option<LoadOp> {
+    Some(match f {
+        0 => LoadOp::Lb,
+        1 => LoadOp::Lh,
+        2 => LoadOp::Lw,
+        3 => LoadOp::Ld,
+        4 => LoadOp::Lbu,
+        5 => LoadOp::Lhu,
+        6 => LoadOp::Lwu,
+        _ => return None,
+    })
+}
+
+fn store_funct(op: StoreOp) -> u32 {
+    match op {
+        StoreOp::Sb => 0,
+        StoreOp::Sh => 1,
+        StoreOp::Sw => 2,
+        StoreOp::Sd => 3,
+    }
+}
+
+fn store_from_funct(f: u32) -> Option<StoreOp> {
+    Some(match f {
+        0 => StoreOp::Sb,
+        1 => StoreOp::Sh,
+        2 => StoreOp::Sw,
+        3 => StoreOp::Sd,
+        _ => return None,
+    })
+}
+
+fn br_funct(c: BrCond) -> u32 {
+    match c {
+        BrCond::Eq => 0,
+        BrCond::Ne => 1,
+        BrCond::Lt => 2,
+        BrCond::Ge => 3,
+        BrCond::Ltu => 4,
+        BrCond::Geu => 5,
+    }
+}
+
+fn br_from_funct(f: u32) -> Option<BrCond> {
+    Some(match f {
+        0 => BrCond::Eq,
+        1 => BrCond::Ne,
+        2 => BrCond::Lt,
+        3 => BrCond::Ge,
+        4 => BrCond::Ltu,
+        5 => BrCond::Geu,
+        _ => return None,
+    })
+}
+
+/// Encodes one instruction located at instruction index `at` (branch and
+/// call targets are encoded PC-relative in instruction words).
+///
+/// # Errors
+///
+/// Returns [`EncodeError`] when an immediate or branch displacement does
+/// not fit its field, or a source distance is unencodable.
+pub fn encode(inst: &Inst, at: u32) -> Result<u32, EncodeError> {
+    let r = |h: Hand| (h.index() as u32) << 7;
+    Ok(match *inst {
+        Inst::Alu { op, dst, src1, src2 } => {
+            let (f3, f8) = alu_funct(op);
+            opc::ALU
+                | r(dst)
+                | (f3 << 9)
+                | (src_bits(src1)? << 12)
+                | (src_bits(src2)? << 18)
+                | (f8 << 24)
+        }
+        Inst::AluImm { op, dst, src1, imm } => {
+            let (f3, f8) = alu_funct(op);
+            debug_assert_eq!(f8, 0, "imm form only exists for base ALU ops");
+            opc::ALU_IMM
+                | r(dst)
+                | (f3 << 9)
+                | (src_bits(src1)? << 12)
+                | (check_imm(imm as i64, 14)? << 18)
+        }
+        Inst::Li { dst, imm } => opc::LI | r(dst) | (check_imm(imm, 23)? << 9),
+        Inst::Load { op, dst, base, offset } => {
+            opc::LOAD
+                | r(dst)
+                | (load_funct(op) << 9)
+                | (src_bits(base)? << 12)
+                | (check_imm(offset as i64, 14)? << 18)
+        }
+        Inst::Store { op, value, base, offset } => {
+            let imm = check_imm(offset as i64, 10)?;
+            opc::STORE
+                | ((imm & 3) << 7)
+                | (store_funct(op) << 9)
+                | (src_bits(base)? << 12)
+                | (src_bits(value)? << 18)
+                | ((imm >> 2) << 24)
+        }
+        Inst::Branch { cond, src1, src2, target } => {
+            let disp = target as i64 - at as i64;
+            let imm = check_imm(disp, 10)?;
+            opc::BRANCH
+                | ((imm & 3) << 7)
+                | (br_funct(cond) << 9)
+                | (src_bits(src1)? << 12)
+                | (src_bits(src2)? << 18)
+                | ((imm >> 2) << 24)
+        }
+        Inst::Jump { target } => {
+            // Bit 31 = 0 marks a plain jump; the displacement gets 22 bits.
+            let disp = target as i64 - at as i64;
+            opc::JAL | (0b11 << 7) | (check_imm(disp, 22)? << 9)
+        }
+        Inst::Call { dst, target } => {
+            // Bit 31 = 1 marks a call (JAL with a dst-hand).
+            let disp = target as i64 - at as i64;
+            opc::JAL | r(dst) | (check_imm(disp, 22)? << 9) | (1 << 31)
+        }
+        Inst::CallReg { dst, src } => {
+            opc::JALR | r(dst) | (0 << 9) | (src_bits(src)? << 12)
+        }
+        Inst::JumpReg { src } => opc::JALR | (1 << 9) | (src_bits(src)? << 12),
+        Inst::Mv { dst, src } => opc::SYS | r(dst) | (0 << 9) | (src_bits(src)? << 12),
+        Inst::Nop => opc::SYS | (1 << 9),
+        Inst::Halt { src } => opc::SYS | (2 << 9) | (src_bits(src)? << 12),
+    })
+}
+
+/// Decodes one instruction word located at instruction index `at`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unknown opcodes or funct values.
+pub fn decode(word: u32, at: u32) -> Result<Inst, DecodeError> {
+    let opcode = word & 0x7f;
+    let dst = Hand::from_index(((word >> 7) & 3) as usize);
+    let f3 = (word >> 9) & 7;
+    let src1 = src_from_bits((word >> 12) & 0x3f);
+    let src2 = src_from_bits((word >> 18) & 0x3f);
+    let bad = || DecodeError { word };
+    Ok(match opcode {
+        opc::ALU => {
+            let op = alu_from_funct(f3, (word >> 24) & 0xff).ok_or_else(bad)?;
+            Inst::Alu { op, dst, src1, src2 }
+        }
+        opc::ALU_IMM => {
+            let op = alu_from_funct(f3, 0).ok_or_else(bad)?;
+            Inst::AluImm { op, dst, src1, imm: sext(word >> 18, 14) }
+        }
+        opc::LI => Inst::Li { dst, imm: sext((word >> 9) & 0x7f_ffff, 23) as i64 },
+        opc::LOAD => {
+            let op = load_from_funct(f3).ok_or_else(bad)?;
+            Inst::Load { op, dst, base: src1, offset: sext(word >> 18, 14) }
+        }
+        opc::STORE => {
+            let op = store_from_funct(f3).ok_or_else(bad)?;
+            let imm = ((word >> 24) << 2) | ((word >> 7) & 3);
+            Inst::Store { op, value: src2, base: src1, offset: sext(imm, 10) }
+        }
+        opc::BRANCH => {
+            let cond = br_from_funct(f3).ok_or_else(bad)?;
+            let imm = ((word >> 24) << 2) | ((word >> 7) & 3);
+            let target = (at as i64 + sext(imm, 10) as i64) as u32;
+            Inst::Branch { cond, src1, src2, target }
+        }
+        opc::JAL => {
+            let disp = sext((word >> 9) & 0x3f_ffff, 22);
+            if word >> 31 == 1 {
+                Inst::Call { dst, target: (at as i64 + disp as i64) as u32 }
+            } else {
+                Inst::Jump { target: (at as i64 + disp as i64) as u32 }
+            }
+        }
+        opc::JALR => match f3 {
+            0 => Inst::CallReg { dst, src: src1 },
+            1 => Inst::JumpReg { src: src1 },
+            _ => return Err(bad()),
+        },
+        opc::SYS => match f3 {
+            0 => Inst::Mv { dst, src: src1 },
+            1 => Inst::Nop,
+            2 => Inst::Halt { src: src1 },
+            _ => return Err(bad()),
+        },
+        _ => return Err(bad()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(inst: Inst, at: u32) {
+        let w = encode(&inst, at).expect("encodes");
+        let back = decode(w, at).expect("decodes");
+        assert_eq!(inst, back, "word {w:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        let t0 = Src::Hand(Hand::T, 0);
+        let v3 = Src::Hand(Hand::V, 3);
+        roundtrip(Inst::Alu { op: AluOp::Add, dst: Hand::T, src1: t0, src2: v3 }, 10);
+        roundtrip(Inst::Alu { op: AluOp::Fdiv, dst: Hand::U, src1: v3, src2: t0 }, 10);
+        roundtrip(Inst::AluImm { op: AluOp::Add, dst: Hand::T, src1: t0, imm: -1024 }, 0);
+        roundtrip(Inst::Li { dst: Hand::V, imm: -40000 }, 0);
+        roundtrip(Inst::Load { op: LoadOp::Lwu, dst: Hand::T, base: v3, offset: 8000 }, 0);
+        roundtrip(
+            Inst::Store { op: StoreOp::Sd, value: t0, base: Src::Hand(Hand::S, 2), offset: -256 },
+            0,
+        );
+        roundtrip(
+            Inst::Branch { cond: BrCond::Geu, src1: t0, src2: Src::Zero, target: 8 },
+            100,
+        );
+        roundtrip(Inst::Jump { target: 400 }, 100);
+        roundtrip(Inst::Call { dst: Hand::S, target: 2 }, 5000);
+        roundtrip(Inst::CallReg { dst: Hand::S, src: t0 }, 0);
+        roundtrip(Inst::JumpReg { src: Src::Hand(Hand::S, 0) }, 0);
+        roundtrip(Inst::Mv { dst: Hand::U, src: Src::Hand(Hand::T, 15) }, 0);
+        roundtrip(Inst::Nop, 0);
+        roundtrip(Inst::Halt { src: Src::Zero }, 0);
+    }
+
+    #[test]
+    fn zero_register_is_s15_encoding() {
+        let w = encode(
+            &Inst::Mv { dst: Hand::T, src: Src::Zero },
+            0,
+        )
+        .unwrap();
+        assert_eq!((w >> 12) & 0x3f, 0b11_1111);
+        // And s[15] itself is rejected.
+        let bad = Inst::Mv { dst: Hand::T, src: Src::Hand(Hand::S, 15) };
+        assert_eq!(encode(&bad, 0), Err(EncodeError::BadSrc));
+    }
+
+    #[test]
+    fn imm_range_enforced() {
+        let too_big = Inst::AluImm {
+            op: AluOp::Add,
+            dst: Hand::T,
+            src1: Src::Zero,
+            imm: 1 << 14,
+        };
+        assert!(matches!(encode(&too_big, 0), Err(EncodeError::ImmRange { bits: 14, .. })));
+        let far = Inst::Branch {
+            cond: BrCond::Eq,
+            src1: Src::Zero,
+            src2: Src::Zero,
+            target: 100_000,
+        };
+        assert!(matches!(encode(&far, 0), Err(EncodeError::ImmRange { bits: 10, .. })));
+    }
+
+    #[test]
+    fn unknown_opcode_fails_to_decode() {
+        assert!(decode(0x7f, 0).is_err());
+    }
+
+    #[test]
+    fn operand_fields_total_14_bits() {
+        // dst 2 + src1 6 + src2 6 = 14 < RISC's 15 (Section 4.1).
+        assert_eq!(2 + 6 + 6, 14);
+    }
+}

@@ -1,0 +1,344 @@
+//! The Register Pointer (RP) file — the physical-register allocation
+//! mechanism that replaces renaming (Section 5.1 of the paper).
+//!
+//! The physical register file has linear addresses but is statically
+//! partitioned into one ring per hand. Each hand's RP records how many
+//! writes that hand has received; the destination physical register of an
+//! instruction is the slot its hand's RP points at, and a source
+//! `hand[d]` resolves to `RP(hand) - 1 - d` (mod ring size) by simple
+//! subtraction — no map table, no dependency-check logic.
+//!
+//! The same structure models STRAIGHT when constructed with a single ring
+//! (`RingFile::new(&[128 + R], 127)`), which is how the baselines crate
+//! reuses it.
+
+/// A snapshot of the RPs, used for misprediction/exception recovery
+/// (Section 5.2). Restoring it is the entire recovery of the allocation
+/// stage — this is what makes the Table 1 checkpoint so small.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpSnapshot(Vec<u64>);
+
+impl RpSnapshot {
+    /// The write count recorded for ring `g`.
+    pub fn writes(&self, g: usize) -> u64 {
+        self.0[g]
+    }
+}
+
+/// Per-instruction allocation outcome produced by [`RingFile::alloc_group`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupAlloc {
+    /// Physical destination register, if the instruction writes one.
+    pub dst: Option<u32>,
+    /// Physical source registers, in operand order.
+    pub srcs: Vec<u32>,
+}
+
+/// A partitioned physical register file with one register pointer per ring.
+///
+/// # Examples
+///
+/// ```
+/// use clockhands::rp::RingFile;
+///
+/// // Four hands with the paper's 8-fetch quotas (t, u, v, s).
+/// let mut rp = RingFile::new(&[800, 176, 112, 64], 16);
+/// let d0 = rp.alloc(0);            // first write to hand t
+/// let d1 = rp.alloc(0);            // second write to hand t
+/// assert_eq!(rp.src_phys(0, 0), d1); // t[0] resolves to the last write
+/// assert_eq!(rp.src_phys(0, 1), d0); // t[1] to the one before
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingFile {
+    quotas: Vec<u32>,
+    bases: Vec<u32>,
+    rps: Vec<u64>,
+    max_dist: u32,
+}
+
+impl RingFile {
+    /// Creates a ring file with the given per-ring quotas and maximum
+    /// source reference distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quotas` is empty, any quota is not larger than
+    /// `max_dist` (the ring could never satisfy the no-false-dependency
+    /// rule), or `max_dist` is zero.
+    pub fn new(quotas: &[u32], max_dist: u32) -> Self {
+        assert!(!quotas.is_empty(), "at least one ring required");
+        assert!(max_dist > 0, "max_dist must be positive");
+        for &q in quotas {
+            assert!(q > max_dist, "quota {q} must exceed max_dist {max_dist}");
+        }
+        let mut bases = Vec::with_capacity(quotas.len());
+        let mut acc = 0u32;
+        for &q in quotas {
+            bases.push(acc);
+            acc += q;
+        }
+        RingFile {
+            quotas: quotas.to_vec(),
+            bases,
+            rps: vec![0; quotas.len()],
+            max_dist,
+        }
+    }
+
+    /// Number of rings (hands).
+    pub fn rings(&self) -> usize {
+        self.quotas.len()
+    }
+
+    /// Total physical registers across all rings.
+    pub fn total_regs(&self) -> u32 {
+        self.quotas.iter().sum()
+    }
+
+    /// The quota of ring `g`.
+    pub fn quota(&self, g: usize) -> u32 {
+        self.quotas[g]
+    }
+
+    /// Current write count of ring `g`.
+    pub fn writes(&self, g: usize) -> u64 {
+        self.rps[g]
+    }
+
+    fn phys_at(&self, g: usize, write_index: u64) -> u32 {
+        self.bases[g] + (write_index % self.quotas[g] as u64) as u32
+    }
+
+    /// Physical register a new write to ring `g` would occupy.
+    pub fn dest_phys(&self, g: usize) -> u32 {
+        self.phys_at(g, self.rps[g])
+    }
+
+    /// Allocates the next register of ring `g`, returning its physical
+    /// number and advancing the RP.
+    pub fn alloc(&mut self, g: usize) -> u32 {
+        let p = self.dest_phys(g);
+        self.rps[g] += 1;
+        p
+    }
+
+    /// Resolves source `g[dist]` to a physical register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist > max_dist` (an unencodable reference) or if the
+    /// ring has not yet been written `dist + 1` times (a read of a value
+    /// that never existed — emulators seed initial writes instead).
+    pub fn src_phys(&self, g: usize, dist: u32) -> u32 {
+        assert!(dist < self.max_dist, "distance {dist} unencodable");
+        let w = self.rps[g];
+        assert!(w > dist as u64, "ring {g} read before write (dist {dist}, writes {w})");
+        self.phys_at(g, w - 1 - dist as u64)
+    }
+
+    /// Whether a write to ring `g` may allocate without creating a false
+    /// dependency, given the RP snapshot of the **oldest in-flight**
+    /// instruction.
+    ///
+    /// The paper's rule: stall when a register within the maximum
+    /// reference distance of the oldest in-flight RP is about to be
+    /// reused. With `inflight = RP(g) - oldest(g)` allocations
+    /// outstanding, the wrap overwrites a protected slot exactly when
+    /// `inflight + max_dist >= quota`.
+    pub fn can_alloc(&self, g: usize, oldest: &RpSnapshot) -> bool {
+        let inflight = self.rps[g] - oldest.0[g];
+        inflight + (self.max_dist as u64) < self.quotas[g] as u64
+    }
+
+    /// Captures the recovery checkpoint (all RPs).
+    pub fn snapshot(&self) -> RpSnapshot {
+        RpSnapshot(self.rps.clone())
+    }
+
+    /// Restores a checkpoint, rolling back every allocation made after it.
+    pub fn restore(&mut self, snap: &RpSnapshot) {
+        assert_eq!(snap.0.len(), self.rps.len(), "snapshot ring-count mismatch");
+        self.rps.copy_from_slice(&snap.0);
+    }
+
+    /// Size of one checkpoint in bits: one physical-register-sized pointer
+    /// per ring (Table 1: 4 × ~9 bits for Clockhands).
+    pub fn checkpoint_bits(&self) -> u32 {
+        let prbits = 32 - (self.total_regs() - 1).leading_zeros();
+        self.rings() as u32 * prbits
+    }
+
+    /// Allocates a whole fetch group at once, the way the optimised
+    /// RP-calculation stage does (Section 5.1): per-instruction physical
+    /// numbers are derived from the group-start RPs plus a prefix count of
+    /// preceding in-group writes to the same ring, then the RPs advance by
+    /// the group totals. The result is identical to calling
+    /// [`RingFile::alloc`]/[`RingFile::src_phys`] sequentially.
+    ///
+    /// Each element of `group` is `(dst_ring, sources)` where sources are
+    /// `(ring, distance)` pairs.
+    pub fn alloc_group(&mut self, group: &[(Option<usize>, Vec<(usize, u32)>)]) -> Vec<GroupAlloc> {
+        // Prefix counts P (the Brent–Kung tree computes these in O(log W)).
+        let mut counts = vec![0u64; self.rings()];
+        let mut out = Vec::with_capacity(group.len());
+        for (dst, srcs) in group {
+            let srcs_phys = srcs
+                .iter()
+                .map(|&(g, dist)| {
+                    let w = self.rps[g] + counts[g];
+                    assert!(w > dist as u64, "ring {g} read before write in group");
+                    self.phys_at(g, w - 1 - dist as u64)
+                })
+                .collect();
+            let dst_phys = dst.map(|g| {
+                let p = self.phys_at(g, self.rps[g] + counts[g]);
+                counts[g] += 1;
+                p
+            });
+            out.push(GroupAlloc { dst: dst_phys, srcs: srcs_phys });
+        }
+        for (g, c) in counts.iter().enumerate() {
+            self.rps[g] += c;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RingFile {
+        RingFile::new(&[48, 24, 24, 32], 16)
+    }
+
+    #[test]
+    fn sequential_alloc_and_resolve() {
+        let mut rp = small();
+        let a = rp.alloc(0);
+        let b = rp.alloc(0);
+        let c = rp.alloc(1);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(c, 48); // ring 1 base
+        assert_eq!(rp.src_phys(0, 0), b);
+        assert_eq!(rp.src_phys(0, 1), a);
+        assert_eq!(rp.src_phys(1, 0), c);
+    }
+
+    #[test]
+    fn rings_are_disjoint() {
+        let mut rp = small();
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..4 {
+            for _ in 0..rp.quota(g) {
+                assert!(seen.insert(rp.alloc(g)), "physical register reused across rings");
+            }
+        }
+        assert_eq!(seen.len(), rp.total_regs() as usize);
+    }
+
+    #[test]
+    fn wraparound_reuses_only_own_ring() {
+        let mut rp = small();
+        for _ in 0..48 {
+            rp.alloc(0);
+        }
+        // 49th write to ring 0 wraps to its own base, not into ring 1.
+        assert_eq!(rp.dest_phys(0), 0);
+    }
+
+    #[test]
+    fn wrap_stall_rule() {
+        let mut rp = small();
+        let oldest = rp.snapshot(); // nothing committed yet
+        // quota 48, max_dist 16: slots holding live values are the 16
+        // behind the oldest in-flight RP plus the in-flight allocations,
+        // so up to 32 in-flight allocations fit before a wrap would
+        // overwrite a protected register.
+        for i in 0..32 {
+            assert!(rp.can_alloc(0, &oldest), "alloc {i} should be allowed");
+            rp.alloc(0);
+        }
+        assert!(!rp.can_alloc(0, &oldest), "33rd in-flight alloc must stall");
+        // Other rings are unaffected.
+        assert!(rp.can_alloc(1, &oldest));
+    }
+
+    #[test]
+    fn snapshot_restore_rolls_back() {
+        let mut rp = small();
+        rp.alloc(0);
+        rp.alloc(3);
+        let snap = rp.snapshot();
+        let before = rp.dest_phys(0);
+        rp.alloc(0);
+        rp.alloc(0);
+        rp.alloc(2);
+        rp.restore(&snap);
+        assert_eq!(rp.dest_phys(0), before);
+        assert_eq!(rp.writes(2), 0);
+    }
+
+    #[test]
+    fn group_alloc_matches_sequential() {
+        let group: Vec<(Option<usize>, Vec<(usize, u32)>)> = vec![
+            (Some(0), vec![]),
+            (Some(0), vec![(0, 0)]),
+            (Some(1), vec![(0, 0), (0, 1)]),
+            (None, vec![(1, 0), (0, 0)]),
+            (Some(0), vec![(1, 0)]),
+        ];
+        let mut grp = small();
+        let got = grp.alloc_group(&group);
+
+        let mut seq = small();
+        let mut want = Vec::new();
+        for (dst, srcs) in &group {
+            let srcs_phys: Vec<u32> = srcs.iter().map(|&(g, d)| seq.src_phys(g, d)).collect();
+            let dst_phys = dst.map(|g| seq.alloc(g));
+            want.push(GroupAlloc { dst: dst_phys, srcs: srcs_phys });
+        }
+        assert_eq!(got, want);
+        assert_eq!(grp.writes(0), seq.writes(0));
+        assert_eq!(grp.writes(1), seq.writes(1));
+    }
+
+    #[test]
+    fn straight_shape_single_ring() {
+        let mut rp = RingFile::new(&[128 + 1024], 127);
+        assert_eq!(rp.rings(), 1);
+        for _ in 0..2000 {
+            rp.alloc(0);
+        }
+        assert_eq!(rp.src_phys(0, 126), rp.phys_at_test(0, 2000 - 127));
+        // Checkpoint is a single pointer (plus SP, modelled elsewhere).
+        assert_eq!(rp.checkpoint_bits(), 11);
+    }
+
+    #[test]
+    fn clockhands_checkpoint_bits_8f() {
+        // 8-fetch quotas: 1152 total regs -> 11 bits × 4 rings = 44.
+        let rp = RingFile::new(&[800, 176, 112, 64], 16);
+        assert_eq!(rp.checkpoint_bits(), 44);
+    }
+
+    #[test]
+    #[should_panic(expected = "quota")]
+    fn quota_must_exceed_distance() {
+        let _ = RingFile::new(&[16], 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "read before write")]
+    fn read_before_write_panics() {
+        let rp = small();
+        let _ = rp.src_phys(0, 0);
+    }
+
+    impl RingFile {
+        fn phys_at_test(&self, g: usize, w: u64) -> u32 {
+            self.phys_at(g, w)
+        }
+    }
+}

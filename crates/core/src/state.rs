@@ -1,0 +1,187 @@
+//! Architectural state: the hand file.
+//!
+//! Section 4.5 of the paper: writing a register can be interpreted as
+//! shifting every value in the destination hand by one, discarding the
+//! oldest, and writing the new value at position 0. This module implements
+//! that logical view with per-hand ring buffers (the hardware-equivalent
+//! optimisation the paper describes — the data never actually moves).
+//!
+//! Alongside each value the file tracks the *producer*: the dynamic
+//! sequence number of the instruction that wrote it. Emulators use this to
+//! resolve dataflow for [`ch_common::inst::DynInst`] records.
+
+use crate::hand::{Hand, MAX_DISTANCE, NUM_HANDS};
+use ch_common::inst::NO_PRODUCER;
+
+/// Ring capacity per hand. Must be ≥ [`MAX_DISTANCE`]; a power of two
+/// keeps the index math branch-free.
+const RING: usize = 32;
+
+/// Error returned when a read violates the ISA reference-distance limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistanceError {
+    /// The hand that was read.
+    pub hand: Hand,
+    /// The requested (illegal) distance.
+    pub distance: u8,
+}
+
+impl std::fmt::Display for DistanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reference {}[{}] exceeds the maximum distance {}",
+            self.hand,
+            self.distance,
+            MAX_DISTANCE - 1
+        )
+    }
+}
+
+impl std::error::Error for DistanceError {}
+
+/// The architectural register state of a Clockhands machine: four hands,
+/// each a logical shift register of 64-bit values.
+///
+/// # Examples
+///
+/// ```
+/// use clockhands::hand::Hand;
+/// use clockhands::state::HandFile;
+///
+/// let mut f = HandFile::new();
+/// f.write(Hand::T, 10, 0);
+/// f.write(Hand::T, 20, 1);
+/// f.write(Hand::V, 99, 2);
+/// assert_eq!(f.read(Hand::T, 0)?, 20); // most recent write to t
+/// assert_eq!(f.read(Hand::T, 1)?, 10);
+/// assert_eq!(f.read(Hand::V, 0)?, 99); // v rotated independently
+/// # Ok::<(), clockhands::state::DistanceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HandFile {
+    values: [[u64; RING]; NUM_HANDS],
+    producers: [[u64; RING]; NUM_HANDS],
+    /// Total writes per hand; `heads` are derived from these.
+    writes: [u64; NUM_HANDS],
+}
+
+impl Default for HandFile {
+    fn default() -> Self {
+        HandFile::new()
+    }
+}
+
+impl HandFile {
+    /// Creates a hand file with every slot zero and no producers.
+    pub fn new() -> Self {
+        HandFile {
+            values: [[0; RING]; NUM_HANDS],
+            producers: [[NO_PRODUCER; RING]; NUM_HANDS],
+            writes: [0; NUM_HANDS],
+        }
+    }
+
+    fn slot(&self, hand: Hand, distance: u8) -> usize {
+        let w = self.writes[hand.index()];
+        // Position of the write `distance+1` writes ago; wraps within RING.
+        (w.wrapping_sub(1 + distance as u64) as usize) & (RING - 1)
+    }
+
+    /// Writes `value` to `hand`, rotating only that hand, and records
+    /// `producer` as the originating dynamic instruction.
+    pub fn write(&mut self, hand: Hand, value: u64, producer: u64) {
+        let h = hand.index();
+        let pos = (self.writes[h] as usize) & (RING - 1);
+        self.values[h][pos] = value;
+        self.producers[h][pos] = producer;
+        self.writes[h] += 1;
+    }
+
+    /// Reads `hand[distance]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError`] if `distance >= MAX_DISTANCE`.
+    pub fn read(&self, hand: Hand, distance: u8) -> Result<u64, DistanceError> {
+        if distance >= MAX_DISTANCE {
+            return Err(DistanceError { hand, distance });
+        }
+        Ok(self.values[hand.index()][self.slot(hand, distance)])
+    }
+
+    /// The producer sequence number of `hand[distance]`, or
+    /// [`NO_PRODUCER`] if the slot was never written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError`] if `distance >= MAX_DISTANCE`.
+    pub fn producer(&self, hand: Hand, distance: u8) -> Result<u64, DistanceError> {
+        if distance >= MAX_DISTANCE {
+            return Err(DistanceError { hand, distance });
+        }
+        Ok(self.producers[hand.index()][self.slot(hand, distance)])
+    }
+
+    /// Total number of writes that have been made to `hand`.
+    pub fn write_count(&self, hand: Hand) -> u64 {
+        self.writes[hand.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hands_rotate_independently() {
+        let mut f = HandFile::new();
+        f.write(Hand::V, 42, 0); // loop constant
+        for i in 0..100 {
+            f.write(Hand::T, i, i + 1);
+        }
+        // v[0] still reads the constant: executing t writes did not rotate v.
+        assert_eq!(f.read(Hand::V, 0).unwrap(), 42);
+        assert_eq!(f.read(Hand::T, 0).unwrap(), 99);
+        assert_eq!(f.read(Hand::T, 15).unwrap(), 84);
+    }
+
+    #[test]
+    fn distance_zero_is_most_recent() {
+        let mut f = HandFile::new();
+        f.write(Hand::S, 7, 0);
+        f.write(Hand::S, 8, 1);
+        assert_eq!(f.read(Hand::S, 0).unwrap(), 8);
+        assert_eq!(f.read(Hand::S, 1).unwrap(), 7);
+    }
+
+    #[test]
+    fn over_distance_read_is_an_error() {
+        let f = HandFile::new();
+        let e = f.read(Hand::T, MAX_DISTANCE).unwrap_err();
+        assert_eq!(e.distance, MAX_DISTANCE);
+        assert!(f.read(Hand::T, MAX_DISTANCE - 1).is_ok());
+    }
+
+    #[test]
+    fn producers_follow_values() {
+        let mut f = HandFile::new();
+        assert_eq!(f.producer(Hand::U, 0).unwrap(), NO_PRODUCER);
+        f.write(Hand::U, 5, 1234);
+        assert_eq!(f.producer(Hand::U, 0).unwrap(), 1234);
+        f.write(Hand::U, 6, 1235);
+        assert_eq!(f.producer(Hand::U, 1).unwrap(), 1234);
+    }
+
+    #[test]
+    fn wraparound_many_writes() {
+        let mut f = HandFile::new();
+        for i in 0..10_000u64 {
+            f.write(Hand::T, i * 3, i);
+        }
+        for d in 0..MAX_DISTANCE {
+            assert_eq!(f.read(Hand::T, d).unwrap(), (9999 - d as u64) * 3);
+        }
+        assert_eq!(f.write_count(Hand::T), 10_000);
+    }
+}

@@ -1,0 +1,246 @@
+#![warn(missing_docs)]
+
+//! # ch-energy — McPAT-style per-event energy model (Fig. 14)
+//!
+//! Multiplies the simulator's event counts ([`ch_common::stats::Counters`])
+//! by per-event energies to produce the per-component stacks of the
+//! paper's Fig. 14. Absolute joules are not the point (the paper used
+//! McPAT's 22 nm models); what matters — and what this model encodes — is
+//! the *scaling structure*:
+//!
+//! * The **renamer** (RISC only) reads/writes a multi-ported RMT whose
+//!   per-access energy grows with the port count (∝ 3·width, since the
+//!   area of a multi-port RAM grows with the square of its ports), plus
+//!   dependency-check comparisons that the simulator already counts
+//!   quadratically in width, plus ~570-bit checkpoints per branch.
+//! * The rename-free ISAs instead pay a tiny register-pointer update
+//!   (a prefix-sum tree, O(log width) per slot) and 36/70-bit
+//!   checkpoints (Table 1).
+//! * Everything else (fetch, decode, scheduler, execution, caches) is
+//!   identical hardware across the three ISAs, so their energy scales
+//!   with the *instruction counts* — which is how STRAIGHT's extra
+//!   relay instructions turn into extra energy.
+
+use ch_common::config::MachineConfig;
+use ch_common::stats::Counters;
+use ch_common::IsaKind;
+
+/// Component labels in the Fig. 14 legend order (bottom to top).
+pub const COMPONENTS: [&str; 11] = [
+    "BrPred", "I$+ITLB", "Fetcher", "Decoder", "Renamer", "Scheduler", "ExUnit+RF", "LSQ", "ROB",
+    "D$+DTLB", "L2$",
+];
+
+/// Energy per component, in picojoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyBreakdown {
+    /// (component, pJ) in [`COMPONENTS`] order.
+    pub components: Vec<(&'static str, f64)>,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total(&self) -> f64 {
+        self.components.iter().map(|(_, e)| e).sum()
+    }
+
+    /// Energy of one component.
+    pub fn component(&self, name: &str) -> f64 {
+        self.components
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, e)| *e)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Computes the energy breakdown for one simulated run.
+///
+/// # Examples
+///
+/// ```
+/// use ch_common::config::{MachineConfig, WidthClass};
+/// use ch_common::stats::Counters;
+/// use ch_common::IsaKind;
+/// use ch_energy::energy;
+///
+/// let cfg = MachineConfig::preset(WidthClass::W8, IsaKind::Riscv);
+/// let mut c = Counters::new();
+/// c.cycles = 1000;
+/// c.committed = 2000;
+/// c.rmt_reads = 4000;
+/// let e = energy(&cfg, &c);
+/// assert!(e.component("Renamer") > 0.0);
+/// ```
+pub fn energy(cfg: &MachineConfig, c: &Counters) -> EnergyBreakdown {
+    let w = cfg.front_width as f64;
+    let cyc = c.cycles as f64;
+
+    // --- Branch prediction ---
+    let brpred = 4.0 * c.branch_preds as f64 + 1.2 * c.fetch_groups as f64 + 0.8 * cyc;
+
+    // --- Instruction cache (wider fetch reads more bits per access) ---
+    let icache = (12.0 + 1.6 * w) * c.fetch_groups as f64
+        + 60.0 * c.icache_misses as f64
+        + 1.0 * cyc;
+
+    // --- Fetch / decode (per instruction through the front end) ---
+    let fetcher = 1.5 * c.fetched as f64 + 0.5 * cyc;
+    let decoder = 2.0 * c.decoded as f64 + 0.5 * cyc;
+
+    // --- Physical-register allocation stage ---
+    let renamer = match cfg.isa {
+        IsaKind::Riscv => {
+            // RMT: per-access energy grows with port count (3 per slot).
+            let ports = 3.0 * w;
+            let rmt = 0.105 * ports * (c.rmt_reads + c.rmt_writes) as f64;
+            let dcl = 0.085 * c.dcl_comparisons as f64;
+            let freelist = 0.19 * c.freelist_ops as f64;
+            // Checkpoints: ~570 bits copied per branch.
+            let ckpt = 0.0066 * c.checkpoint_bits as f64 * c.checkpoints as f64;
+            let leak = (0.38 + 0.17 * w) * cyc;
+            rmt + dcl + freelist + ckpt + leak
+        }
+        IsaKind::Straight | IsaKind::Clockhands => {
+            // RP calculation: prefix-sum tree, O(log W) per slot.
+            let rp = (0.3 + 0.1 * w.log2()) * c.rp_updates as f64;
+            let ckpt = 0.0066 * c.checkpoint_bits as f64 * c.checkpoints as f64;
+            let leak = 0.2 * cyc;
+            rp + ckpt + leak
+        }
+    };
+
+    // --- Scheduler (dispatch writes, wakeup broadcasts, selects) ---
+    let scheduler = 4.0 * c.dispatched as f64
+        + 1.4 * c.sched_wakeups as f64
+        + 2.5 * c.issued as f64
+        + 1.2 * cyc;
+
+    // --- Execution units + register file ---
+    let exunit = 5.5 * c.int_ops as f64
+        + 13.0 * c.fp_ops as f64
+        + 1.6 * (c.regfile_reads + c.regfile_writes) as f64
+        + 2.0 * cyc;
+
+    // --- Load-store queue ---
+    let lsq = 7.0 * c.lsq_searches as f64
+        + 2.0 * (c.loads + c.stores) as f64
+        + 3.0 * c.stl_forwards as f64
+        + 0.8 * cyc;
+
+    // --- Reorder buffer ---
+    let rob = 2.2 * c.rob_writes as f64 + 1.4 * c.rob_reads as f64 + 1.0 * cyc;
+
+    // --- Data cache + L2 ---
+    let dcache = 18.0 * c.dcache_accesses as f64 + 30.0 * c.dcache_misses as f64 + 1.5 * cyc;
+    let l2 = 45.0 * (c.l2_accesses + c.prefetches) as f64 + 180.0 * c.l2_misses as f64 + 2.5 * cyc;
+
+    EnergyBreakdown {
+        components: vec![
+            ("BrPred", brpred),
+            ("I$+ITLB", icache),
+            ("Fetcher", fetcher),
+            ("Decoder", decoder),
+            ("Renamer", renamer),
+            ("Scheduler", scheduler),
+            ("ExUnit+RF", exunit),
+            ("LSQ", lsq),
+            ("ROB", rob),
+            ("D$+DTLB", dcache),
+            ("L2$", l2),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ch_common::config::WidthClass;
+
+    fn fake_counters(insts: u64, isa: IsaKind, width: f64) -> Counters {
+        let mut c = Counters::new();
+        c.cycles = insts / 2;
+        c.committed = insts;
+        c.fetched = insts;
+        c.fetch_groups = insts / width as u64;
+        c.decoded = insts;
+        c.allocated = insts;
+        c.dispatched = insts;
+        c.issued = insts;
+        c.sched_wakeups = insts;
+        c.regfile_reads = insts * 2;
+        c.regfile_writes = insts * 3 / 4;
+        c.int_ops = insts;
+        c.rob_writes = insts;
+        c.rob_reads = insts;
+        c.branch_preds = insts / 6;
+        c.checkpoints = insts / 5;
+        match isa {
+            IsaKind::Riscv => {
+                c.rmt_reads = insts * 2;
+                c.rmt_writes = insts * 3 / 4;
+                c.dcl_comparisons = insts * (width as u64 - 1) * 3 / 2;
+                c.freelist_ops = insts * 3 / 4;
+                c.checkpoint_bits = 630;
+            }
+            IsaKind::Straight => {
+                c.rp_updates = insts;
+                c.checkpoint_bits = 75;
+            }
+            IsaKind::Clockhands => {
+                c.rp_updates = insts * 3 / 4;
+                c.checkpoint_bits = 44;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn renamer_dominates_growth_with_width(){
+        // The renamer share of RISC energy must grow with width.
+        let share = |w: WidthClass| {
+            let cfg = MachineConfig::preset(w, IsaKind::Riscv);
+            let c = fake_counters(1_000_000, IsaKind::Riscv, cfg.front_width as f64);
+            let e = energy(&cfg, &c);
+            e.component("Renamer") / e.total()
+        };
+        let s4 = share(WidthClass::W4);
+        let s8 = share(WidthClass::W8);
+        let s16 = share(WidthClass::W16);
+        assert!(s4 < s8 && s8 < s16, "renamer share must grow: {s4:.3} {s8:.3} {s16:.3}");
+        assert!(s16 > 0.15, "at 16-fetch the renamer should be significant ({s16:.3})");
+    }
+
+    #[test]
+    fn rename_free_isa_pays_far_less_for_allocation() {
+        let cfg_r = MachineConfig::preset(WidthClass::W8, IsaKind::Riscv);
+        let cfg_c = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);
+        let cr = fake_counters(1_000_000, IsaKind::Riscv, 8.0);
+        let cc = fake_counters(1_000_000, IsaKind::Clockhands, 8.0);
+        let er = energy(&cfg_r, &cr);
+        let ec = energy(&cfg_c, &cc);
+        assert!(
+            er.component("Renamer") > 8.0 * ec.component("Renamer"),
+            "renamer {} vs RP-calc {}",
+            er.component("Renamer"),
+            ec.component("Renamer")
+        );
+    }
+
+    #[test]
+    fn more_instructions_cost_more_energy() {
+        // STRAIGHT's instruction inflation shows up in total energy.
+        let cfg = MachineConfig::preset(WidthClass::W8, IsaKind::Straight);
+        let small = energy(&cfg, &fake_counters(1_000_000, IsaKind::Straight, 8.0));
+        let big = energy(&cfg, &fake_counters(1_400_000, IsaKind::Straight, 8.0));
+        assert!(big.total() > 1.2 * small.total());
+    }
+
+    #[test]
+    fn component_order_matches_figure() {
+        let cfg = MachineConfig::preset(WidthClass::W4, IsaKind::Riscv);
+        let e = energy(&cfg, &Counters::new());
+        let names: Vec<&str> = e.components.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, COMPONENTS.to_vec());
+    }
+}

@@ -1,0 +1,515 @@
+//! The cycle-level out-of-order core model.
+//!
+//! A one-pass scoreboard over the committed instruction stream: each
+//! dynamic instruction is timed through fetch → allocation (rename or
+//! RP-calculation) → dispatch → select/issue → execute → commit, with
+//! resource constraints (fetch width and taken-branch breaks, I-cache,
+//! ROB/scheduler/LSQ occupancy, per-ISA physical-register availability,
+//! issue bandwidth, functional units, the D-cache hierarchy, store-to-load
+//! forwarding, store-set ordering, and in-order commit width). Branches
+//! are predicted with the real TAGE/BTB/RAS state and a misprediction
+//! redirects fetch when the branch resolves — so the rename-free ISAs'
+//! two-cycle-shorter front end shows up directly as a smaller penalty.
+//!
+//! Wrong-path instructions are not replayed through the cache model
+//! (their first-order energy cost is accounted as wasted fetch slots);
+//! see DESIGN.md for the substitution argument.
+
+use crate::cache::{Cache, MemHierarchy};
+use crate::storeset::StoreSet;
+use crate::tage::{Btb, Ras, Tage};
+use ch_common::config::MachineConfig;
+use ch_common::inst::{CtrlKind, DstTag, DynInst, NO_PRODUCER};
+use ch_common::op::{FuKind, OpClass};
+use ch_common::stats::Counters;
+use ch_common::IsaKind;
+use std::collections::VecDeque;
+
+/// Ready-time ring length (producers further back are always ready).
+const READY_RING: usize = 1 << 16;
+/// Cycle-bandwidth ring length (must exceed any stall span).
+const BW_RING: usize = 1 << 14;
+/// In-flight stores tracked for forwarding/ordering.
+const STORE_WINDOW: usize = 192;
+/// Extra penalty when a memory-order violation squashes a load.
+const VIOLATION_PENALTY: u64 = 10;
+
+/// The simulator.
+///
+/// Feed it the committed instruction stream of a functional interpreter
+/// and read the [`Counters`] out.
+///
+/// # Examples
+///
+/// ```
+/// use ch_common::config::{MachineConfig, WidthClass};
+/// use ch_common::IsaKind;
+/// use ch_sim::Simulator;
+/// use clockhands::asm::assemble;
+/// use clockhands::interp::Interpreter;
+///
+/// let prog = assemble("li t, 100\n.l:\naddi t, t[0], -1\nbne t[0], zero, .l\nhalt t[0]")?;
+/// let cfg = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);
+/// let mut sim = Simulator::new(cfg);
+/// let mut cpu = Interpreter::new(prog)?;
+/// let counters = sim.run(&mut cpu);
+/// assert!(counters.committed > 0 && counters.cycles > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: MachineConfig,
+    counters: Counters,
+
+    // Front end.
+    icache: Cache,
+    tage: Tage,
+    btb: Btb,
+    ras: Ras,
+    fetch_cycle: u64,
+    group_used: u32,
+    redirect_at: u64,
+
+    // Rings indexed by sequence number.
+    ready_ring: Vec<u64>,
+    commit_ring: Vec<u64>,
+    select_ring: Vec<u64>,
+    // Bandwidth rings indexed by cycle (tagged with the cycle they
+    // describe so stale eras reset on reuse).
+    alloc_bw: Vec<(u64, u32)>,
+    issue_bw: Vec<(u64, u32)>,
+    commit_bw: Vec<(u64, u32)>,
+
+    // Occupancy FIFOs (sequence numbers).
+    loads_fifo: VecDeque<u64>,
+    stores_fifo: VecDeque<u64>,
+
+    // Functional units: next-free cycle per unit instance.
+    fu_free: [Vec<u64>; 7],
+
+    // Memory.
+    dmem: MemHierarchy,
+    store_set: StoreSet,
+    /// Recent stores: (seq, addr, size, data ready, commit, pc).
+    store_window: VecDeque<(u64, u64, u8, u64, u64, u64)>,
+
+    // ISA-specific allocation state.
+    /// RISC: in-flight destination allocations (free-list pressure).
+    dst_fifo: VecDeque<u64>,
+    /// Clockhands: per-hand in-flight allocations.
+    hand_fifos: [VecDeque<u64>; 4],
+
+    last_alloc: u64,
+    last_commit: u64,
+    last_fetch_time: u64,
+    /// Per-instruction stage log on stderr (set `CH_SIM_TRACE=1`).
+    trace_log: bool,
+}
+
+impl Simulator {
+    /// Creates a simulator for one machine configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let fu_free = std::array::from_fn(|k| {
+            vec![0u64; cfg.fu_counts[k].max(1) as usize]
+        });
+        Simulator {
+            icache: Cache::new(&cfg.l1i),
+            tage: Tage::new(),
+            btb: Btb::new(cfg.btb_entries as usize, cfg.btb_assoc as usize),
+            ras: Ras::new(cfg.ras_entries as usize),
+            fetch_cycle: 0,
+            group_used: 0,
+            redirect_at: 0,
+            ready_ring: vec![0; READY_RING],
+            commit_ring: vec![0; BW_RING],
+            select_ring: vec![0; BW_RING],
+            alloc_bw: vec![(u64::MAX, 0); BW_RING],
+            issue_bw: vec![(u64::MAX, 0); BW_RING],
+            commit_bw: vec![(u64::MAX, 0); BW_RING],
+            loads_fifo: VecDeque::new(),
+            stores_fifo: VecDeque::new(),
+            fu_free,
+            dmem: MemHierarchy::new(
+                &cfg.l1d,
+                &cfg.l2,
+                cfg.mem_latency,
+                cfg.prefetch_distance,
+                cfg.prefetch_degree,
+            ),
+            store_set: StoreSet::new(cfg.storeset_producers, cfg.storeset_ids),
+            store_window: VecDeque::new(),
+            dst_fifo: VecDeque::new(),
+            hand_fifos: Default::default(),
+            last_alloc: 0,
+            last_commit: 0,
+            last_fetch_time: 0,
+            trace_log: std::env::var_os("CH_SIM_TRACE").is_some(),
+            counters: Counters::new(),
+            cfg,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Runs the whole stream to completion, returning the counters.
+    pub fn run(&mut self, stream: impl Iterator<Item = DynInst>) -> Counters {
+        for inst in stream {
+            self.step(&inst);
+        }
+        self.finish()
+    }
+
+    /// Final counters (cycle count = commit time of the last instruction).
+    pub fn finish(&self) -> Counters {
+        let mut c = self.counters.clone();
+        c.cycles = self.last_commit.max(1);
+        c.checkpoint_bits = self.cfg.checkpoint_bits() as u64;
+        c
+    }
+
+    fn bw_slot(ring: &mut [(u64, u32)], start: u64, width: u32) -> u64 {
+        let mut cycle = start;
+        loop {
+            let slot = &mut ring[(cycle as usize) % BW_RING];
+            if slot.0 != cycle {
+                *slot = (cycle, 0);
+            }
+            if slot.1 < width {
+                slot.1 += 1;
+                return cycle;
+            }
+            cycle += 1;
+        }
+    }
+
+    fn ready_of(&self, seq: u64, producer: u64) -> u64 {
+        if producer == NO_PRODUCER || seq.saturating_sub(producer) as usize >= READY_RING {
+            0
+        } else {
+            self.ready_ring[(producer as usize) % READY_RING]
+        }
+    }
+
+    /// Times one committed instruction.
+    pub fn step(&mut self, inst: &DynInst) {
+        let cfg = &self.cfg;
+        let seq = inst.seq;
+        let c = &mut self.counters;
+
+        // ---------- Fetch ----------
+        if self.redirect_at > 0 {
+            // Squashed wrong-path work: charge the lost fetch slots.
+            c.fetched += cfg.front_width as u64;
+            self.fetch_cycle = self.fetch_cycle.max(self.redirect_at);
+            self.redirect_at = 0;
+            self.group_used = 0;
+        }
+        if self.group_used == 0 {
+            c.fetch_groups += 1;
+            if !self.icache.access(inst.pc) {
+                c.icache_misses += 1;
+                // Fill from L2 (assume L2 hit for instructions).
+                self.fetch_cycle += self.dmem.l2.latency as u64;
+            }
+            // Next-line instruction prefetch hides sequential-stream
+            // misses (taken branches still pay on arrival).
+            let line = self.cfg.l1i.line as u64;
+            self.icache.prefill(inst.pc + line);
+            self.icache.prefill(inst.pc + 2 * line);
+        }
+        let fetch_time = self.fetch_cycle;
+        self.group_used += 1;
+        c.fetched += 1;
+        let mut group_break = self.group_used >= cfg.front_width;
+
+        // ---------- Branch prediction ----------
+        let mut mispredicted = false;
+        if let Some(ctrl) = inst.ctrl {
+            let fallthrough = inst.pc + 4;
+            match ctrl.kind {
+                CtrlKind::Cond => {
+                    c.branch_preds += 1;
+                    let pred = self.tage.predict(inst.pc);
+                    self.tage.update(inst.pc, ctrl.taken, pred);
+                    if pred != ctrl.taken {
+                        mispredicted = true;
+                    } else if ctrl.taken {
+                        // Correctly-predicted taken: target from the BTB.
+                        if self.btb.lookup(inst.pc) != Some(ctrl.target) {
+                            // Decode-time redirect: a short bubble.
+                            self.fetch_cycle += 2;
+                        }
+                    }
+                    self.btb.update(inst.pc, ctrl.target);
+                }
+                CtrlKind::Jump => {
+                    if self.btb.lookup(inst.pc) != Some(ctrl.target) {
+                        self.fetch_cycle += 2;
+                        self.btb.update(inst.pc, ctrl.target);
+                    }
+                }
+                CtrlKind::Call => {
+                    self.ras.push(fallthrough);
+                    if self.btb.lookup(inst.pc) != Some(ctrl.target) {
+                        self.fetch_cycle += 2;
+                        self.btb.update(inst.pc, ctrl.target);
+                    }
+                }
+                CtrlKind::Ret => {
+                    if self.ras.pop() != Some(ctrl.target) {
+                        mispredicted = true;
+                    }
+                }
+                CtrlKind::IndirectJump => {
+                    c.branch_preds += 1;
+                    if self.btb.lookup(inst.pc) != Some(ctrl.target) {
+                        mispredicted = true;
+                    }
+                    self.btb.update(inst.pc, ctrl.target);
+                }
+            }
+            if ctrl.taken {
+                group_break = true;
+            }
+        }
+        if group_break {
+            self.fetch_cycle += 1;
+            self.group_used = 0;
+        }
+
+        // ---------- Allocation (rename / RP-calculation) ----------
+        let mut alloc = fetch_time + cfg.front_latency as u64;
+        alloc = alloc.max(self.last_alloc);
+        // ROB occupancy.
+        if seq >= cfg.rob as u64 {
+            alloc = alloc.max(self.commit_ring[((seq - cfg.rob as u64) as usize) % BW_RING]);
+        }
+        // Scheduler occupancy (entries freed at select, FIFO approx).
+        if seq >= cfg.scheduler as u64 {
+            alloc =
+                alloc.max(self.select_ring[((seq - cfg.scheduler as u64) as usize) % BW_RING] + 1);
+        }
+        // Load/store queue occupancy (entries freed at commit).
+        if inst.class == OpClass::Load {
+            if self.loads_fifo.len() >= cfg.load_queue as usize {
+                let old = self.loads_fifo.pop_front().expect("nonempty");
+                alloc = alloc.max(self.commit_ring[(old as usize) % BW_RING]);
+            }
+            self.loads_fifo.push_back(seq);
+        }
+        if inst.class == OpClass::Store {
+            if self.stores_fifo.len() >= cfg.store_queue as usize {
+                let old = self.stores_fifo.pop_front().expect("nonempty");
+                alloc = alloc.max(self.commit_ring[(old as usize) % BW_RING]);
+            }
+            self.stores_fifo.push_back(seq);
+        }
+        // ISA-specific physical-register availability + stage events.
+        let nsrc = inst.sources().count() as u64;
+        match cfg.isa {
+            IsaKind::Riscv => {
+                c.rmt_reads += nsrc;
+                // The DCL compares this instruction's operands against the
+                // destinations of every earlier instruction renamed in the
+                // same cycle (quadratic in width — counted per pair).
+                let same_cycle = {
+                    let slot = self.alloc_bw[(alloc as usize) % BW_RING];
+                    if slot.0 == alloc { slot.1 as u64 } else { 0 }
+                };
+                c.dcl_comparisons += (nsrc + 1) * same_cycle;
+                if inst.dst.is_some() {
+                    c.rmt_writes += 1;
+                    c.freelist_ops += 1;
+                    let free = (cfg.phys_regs - 64) as usize;
+                    if self.dst_fifo.len() >= free {
+                        let old = self.dst_fifo.pop_front().expect("nonempty");
+                        alloc = alloc.max(self.commit_ring[(old as usize) % BW_RING]);
+                    }
+                    self.dst_fifo.push_back(seq);
+                }
+            }
+            IsaKind::Straight => {
+                // Every instruction occupies a ring slot.
+                c.rp_updates += 1;
+                let limit = (cfg.phys_regs - cfg.max_ref_distance) as usize;
+                if self.dst_fifo.len() >= limit {
+                    let old = self.dst_fifo.pop_front().expect("nonempty");
+                    alloc = alloc.max(self.commit_ring[(old as usize) % BW_RING]);
+                }
+                self.dst_fifo.push_back(seq);
+            }
+            IsaKind::Clockhands => {
+                if let Some(DstTag::Hand(h)) = inst.dst {
+                    c.rp_updates += 1;
+                    let quotas = cfg.hand_quotas.expect("clockhands config");
+                    let q = quotas[h as usize].saturating_sub(cfg.max_ref_distance) as usize;
+                    let fifo = &mut self.hand_fifos[h as usize];
+                    if fifo.len() >= q.max(1) {
+                        let old = fifo.pop_front().expect("nonempty");
+                        alloc = alloc.max(self.commit_ring[(old as usize) % BW_RING]);
+                    }
+                    fifo.push_back(seq);
+                }
+            }
+        }
+        if inst.ctrl.is_some() {
+            c.checkpoints += 1;
+        }
+        let alloc = Self::bw_slot(&mut self.alloc_bw, alloc, cfg.front_width);
+        self.last_alloc = alloc;
+        c.allocated += 1;
+        c.decoded += 1;
+        c.dispatched += 1;
+        c.rob_writes += 1;
+
+        // Back-pressure: fetch cannot run unboundedly ahead of allocation.
+        self.fetch_cycle = self.fetch_cycle.max(alloc.saturating_sub(cfg.front_latency as u64 + 8));
+
+        // ---------- Select / issue / execute ----------
+        let ready = inst
+            .sources()
+            .map(|p| self.ready_of(seq, p))
+            .max()
+            .unwrap_or(0);
+        self.counters.regfile_reads += nsrc;
+        self.counters.sched_wakeups += nsrc;
+        let issue_lat = cfg.issue_latency as u64;
+        // Speculative wakeup: select so execution begins when data arrives.
+        let mut select = (alloc + 1).max(ready.saturating_sub(issue_lat));
+        // Functional unit.
+        let fu = inst.class.fu_kind();
+        let exec_latency = inst.class.exec_latency() as u64;
+        let units = &mut self.fu_free[fu.index()];
+        loop {
+            let select_c = Self::bw_slot(&mut self.issue_bw, select, cfg.issue_width);
+            let exec_start = select_c + issue_lat;
+            // Find a unit free at exec_start.
+            let best = units
+                .iter_mut()
+                .min_by_key(|f| **f)
+                .expect("at least one unit");
+            if *best <= exec_start {
+                *best = if fu.pipelined() { exec_start + 1 } else { exec_start + exec_latency };
+                select = select_c;
+                break;
+            }
+            // Retry at the cycle the unit frees up.
+            select = (*best).saturating_sub(issue_lat).max(select_c + 1);
+        }
+        self.select_ring[(seq as usize) % BW_RING] = select;
+        self.counters.issued += 1;
+        let exec_start = select + issue_lat;
+        match fu {
+            FuKind::Float | FuKind::FpDiv => self.counters.fp_ops += 1,
+            _ => self.counters.int_ops += 1,
+        }
+
+        // ---------- Memory ----------
+        let mut complete = exec_start + exec_latency;
+        if let Some(mem) = inst.mem {
+            self.counters.lsq_searches += 1;
+            if inst.class == OpClass::Load {
+                self.counters.loads += 1;
+                // Store-to-load: check in-flight older stores.
+                let mut forwarded = false;
+                let mut must_wait_until = 0u64;
+                for &(sseq, saddr, ssize, sdata, scommit, spc) in self.store_window.iter().rev() {
+                    if sseq >= seq || scommit <= exec_start {
+                        continue;
+                    }
+                    let overlap = saddr < mem.addr + mem.size as u64
+                        && mem.addr < saddr + ssize as u64;
+                    if !overlap {
+                        continue;
+                    }
+                    if sdata <= exec_start || self.store_set.must_wait(inst.pc, spc) {
+                        // Forward (waiting for the data if predicted).
+                        forwarded = true;
+                        complete = exec_start.max(sdata) + 1;
+                        if sdata > exec_start {
+                            complete = sdata + 1;
+                        }
+                        self.counters.stl_forwards += 1;
+                    } else {
+                        // The load would have executed before the store's
+                        // data: a memory-order violation.
+                        self.counters.mem_order_violations += 1;
+                        self.counters.squashes += 1;
+                        self.store_set.train_violation(inst.pc, spc);
+                        must_wait_until = sdata + VIOLATION_PENALTY;
+                    }
+                    break; // youngest older overlapping store decides
+                }
+                if !forwarded {
+                    let r = self.dmem.access(mem.addr);
+                    self.counters.dcache_accesses += 1;
+                    if r.l1_miss {
+                        self.counters.dcache_misses += 1;
+                        self.counters.l2_accesses += 1;
+                    }
+                    if r.l2_miss {
+                        self.counters.l2_misses += 1;
+                    }
+                    self.counters.prefetches += r.prefetches as u64;
+                    complete = exec_start.max(must_wait_until) + r.latency as u64;
+                }
+            } else {
+                self.counters.stores += 1;
+                self.counters.dcache_accesses += 1;
+                // Stores write the cache at commit; account the access now.
+                let r = self.dmem.access(mem.addr);
+                if r.l1_miss {
+                    self.counters.dcache_misses += 1;
+                    self.counters.l2_accesses += 1;
+                }
+                if r.l2_miss {
+                    self.counters.l2_misses += 1;
+                }
+                complete = exec_start + 1;
+            }
+        }
+
+        if inst.dst.is_some() {
+            self.counters.regfile_writes += 1;
+        }
+        self.ready_ring[(seq as usize) % READY_RING] = complete;
+
+        // Branch resolution → redirect on mispredict.
+        if mispredicted {
+            self.counters.branch_mispredicts += 1;
+            self.counters.squashes += 1;
+            self.redirect_at = complete + 1;
+        }
+
+        // ---------- Commit ----------
+        let commit =
+            Self::bw_slot(&mut self.commit_bw, (complete + 1).max(self.last_commit), self.cfg.commit_width);
+        self.last_commit = commit;
+        self.commit_ring[(seq as usize) % BW_RING] = commit;
+        self.counters.committed += 1;
+        self.counters.rob_reads += 1;
+
+        if self.trace_log {
+            eprintln!(
+                "seq {seq} pc {:#x} {:?} fetch {fetch_time} alloc {alloc} select {select} \
+exec {exec_start} complete {complete} commit {commit}",
+                inst.pc, inst.class
+            );
+        }
+
+        // Track stores for forwarding decisions by later loads.
+        if inst.class == OpClass::Store {
+            if let Some(mem) = inst.mem {
+                if self.store_window.len() >= STORE_WINDOW {
+                    self.store_window.pop_front();
+                }
+                self.store_window
+                    .push_back((seq, mem.addr, mem.size, exec_start + 1, commit, inst.pc));
+            }
+        }
+        self.last_fetch_time = fetch_time;
+    }
+}

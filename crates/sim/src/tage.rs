@@ -1,0 +1,326 @@
+//! Branch prediction: a TAGE conditional predictor (8 components,
+//! geometric history lengths up to 130 bits — Table 2), a set-associative
+//! branch target buffer, and a return address stack.
+
+/// Number of tagged TAGE components.
+const TAGE_TABLES: usize = 7;
+/// Entries per tagged table (8 KiB budget across the predictor).
+const TAGE_ENTRIES: usize = 512;
+/// Bimodal base predictor entries.
+const BIMODAL_ENTRIES: usize = 4096;
+/// Geometric history lengths (min 4, max 130 per Table 2).
+const HIST_LEN: [usize; TAGE_TABLES] = [4, 8, 15, 27, 44, 76, 130];
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TageEntry {
+    tag: u16,
+    ctr: i8, // -4..=3 (taken if >= 0)
+    useful: u8,
+}
+
+/// A folded global-history register supporting O(1) updates.
+#[derive(Debug, Clone)]
+struct FoldedHistory {
+    comp: u64,
+    orig_len: usize,
+    comp_len: usize,
+}
+
+impl FoldedHistory {
+    fn new(orig_len: usize, comp_len: usize) -> Self {
+        FoldedHistory { comp: 0, orig_len, comp_len }
+    }
+
+    fn update(&mut self, new_bit: bool, evicted_bit: bool) {
+        // Shift in the new bit, fold around comp_len, remove the evicted.
+        self.comp = (self.comp << 1) | new_bit as u64;
+        self.comp ^= (evicted_bit as u64) << (self.orig_len % self.comp_len);
+        self.comp ^= self.comp >> self.comp_len;
+        self.comp &= (1 << self.comp_len) - 1;
+    }
+}
+
+/// The TAGE conditional branch predictor.
+///
+/// # Examples
+///
+/// ```
+/// use ch_sim::tage::Tage;
+///
+/// let mut t = Tage::new();
+/// // A strongly biased branch becomes predictable after brief training.
+/// for _ in 0..64 {
+///     let p = t.predict(0x4000);
+///     t.update(0x4000, true, p);
+/// }
+/// assert!(t.predict(0x4000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tage {
+    bimodal: Vec<i8>,
+    tables: Vec<Vec<TageEntry>>,
+    // Global history as a bit deque (only the low 130 bits matter).
+    history: Vec<bool>,
+    folded_idx: Vec<FoldedHistory>,
+    folded_tag: Vec<FoldedHistory>,
+}
+
+impl Default for Tage {
+    fn default() -> Self {
+        Tage::new()
+    }
+}
+
+impl Tage {
+    /// Creates a zero-trained predictor.
+    pub fn new() -> Self {
+        Tage {
+            bimodal: vec![0; BIMODAL_ENTRIES],
+            tables: vec![vec![TageEntry::default(); TAGE_ENTRIES]; TAGE_TABLES],
+            history: Vec::new(),
+            folded_idx: HIST_LEN.iter().map(|&l| FoldedHistory::new(l, 9)).collect(),
+            folded_tag: HIST_LEN.iter().map(|&l| FoldedHistory::new(l, 11)).collect(),
+        }
+    }
+
+    fn index(&self, pc: u64, t: usize) -> usize {
+        let f = &self.folded_idx[t];
+        ((pc >> 2) ^ (pc >> 11) ^ f.comp) as usize % TAGE_ENTRIES
+    }
+
+    fn tag(&self, pc: u64, t: usize) -> u16 {
+        let f = &self.folded_tag[t];
+        (((pc >> 2) ^ f.comp ^ (f.comp << 1)) & 0x7ff) as u16
+    }
+
+    /// Longest-matching component and its index, if any.
+    fn provider(&self, pc: u64) -> Option<(usize, usize)> {
+        for t in (0..TAGE_TABLES).rev() {
+            let i = self.index(pc, t);
+            if self.tables[t][i].tag == self.tag(pc, t) {
+                return Some((t, i));
+            }
+        }
+        None
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        match self.provider(pc) {
+            Some((t, i)) => self.tables[t][i].ctr >= 0,
+            None => self.bimodal[(pc >> 2) as usize % BIMODAL_ENTRIES] >= 0,
+        }
+    }
+
+    /// Trains on the resolved outcome; `predicted` is what [`Tage::predict`]
+    /// returned (used for allocation on mispredicts).
+    pub fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
+        let provider = self.provider(pc);
+        match provider {
+            Some((t, i)) => {
+                let e = &mut self.tables[t][i];
+                e.ctr = (e.ctr + if taken { 1 } else { -1 }).clamp(-4, 3);
+                if predicted == taken && e.useful < 3 {
+                    e.useful += 1;
+                }
+            }
+            None => {
+                let b = &mut self.bimodal[(pc >> 2) as usize % BIMODAL_ENTRIES];
+                *b = (*b + if taken { 1 } else { -1 }).clamp(-2, 1);
+            }
+        }
+        // Allocate a longer-history entry on a mispredict.
+        if predicted != taken {
+            let start = provider.map(|(t, _)| t + 1).unwrap_or(0);
+            let mut allocated = false;
+            for t in start..TAGE_TABLES {
+                let i = self.index(pc, t);
+                if self.tables[t][i].useful == 0 {
+                    self.tables[t][i] =
+                        TageEntry { tag: self.tag(pc, t), ctr: if taken { 0 } else { -1 }, useful: 0 };
+                    allocated = true;
+                    break;
+                }
+            }
+            if !allocated {
+                for t in start..TAGE_TABLES {
+                    let i = self.index(pc, t);
+                    let e = &mut self.tables[t][i];
+                    e.useful = e.useful.saturating_sub(1);
+                }
+            }
+        }
+        // Advance (folded) global history.
+        self.history.insert(0, taken);
+        if self.history.len() > 160 {
+            self.history.pop();
+        }
+        for t in 0..TAGE_TABLES {
+            let evicted = self.history.get(HIST_LEN[t]).copied().unwrap_or(false);
+            self.folded_idx[t].update(taken, evicted);
+            self.folded_tag[t].update(taken, evicted);
+        }
+    }
+}
+
+/// Set-associative branch target buffer (Table 2: 4-way, 8192 entries).
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<Vec<(u64, u64)>>, // (pc, target), LRU order: front = MRU
+    assoc: usize,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries and `assoc` ways.
+    pub fn new(entries: usize, assoc: usize) -> Self {
+        Btb { sets: vec![Vec::new(); entries / assoc], assoc }
+    }
+
+    fn set_of(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) % self.sets.len()
+    }
+
+    /// Predicted target for the branch at `pc`, if present.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        let s = self.set_of(pc);
+        let set = &mut self.sets[s];
+        if let Some(i) = set.iter().position(|&(p, _)| p == pc) {
+            let e = set.remove(i);
+            set.insert(0, e);
+            Some(set[0].1)
+        } else {
+            None
+        }
+    }
+
+    /// Installs or updates the target for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let s = self.set_of(pc);
+        let set = &mut self.sets[s];
+        if let Some(i) = set.iter().position(|&(p, _)| p == pc) {
+            set.remove(i);
+        } else if set.len() >= self.assoc {
+            set.pop();
+        }
+        set.insert(0, (pc, target));
+    }
+}
+
+/// Return address stack (16 entries, Table 2).
+#[derive(Debug, Clone, Default)]
+pub struct Ras {
+    stack: Vec<u64>,
+    capacity: usize,
+}
+
+impl Ras {
+    /// Creates a RAS with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Ras { stack: Vec::new(), capacity }
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, addr: u64) {
+        if self.stack.len() >= self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(addr);
+    }
+
+    /// Pops the predicted return address (on a return).
+    pub fn pop(&mut self) -> Option<u64> {
+        self.stack.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tage_learns_biased_branch() {
+        let mut t = Tage::new();
+        let mut wrong = 0;
+        for _ in 0..200 {
+            let p = t.predict(0x1234);
+            if !p {
+                wrong += 1;
+            }
+            t.update(0x1234, true, p);
+        }
+        assert!(wrong < 10, "got {wrong} mispredicts on an always-taken branch");
+    }
+
+    #[test]
+    fn tage_learns_alternating_pattern_with_history() {
+        let mut t = Tage::new();
+        let mut wrong_late = 0;
+        for i in 0..2000u32 {
+            let outcome = i % 2 == 0;
+            let p = t.predict(0x8000);
+            if p != outcome && i > 1000 {
+                wrong_late += 1;
+            }
+            t.update(0x8000, outcome, p);
+        }
+        assert!(
+            wrong_late < 50,
+            "alternating pattern should be learned via history ({wrong_late} late misses)"
+        );
+    }
+
+    #[test]
+    fn tage_learns_loop_exit_pattern() {
+        // taken 7 times, not-taken once, repeating (inner loop of 8).
+        let mut t = Tage::new();
+        let mut wrong_late = 0;
+        for i in 0..4000u32 {
+            let outcome = i % 8 != 7;
+            let p = t.predict(0x2040);
+            if p != outcome && i > 3000 {
+                wrong_late += 1;
+            }
+            t.update(0x2040, outcome, p);
+        }
+        assert!(wrong_late < 100, "loop pattern should mostly be learned ({wrong_late})");
+    }
+
+    #[test]
+    fn btb_hits_after_install_and_replaces_lru() {
+        let mut b = Btb::new(8, 2); // 4 sets × 2 ways
+        assert_eq!(b.lookup(0x100), None);
+        b.update(0x100, 0x900);
+        assert_eq!(b.lookup(0x100), Some(0x900));
+        // Two more conflicting entries evict the LRU.
+        let s = |pc: u64| ((pc >> 2) as usize) % 4;
+        let conflict1 = 0x100 + 4 * 4;
+        let conflict2 = 0x100 + 8 * 4;
+        assert_eq!(s(conflict1), s(0x100));
+        b.update(conflict1, 0x1);
+        b.lookup(0x100); // make 0x100 MRU
+        b.update(conflict2, 0x2);
+        assert_eq!(b.lookup(0x100), Some(0x900), "MRU survives");
+        assert_eq!(b.lookup(conflict1), None, "LRU evicted");
+    }
+
+    #[test]
+    fn ras_matches_call_return_nesting() {
+        let mut r = Ras::new(4);
+        r.push(0x10);
+        r.push(0x20);
+        assert_eq!(r.pop(), Some(0x20));
+        assert_eq!(r.pop(), Some(0x10));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+}

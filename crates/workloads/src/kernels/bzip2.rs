@@ -1,0 +1,162 @@
+//! 401.bzip2 analogue: run-length coding + move-to-front transform +
+//! symbol frequency counting over pseudo-random byte data — the branchy,
+//! byte-granular integer work that dominates bzip2 compression.
+
+use super::{fill, lcg};
+use crate::Scale;
+
+/// (input bytes, passes)
+fn params(scale: Scale) -> (i64, i64) {
+    match scale {
+        Scale::Test => (2_048, 2),
+        Scale::Small => (16_384, 8),
+        Scale::Full => (65_536, 24),
+    }
+}
+
+const TEMPLATE: &str = r#"
+global src: byte[@N];
+global out: byte[@N2];
+global mtf: int[64];
+global freq: int[64];
+
+fn lcg(x: int) -> int {
+    return (x * 1103515245 + 12345) & 0x7fffffff;
+}
+
+// Run-length encode src into out as (len, sym) byte pairs; returns the
+// number of output bytes.
+fn rle() -> int {
+    var o: int = 0;
+    var i: int = 0;
+    while (i < @N) {
+        var sym: int = src[i];
+        var len: int = 1;
+        while (i + len < @N && len < 255) {
+            if (src[i + len] != sym) { break; }
+            len += 1;
+        }
+        out[o] = len;
+        out[o + 1] = sym;
+        o += 2;
+        i += len;
+    }
+    return o;
+}
+
+// Move-to-front over the RLE output; counts ranks in freq.
+fn mtf_pass(olen: int) -> int {
+    for (var i: int = 0; i < 64; i += 1) { mtf[i] = i; }
+    var acc: int = 0;
+    for (var i: int = 0; i < olen; i += 1) {
+        var sym: int = out[i] & 63;
+        var r: int = 0;
+        while (mtf[r] != sym) { r += 1; }
+        // shift [0, r) up by one, put sym in front
+        for (var j: int = r; j > 0; j -= 1) { mtf[j] = mtf[j - 1]; }
+        mtf[0] = sym;
+        freq[r] += 1;
+        acc = (acc * 31 + r) & 0xffffff;
+    }
+    return acc;
+}
+
+fn main() -> int {
+    var x: int = 777;
+    var i: int = 0;
+    while (i < @N) {
+        x = lcg(x);
+        var sym: int = (x >> 5) & 15;
+        var run: int = 1 + (x & 7);
+        var j: int = 0;
+        while (j < run && i < @N) {
+            src[i] = sym;
+            i += 1;
+            j += 1;
+        }
+    }
+    var check: int = 0;
+    for (var p: int = 0; p < @PASSES; p += 1) {
+        var olen: int = rle();
+        var acc: int = mtf_pass(olen);
+        check = (check * 17 + acc + olen) & 0xffffff;
+        // perturb the buffer for the next pass
+        src[(check % @N)] = check & 15;
+    }
+    var fsum: int = 0;
+    for (var r: int = 0; r < 64; r += 1) { fsum = (fsum + freq[r] * (r + 1)) & 0xffffff; }
+    return (check * 4096 + fsum) & 0x3fffffff;
+}
+"#;
+
+/// Kern source at the given scale.
+pub fn source(scale: Scale) -> String {
+    let (n, passes) = params(scale);
+    fill(TEMPLATE, &[("N2", 2 * n), ("N", n), ("PASSES", passes)])
+}
+
+/// Bit-exact reference checksum.
+pub fn reference(scale: Scale) -> u64 {
+    let (n, passes) = params(scale);
+    let n = n as usize;
+    let mut src = vec![0u8; n];
+    let mut out = vec![0u8; 2 * n];
+    let mut freq = [0i64; 64];
+    let mut x: i64 = 777;
+    let mut i = 0usize;
+    while i < n {
+        x = lcg(x);
+        let sym = ((x >> 5) & 15) as u8;
+        let run = (1 + (x & 7)) as usize;
+        let mut j = 0;
+        while j < run && i < n {
+            src[i] = sym;
+            i += 1;
+            j += 1;
+        }
+    }
+    let mut check: i64 = 0;
+    for _ in 0..passes {
+        // rle
+        let mut o = 0usize;
+        let mut i = 0usize;
+        while i < n {
+            let sym = src[i];
+            let mut len = 1usize;
+            while i + len < n && len < 255 {
+                if src[i + len] != sym {
+                    break;
+                }
+                len += 1;
+            }
+            out[o] = len as u8;
+            out[o + 1] = sym;
+            o += 2;
+            i += len;
+        }
+        let olen = o;
+        // mtf
+        let mut mtf: Vec<i64> = (0..64).collect();
+        let mut acc: i64 = 0;
+        for &b in &out[..olen] {
+            let sym = (b & 63) as i64;
+            let mut r = 0usize;
+            while mtf[r] != sym {
+                r += 1;
+            }
+            for j in (1..=r).rev() {
+                mtf[j] = mtf[j - 1];
+            }
+            mtf[0] = sym;
+            freq[r] += 1;
+            acc = (acc * 31 + r as i64) & 0xffffff;
+        }
+        check = (check * 17 + acc + olen as i64) & 0xffffff;
+        src[(check % n as i64) as usize] = (check & 15) as u8;
+    }
+    let mut fsum: i64 = 0;
+    for (r, &f) in freq.iter().enumerate() {
+        fsum = (fsum + f * (r as i64 + 1)) & 0xffffff;
+    }
+    ((check * 4096 + fsum) & 0x3fff_ffff) as u64
+}

@@ -1,0 +1,208 @@
+//! CoreMark analogue: linked-list traversal + integer matrix multiply +
+//! a state machine, all folded into a CRC-style checksum through helper
+//! calls (CoreMark's own structure).
+
+use super::{fill, lcg};
+use crate::Scale;
+
+/// (list nodes, matrix dim, iterations)
+fn params(scale: Scale) -> (i64, i64, i64) {
+    match scale {
+        Scale::Test => (64, 8, 4),
+        Scale::Small => (256, 12, 60),
+        Scale::Full => (512, 16, 400),
+    }
+}
+
+const TEMPLATE: &str = r#"
+global listnext: int[@N];
+global listval: int[@N];
+global mata: int[@MM];
+global matb: int[@MM];
+global matc: int[@MM];
+
+fn lcg(x: int) -> int {
+    return (x * 1103515245 + 12345) & 0x7fffffff;
+}
+
+fn crc16(v: int, crc: int) -> int {
+    var x: int = v & 0xffff;
+    var c: int = crc;
+    for (var i: int = 0; i < 16; i += 1) {
+        var bit: int = (x ^ c) & 1;
+        c = c >> 1;
+        if (bit != 0) { c = c ^ 0xa001; }
+        x = x >> 1;
+    }
+    return c;
+}
+
+fn list_run(start: int, hops: int) -> int {
+    var p: int = start;
+    var acc: int = 0;
+    for (var i: int = 0; i < hops; i += 1) {
+        acc = (acc + listval[p]) & 0xffffff;
+        p = listnext[p];
+    }
+    return acc + p;
+}
+
+fn matmul() -> int {
+    var acc: int = 0;
+    for (var i: int = 0; i < @M; i += 1) {
+        for (var j: int = 0; j < @M; j += 1) {
+            var s: int = 0;
+            for (var k: int = 0; k < @M; k += 1) {
+                s += mata[i * @M + k] * matb[k * @M + j];
+            }
+            matc[i * @M + j] = s;
+            acc = (acc + s) & 0xffffff;
+        }
+    }
+    return acc;
+}
+
+fn state_machine(seed: int, steps: int) -> int {
+    var x: int = seed;
+    var state: int = 0;
+    var counts: int = 0;
+    for (var i: int = 0; i < steps; i += 1) {
+        x = lcg(x);
+        var sym: int = (x >> 7) & 7;
+        if (state == 0) {
+            if (sym < 2) { state = 1; } else { state = 2; }
+        } else if (state == 1) {
+            if (sym == 3) { state = 3; } else if (sym > 5) { state = 0; }
+        } else if (state == 2) {
+            if ((sym & 1) == 1) { state = 3; } else { state = 1; }
+        } else {
+            counts += sym;
+            state = 0;
+        }
+        counts = (counts + state) & 0xffffff;
+    }
+    return counts;
+}
+
+fn main() -> int {
+    var x: int = 12345;
+    for (var i: int = 0; i < @N; i += 1) {
+        listnext[i] = (i + 17) % @N;
+        x = lcg(x);
+        listval[i] = x & 0xff;
+    }
+    for (var i: int = 0; i < @MM; i += 1) {
+        x = lcg(x);
+        mata[i] = x & 15;
+        x = lcg(x);
+        matb[i] = x & 15;
+    }
+    var crc: int = 0xffff;
+    for (var it: int = 0; it < @ITER; it += 1) {
+        var a: int = list_run(it % @N, @N);
+        var b: int = matmul();
+        var c: int = state_machine(it + 7, @N);
+        crc = crc16(a, crc);
+        crc = crc16(b, crc);
+        crc = crc16(c, crc);
+    }
+    return crc;
+}
+"#;
+
+/// Kern source at the given scale.
+pub fn source(scale: Scale) -> String {
+    let (n, m, iter) = params(scale);
+    fill(TEMPLATE, &[("N", n), ("MM", m * m), ("M", m), ("ITER", iter)])
+}
+
+/// Bit-exact reference checksum.
+pub fn reference(scale: Scale) -> u64 {
+    let (n, m, iter) = params(scale);
+    let (n, m, iter) = (n as usize, m as usize, iter as usize);
+    let mut listnext = vec![0i64; n];
+    let mut listval = vec![0i64; n];
+    let mut mata = vec![0i64; m * m];
+    let mut matb = vec![0i64; m * m];
+    let mut matc = vec![0i64; m * m];
+    let mut x: i64 = 12345;
+    for i in 0..n {
+        listnext[i] = ((i + 17) % n) as i64;
+        x = lcg(x);
+        listval[i] = x & 0xff;
+    }
+    for i in 0..m * m {
+        x = lcg(x);
+        mata[i] = x & 15;
+        x = lcg(x);
+        matb[i] = x & 15;
+    }
+    fn crc16(v: i64, crc: i64) -> i64 {
+        let mut x = v & 0xffff;
+        let mut c = crc;
+        for _ in 0..16 {
+            let bit = (x ^ c) & 1;
+            c >>= 1;
+            if bit != 0 {
+                c ^= 0xa001;
+            }
+            x >>= 1;
+        }
+        c
+    }
+    let mut crc: i64 = 0xffff;
+    for it in 0..iter {
+        // list_run
+        let mut p = (it % n) as i64;
+        let mut a: i64 = 0;
+        for _ in 0..n {
+            a = (a + listval[p as usize]) & 0xffffff;
+            p = listnext[p as usize];
+        }
+        let a = a + p;
+        // matmul
+        let mut b: i64 = 0;
+        for i in 0..m {
+            for j in 0..m {
+                let mut s: i64 = 0;
+                for k in 0..m {
+                    s += mata[i * m + k] * matb[k * m + j];
+                }
+                matc[i * m + j] = s;
+                b = (b + s) & 0xffffff;
+            }
+        }
+        // state machine
+        let mut sx = it as i64 + 7;
+        let mut state: i64 = 0;
+        let mut c: i64 = 0;
+        for _ in 0..n {
+            sx = lcg(sx);
+            let sym = (sx >> 7) & 7;
+            if state == 0 {
+                state = if sym < 2 { 1 } else { 2 };
+            } else if state == 1 {
+                if sym == 3 {
+                    state = 3;
+                } else if sym > 5 {
+                    state = 0;
+                }
+            } else if state == 2 {
+                if sym & 1 == 1 {
+                    state = 3;
+                } else {
+                    state = 1;
+                }
+            } else {
+                c += sym;
+                state = 0;
+            }
+            c = (c + state) & 0xffffff;
+        }
+        crc = crc16(a, crc);
+        crc = crc16(b, crc);
+        crc = crc16(c, crc);
+    }
+    let _ = matc;
+    crc as u64
+}

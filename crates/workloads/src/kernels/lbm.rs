@@ -1,0 +1,130 @@
+//! 619.lbm_s analogue: a D1Q3 lattice-Boltzmann stream-and-collide kernel
+//! — the long-lived floating-point state (relaxation rate, lattice
+//! weights, whole distribution arrays) that made lbm STRAIGHT's worst
+//! case and Clockhands' showcase (Section 7.2(5)).
+
+use super::fill;
+use crate::Scale;
+
+/// (cells, time steps)
+fn params(scale: Scale) -> (i64, i64) {
+    match scale {
+        Scale::Test => (128, 24),
+        Scale::Small => (512, 120),
+        Scale::Full => (2_048, 400),
+    }
+}
+
+const TEMPLATE: &str = r#"
+global f0: real[@N];
+global f1: real[@N];
+global f2: real[@N];
+global g1: real[@N];
+global g2: real[@N];
+
+fn main() -> int {
+    // Lattice weights for D1Q3: 2/3 rest, 1/6 each direction.
+    var w0: real = 0.666666666666;
+    var w1: real = 0.166666666667;
+    var omega: real = 1.7;
+    // Initial condition: a smooth density bump, zero velocity.
+    for (var i: int = 0; i < @N; i += 1) {
+        var frac: real = real(i) / real(@N);
+        var rho: real = 1.0 + 0.1 * frac * (1.0 - frac) * 4.0;
+        f0[i] = w0 * rho;
+        f1[i] = w1 * rho;
+        f2[i] = w1 * rho;
+    }
+    for (var t: int = 0; t < @T; t += 1) {
+        // Collide.
+        for (var i: int = 0; i < @N; i += 1) {
+            var a: real = f0[i];
+            var b: real = f1[i];
+            var c: real = f2[i];
+            var rho: real = a + b + c;
+            var u: real = (b - c) / rho;
+            var usq: real = u * u;
+            var eq0: real = w0 * rho * (1.0 - 1.5 * usq);
+            var eq1: real = w1 * rho * (1.0 + 3.0 * u + 4.5 * usq - 1.5 * usq);
+            var eq2: real = w1 * rho * (1.0 - 3.0 * u + 4.5 * usq - 1.5 * usq);
+            f0[i] = a + omega * (eq0 - a);
+            g1[i] = b + omega * (eq1 - b);
+            g2[i] = c + omega * (eq2 - c);
+        }
+        // Stream with periodic boundaries: f1 moves right, f2 moves left.
+        for (var i: int = 0; i < @N; i += 1) {
+            var r: int = i + 1;
+            if (r == @N) { r = 0; }
+            f1[r] = g1[i];
+            f2[i] = g2[r];
+        }
+    }
+    // Checksum: quantised total density and momentum.
+    var rhosum: real = 0.0;
+    var msum: real = 0.0;
+    for (var i: int = 0; i < @N; i += 1) {
+        rhosum = rhosum + f0[i] + f1[i] + f2[i];
+        msum = msum + (f1[i] - f2[i]);
+    }
+    var a: int = int(rhosum * 1000.0) & 0xfffff;
+    var b: int = int(msum * 1000000.0) & 0xfff;
+    return a * 4096 + b;
+}
+"#;
+
+/// Kern source at the given scale.
+pub fn source(scale: Scale) -> String {
+    let (n, t) = params(scale);
+    fill(TEMPLATE, &[("N", n), ("T", t)])
+}
+
+/// Bit-exact reference checksum (same operation order as the kernel).
+pub fn reference(scale: Scale) -> u64 {
+    let (n, t) = params(scale);
+    let n = n as usize;
+    let w0 = 0.666666666666f64;
+    let w1 = 0.166666666667f64;
+    let omega = 1.7f64;
+    let mut f0 = vec![0f64; n];
+    let mut f1 = vec![0f64; n];
+    let mut f2 = vec![0f64; n];
+    let mut g1 = vec![0f64; n];
+    let mut g2 = vec![0f64; n];
+    for i in 0..n {
+        let frac = i as f64 / n as f64;
+        let rho = 1.0 + 0.1 * frac * (1.0 - frac) * 4.0;
+        f0[i] = w0 * rho;
+        f1[i] = w1 * rho;
+        f2[i] = w1 * rho;
+    }
+    for _ in 0..t {
+        for i in 0..n {
+            let a = f0[i];
+            let b = f1[i];
+            let c = f2[i];
+            let rho = a + b + c;
+            let u = (b - c) / rho;
+            let usq = u * u;
+            let eq0 = w0 * rho * (1.0 - 1.5 * usq);
+            let eq1 = w1 * rho * (1.0 + 3.0 * u + 4.5 * usq - 1.5 * usq);
+            let eq2 = w1 * rho * (1.0 - 3.0 * u + 4.5 * usq - 1.5 * usq);
+            f0[i] = a + omega * (eq0 - a);
+            g1[i] = b + omega * (eq1 - b);
+            g2[i] = c + omega * (eq2 - c);
+        }
+        for i in 0..n {
+            let r = if i + 1 == n { 0 } else { i + 1 };
+            f1[r] = g1[i];
+            f2[i] = g2[r];
+        }
+    }
+    let mut rhosum = 0f64;
+    let mut msum = 0f64;
+    for i in 0..n {
+        rhosum = rhosum + f0[i] + f1[i] + f2[i];
+        msum += f1[i] - f2[i];
+    }
+    let a = ((rhosum * 1000.0) as i64) & 0xfffff;
+    let b = ((msum * 1_000_000.0) as i64) & 0xfff;
+    (a * 4096 + b) as u64
+}

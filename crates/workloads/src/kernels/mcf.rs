@@ -1,0 +1,145 @@
+//! 605.mcf_s analogue: repeated arc relaxation over a sparse network
+//! stored as index-linked adjacency chains — pointer chasing with
+//! irregular access, and (like mcf) helper functions called from the hot
+//! loop, exercising the s-hand argument traffic the paper highlights in
+//! Fig. 16.
+
+use super::{fill, lcg};
+use crate::Scale;
+
+/// (nodes, arcs, passes)
+fn params(scale: Scale) -> (i64, i64, i64) {
+    match scale {
+        Scale::Test => (128, 512, 6),
+        Scale::Small => (1_024, 4_096, 20),
+        Scale::Full => (4_096, 16_384, 60),
+    }
+}
+
+const TEMPLATE: &str = r#"
+global firstarc: int[@NODES];
+global nextarc: int[@ARCS];
+global archead: int[@ARCS];
+global arccost: int[@ARCS];
+global dist: int[@NODES];
+global pot: int[@NODES];
+
+fn lcg(x: int) -> int {
+    return (x * 1103515245 + 12345) & 0x7fffffff;
+}
+
+fn reduced_cost(a: int, d: int) -> int {
+    return d + arccost[a] - pot[archead[a]];
+}
+
+fn relax(node: int) -> int {
+    var improved: int = 0;
+    var d: int = dist[node];
+    var a: int = firstarc[node];
+    while (a >= 0) {
+        var h: int = archead[a];
+        var nd: int = reduced_cost(a, d);
+        if (nd < dist[h]) {
+            dist[h] = nd;
+            improved += 1;
+        }
+        a = nextarc[a];
+    }
+    return improved;
+}
+
+fn main() -> int {
+    var x: int = 99;
+    for (var i: int = 0; i < @NODES; i += 1) {
+        firstarc[i] = 0 - 1;
+        dist[i] = 0xfffff;
+        x = lcg(x);
+        pot[i] = x & 31;
+    }
+    dist[0] = 0;
+    for (var a: int = 0; a < @ARCS; a += 1) {
+        x = lcg(x);
+        var tail: int = x % @NODES;
+        x = lcg(x);
+        archead[a] = x % @NODES;
+        x = lcg(x);
+        arccost[a] = 1 + (x & 63);
+        nextarc[a] = firstarc[tail];
+        firstarc[tail] = a;
+    }
+    var total: int = 0;
+    for (var p: int = 0; p < @PASSES; p += 1) {
+        var improved: int = 0;
+        for (var node: int = 0; node < @NODES; node += 1) {
+            improved += relax(node);
+        }
+        total = (total * 7 + improved) & 0xffffff;
+        if (improved == 0) { break; }
+    }
+    var csum: int = 0;
+    for (var i: int = 0; i < @NODES; i += 1) {
+        csum = (csum + dist[i]) & 0xffffff;
+    }
+    return (total * 4096 + (csum & 0xfff)) & 0x3fffffff;
+}
+"#;
+
+/// Kern source at the given scale.
+pub fn source(scale: Scale) -> String {
+    let (nodes, arcs, passes) = params(scale);
+    fill(TEMPLATE, &[("NODES", nodes), ("ARCS", arcs), ("PASSES", passes)])
+}
+
+/// Bit-exact reference checksum.
+pub fn reference(scale: Scale) -> u64 {
+    let (nodes, arcs, passes) = params(scale);
+    let (nodes_u, arcs_u) = (nodes as usize, arcs as usize);
+    let mut firstarc = vec![-1i64; nodes_u];
+    let mut nextarc = vec![0i64; arcs_u];
+    let mut archead = vec![0i64; arcs_u];
+    let mut arccost = vec![0i64; arcs_u];
+    let mut dist = vec![0xfffffi64; nodes_u];
+    let mut pot = vec![0i64; nodes_u];
+    let mut x: i64 = 99;
+    for p in pot.iter_mut() {
+        x = lcg(x);
+        *p = x & 31;
+    }
+    dist[0] = 0;
+    for a in 0..arcs_u {
+        x = lcg(x);
+        let tail = (x % nodes) as usize;
+        x = lcg(x);
+        archead[a] = x % nodes;
+        x = lcg(x);
+        arccost[a] = 1 + (x & 63);
+        nextarc[a] = firstarc[tail];
+        firstarc[tail] = a as i64;
+    }
+    let mut total: i64 = 0;
+    for _ in 0..passes {
+        let mut improved: i64 = 0;
+        for node in 0..nodes_u {
+            let d = dist[node];
+            let mut a = firstarc[node];
+            while a >= 0 {
+                let h = archead[a as usize] as usize;
+                let nd = d + arccost[a as usize] - pot[h];
+                if nd < dist[h] {
+                    dist[h] = nd;
+                    improved += 1;
+                }
+                a = nextarc[a as usize];
+            }
+        }
+        total = (total * 7 + improved) & 0xffffff;
+        if improved == 0 {
+            break;
+        }
+    }
+    let mut csum: i64 = 0;
+    for &d in &dist {
+        csum = (csum + d) & 0xffffff;
+    }
+    ((total * 4096 + (csum & 0xfff)) & 0x3fff_ffff) as u64
+}

@@ -1,0 +1,52 @@
+//! The five benchmark kernels, one module each.
+//!
+//! Each module exposes `source(scale) -> String` (the Kern program) and
+//! `reference(scale) -> u64` (a bit-exact Rust mirror of the checksum).
+//! Kernels generate their own inputs with a 31-bit LCG so no external
+//! data files are required.
+
+pub mod bzip2;
+pub mod coremark;
+pub mod lbm;
+pub mod mcf;
+pub mod xz;
+
+/// The LCG every kernel uses: `x' = (x * 1103515245 + 12345) & 0x7fffffff`.
+pub(crate) fn lcg(x: i64) -> i64 {
+    (x.wrapping_mul(1_103_515_245).wrapping_add(12_345)) & 0x7fff_ffff
+}
+
+/// Substitutes `@NAME` placeholders in a kernel template.
+pub(crate) fn fill(template: &str, subs: &[(&str, i64)]) -> String {
+    let mut s = template.to_string();
+    for (k, v) in subs {
+        s = s.replace(&format!("@{k}"), &v.to_string());
+    }
+    assert!(!s.contains('@'), "unsubstituted placeholder in kernel");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_31_bit() {
+        let mut x = 42;
+        for _ in 0..1000 {
+            x = lcg(x);
+            assert!((0..=0x7fff_ffff).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_substitutes() {
+        assert_eq!(fill("a @N b @N @M", &[("N", 3), ("M", 7)]), "a 3 b 3 7");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsubstituted")]
+    fn fill_catches_typos() {
+        let _ = fill("@OOPS", &[("N", 1)]);
+    }
+}

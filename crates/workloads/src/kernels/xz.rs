@@ -1,0 +1,175 @@
+//! 657.xz_s analogue: an LZ77 hash-chain match finder. Saturates the
+//! integer ALUs with hashing and match-length extension, with heavily
+//! data-dependent branches — the paper notes xz is the benchmark where
+//! instruction ordering matters most because the integer units are the
+//! bottleneck.
+
+use super::{fill, lcg};
+use crate::Scale;
+
+/// (input bytes, chain depth)
+fn params(scale: Scale) -> (i64, i64) {
+    match scale {
+        Scale::Test => (2_048, 8),
+        Scale::Small => (16_384, 16),
+        Scale::Full => (65_536, 32),
+    }
+}
+
+const HASH_SIZE: i64 = 1 << 12;
+
+const TEMPLATE: &str = r#"
+global buf: byte[@N];
+global head: int[@HS];
+global prev: int[@N];
+
+fn lcg(x: int) -> int {
+    return (x * 1103515245 + 12345) & 0x7fffffff;
+}
+
+fn hash3(i: int) -> int {
+    var h: int = buf[i] * 506832829 + buf[i + 1] * 65599 + buf[i + 2];
+    return (h ^ (h >> 9)) & (@HS - 1);
+}
+
+fn match_len(i: int, j: int, limit: int) -> int {
+    var l: int = 0;
+    while (l < limit) {
+        if (buf[i + l] != buf[j + l]) { break; }
+        l += 1;
+    }
+    return l;
+}
+
+fn main() -> int {
+    // Compressible input: short pseudo-random phrases with repetitions.
+    var x: int = 4242;
+    var i: int = 0;
+    while (i < @N) {
+        x = lcg(x);
+        if ((x & 3) == 0 && i > 64) {
+            // copy an earlier phrase
+            var back: int = 1 + ((x >> 4) & 63);
+            var len: int = 4 + ((x >> 10) & 15);
+            var j: int = 0;
+            while (j < len && i < @N) {
+                buf[i] = buf[i - back];
+                i += 1;
+                j += 1;
+            }
+        } else {
+            buf[i] = (x >> 8) & 255;
+            i += 1;
+        }
+    }
+    for (var h: int = 0; h < @HS; h += 1) { head[h] = 0 - 1; }
+    var matched: int = 0;
+    var literals: int = 0;
+    var best_total: int = 0;
+    var pos: int = 0;
+    while (pos + 4 < @N) {
+        var h: int = hash3(pos);
+        var cand: int = head[h];
+        var best: int = 0;
+        var depth: int = 0;
+        var limit: int = @N - pos - 1;
+        if (limit > 128) { limit = 128; }
+        while (cand >= 0 && depth < @DEPTH) {
+            var l: int = match_len(pos, cand, limit);
+            if (l > best) { best = l; }
+            cand = prev[cand];
+            depth += 1;
+        }
+        prev[pos] = head[h];
+        head[h] = pos;
+        if (best >= 4) {
+            matched += 1;
+            best_total = (best_total + best) & 0xffffff;
+            pos += best;
+        } else {
+            literals += 1;
+            pos += 1;
+        }
+    }
+    return ((matched & 0xfff) * 262144 + (literals & 0x3f) * 4096
+            + (best_total & 0xfff)) & 0x3fffffff;
+}
+"#;
+
+/// Kern source at the given scale.
+pub fn source(scale: Scale) -> String {
+    let (n, depth) = params(scale);
+    fill(TEMPLATE, &[("N", n), ("HS", HASH_SIZE), ("DEPTH", depth)])
+}
+
+/// Bit-exact reference checksum.
+pub fn reference(scale: Scale) -> u64 {
+    let (n, depth) = params(scale);
+    let n_us = n as usize;
+    let hs = HASH_SIZE;
+    let mut buf = vec![0u8; n_us];
+    let mut head = vec![-1i64; hs as usize];
+    let mut prev = vec![0i64; n_us];
+    let mut x: i64 = 4242;
+    let mut i = 0usize;
+    while i < n_us {
+        x = lcg(x);
+        if (x & 3) == 0 && i > 64 {
+            let back = (1 + ((x >> 4) & 63)) as usize;
+            let len = (4 + ((x >> 10) & 15)) as usize;
+            let mut j = 0;
+            while j < len && i < n_us {
+                buf[i] = buf[i - back];
+                i += 1;
+                j += 1;
+            }
+        } else {
+            buf[i] = ((x >> 8) & 255) as u8;
+            i += 1;
+        }
+    }
+    let hash3 = |buf: &[u8], i: usize| -> i64 {
+        let h = buf[i] as i64 * 506_832_829 + buf[i + 1] as i64 * 65599 + buf[i + 2] as i64;
+        (h ^ (h >> 9)) & (hs - 1)
+    };
+    let mut matched: i64 = 0;
+    let mut literals: i64 = 0;
+    let mut best_total: i64 = 0;
+    let mut pos: i64 = 0;
+    while pos + 4 < n {
+        let h = hash3(&buf, pos as usize) as usize;
+        let mut cand = head[h];
+        let mut best: i64 = 0;
+        let mut d = 0;
+        let mut limit = n - pos - 1;
+        if limit > 128 {
+            limit = 128;
+        }
+        while cand >= 0 && d < depth {
+            let mut l: i64 = 0;
+            while l < limit {
+                if buf[(pos + l) as usize] != buf[(cand + l) as usize] {
+                    break;
+                }
+                l += 1;
+            }
+            if l > best {
+                best = l;
+            }
+            cand = prev[cand as usize];
+            d += 1;
+        }
+        prev[pos as usize] = head[h];
+        head[h] = pos;
+        if best >= 4 {
+            matched += 1;
+            best_total = (best_total + best) & 0xffffff;
+            pos += best;
+        } else {
+            literals += 1;
+            pos += 1;
+        }
+    }
+    (((matched & 0xfff) * 262_144 + (literals & 0x3f) * 4096 + (best_total & 0xfff))
+        & 0x3fff_ffff) as u64
+}

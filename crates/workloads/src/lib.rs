@@ -1,0 +1,189 @@
+#![warn(missing_docs)]
+
+//! Benchmark kernels for the Clockhands reproduction.
+//!
+//! The paper evaluates CoreMark plus four SPEC CPU benchmarks (401.bzip2,
+//! 605.mcf_s, 619.lbm_s, 657.xz_s). SPEC sources and inputs are licensed,
+//! so this crate provides Kern kernels that reproduce each benchmark's
+//! *dominant behaviour* (see DESIGN.md for the substitution argument):
+//!
+//! * [`Workload::Coremark`] — linked-list traversal, a small integer
+//!   matrix multiply, and a state machine with CRC accumulation.
+//! * [`Workload::Bzip2`] — run-length + move-to-front coding with
+//!   frequency counting over pseudo-random bytes (branchy byte work).
+//! * [`Workload::Mcf`] — arc-relaxation over a sparse graph with helper
+//!   functions called inside the hot loop (pointer chasing + calls).
+//! * [`Workload::Lbm`] — a floating-point stencil streaming over a grid
+//!   (long-lived FP values).
+//! * [`Workload::Xz`] — an LZ77-style hash-chain match finder that
+//!   saturates the integer units.
+//!
+//! Every kernel generates its input with an in-kernel LCG, returns a
+//! checksum, and has a bit-exact Rust [`reference`](Workload::reference)
+//! used to validate all three compiled ISAs.
+
+mod kernels;
+
+use ch_compiler::{compile, CompileError, CompiledSet};
+
+/// Benchmark selection (paper naming in [`Workload::paper_name`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Workload {
+    /// CoreMark analogue.
+    Coremark,
+    /// 401.bzip2 analogue.
+    Bzip2,
+    /// 605.mcf_s analogue.
+    Mcf,
+    /// 619.lbm_s analogue.
+    Lbm,
+    /// 657.xz_s analogue.
+    Xz,
+}
+
+/// Problem size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scale {
+    /// Tiny: suitable for unit tests (≈10⁴–10⁵ instructions).
+    Test,
+    /// Small: for quick simulations (≈10⁶ instructions).
+    Small,
+    /// Full: for the headline figures (≈10⁷ instructions).
+    Full,
+}
+
+impl Workload {
+    /// All workloads in the paper's figure order.
+    pub const ALL: [Workload; 5] = [
+        Workload::Coremark,
+        Workload::Bzip2,
+        Workload::Mcf,
+        Workload::Lbm,
+        Workload::Xz,
+    ];
+
+    /// Short identifier (used in file names and tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Coremark => "coremark",
+            Workload::Bzip2 => "bzip2",
+            Workload::Mcf => "mcf",
+            Workload::Lbm => "lbm",
+            Workload::Xz => "xz",
+        }
+    }
+
+    /// The benchmark name used in the paper's figures.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Workload::Coremark => "CoreMark",
+            Workload::Bzip2 => "401.bzip2",
+            Workload::Mcf => "605.mcf_s",
+            Workload::Lbm => "619.lbm_s",
+            Workload::Xz => "657.xz_s",
+        }
+    }
+
+    /// The Kern source of the kernel at the given scale.
+    pub fn source(self, scale: Scale) -> String {
+        match self {
+            Workload::Coremark => kernels::coremark::source(scale),
+            Workload::Bzip2 => kernels::bzip2::source(scale),
+            Workload::Mcf => kernels::mcf::source(scale),
+            Workload::Lbm => kernels::lbm::source(scale),
+            Workload::Xz => kernels::xz::source(scale),
+        }
+    }
+
+    /// Bit-exact Rust reference checksum for validation.
+    pub fn reference(self, scale: Scale) -> u64 {
+        match self {
+            Workload::Coremark => kernels::coremark::reference(scale),
+            Workload::Bzip2 => kernels::bzip2::reference(scale),
+            Workload::Mcf => kernels::mcf::reference(scale),
+            Workload::Lbm => kernels::lbm::reference(scale),
+            Workload::Xz => kernels::xz::reference(scale),
+        }
+    }
+
+    /// Compiles the kernel for all three ISAs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`CompileError`] (a kernel that fails to
+    /// compile is a bug in this crate).
+    pub fn compile(self, scale: Scale) -> Result<CompiledSet, CompileError> {
+        compile(&self.source(scale))
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ch_baselines::{riscv, straight};
+    use clockhands::interp::Interpreter as ChInterp;
+
+    /// Instruction budget generous enough for Test scale on every ISA.
+    const LIMIT: u64 = 80_000_000;
+
+    #[test]
+    fn all_kernels_agree_across_isas_and_reference() {
+        for w in Workload::ALL {
+            let expect = w.reference(Scale::Test);
+            let set = w.compile(Scale::Test).unwrap_or_else(|e| panic!("{w}: {e}"));
+
+            let rv = riscv::interp::Interpreter::new(set.riscv)
+                .unwrap()
+                .run(LIMIT)
+                .unwrap_or_else(|e| panic!("{w}/riscv: {e}"));
+            assert_eq!(rv.exit_value, expect, "{w}: RISC-V checksum");
+
+            let st = straight::interp::Interpreter::new(set.straight)
+                .unwrap()
+                .run(LIMIT)
+                .unwrap_or_else(|e| panic!("{w}/straight: {e}"));
+            assert_eq!(st.exit_value, expect, "{w}: STRAIGHT checksum");
+
+            let ch = ChInterp::new(set.clockhands)
+                .unwrap()
+                .run(LIMIT)
+                .unwrap_or_else(|e| panic!("{w}/clockhands: {e}"));
+            assert_eq!(ch.exit_value, expect, "{w}: Clockhands checksum");
+
+            // The paper's Fig. 15 ordering: STRAIGHT executes the most
+            // instructions.
+            assert!(
+                st.committed > rv.committed,
+                "{w}: STRAIGHT should execute more instructions ({} vs {})",
+                st.committed,
+                rv.committed
+            );
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let w = Workload::Coremark;
+        let t = riscv::interp::Interpreter::new(w.compile(Scale::Test).unwrap().riscv)
+            .unwrap()
+            .run(LIMIT)
+            .unwrap();
+        let s = riscv::interp::Interpreter::new(w.compile(Scale::Small).unwrap().riscv)
+            .unwrap()
+            .run(LIMIT)
+            .unwrap();
+        assert!(s.committed > t.committed);
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(Workload::Mcf.paper_name(), "605.mcf_s");
+        assert_eq!(Workload::Coremark.to_string(), "CoreMark");
+    }
+}
