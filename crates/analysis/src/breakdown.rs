@@ -16,7 +16,10 @@ pub struct InstructionMix {
 impl InstructionMix {
     /// The count for one class.
     pub fn count(&self, class: OpClass) -> u64 {
-        let idx = OpClass::ALL.iter().position(|&c| c == class).expect("known class");
+        let idx = OpClass::ALL
+            .iter()
+            .position(|&c| c == class)
+            .expect("known class");
         self.counts[idx]
     }
 
@@ -39,7 +42,10 @@ impl InstructionMix {
 pub fn instruction_mix<'a>(trace: impl Iterator<Item = &'a DynInst>) -> InstructionMix {
     let mut mix = InstructionMix::default();
     for inst in trace {
-        let idx = OpClass::ALL.iter().position(|&c| c == inst.class).expect("known class");
+        let idx = OpClass::ALL
+            .iter()
+            .position(|&c| c == inst.class)
+            .expect("known class");
         mix.counts[idx] += 1;
         mix.total += 1;
     }
@@ -141,14 +147,24 @@ mod tests {
         let v_writes = u.writes[2];
         let v_reads = u.reads[2];
         assert!(t_writes > v_writes, "t written most: {:?}", u.writes);
-        assert!(v_reads > v_writes * 4, "v read-heavy: r={v_reads} w={v_writes}");
+        assert!(
+            v_reads > v_writes * 4,
+            "v read-heavy: r={v_reads} w={v_writes}"
+        );
     }
 
     #[test]
     fn s_hand_rarely_written_in_leaf_code() {
-        let t = ch_trace("fn main() -> int { var s: int = 0;
-            for (var i: int = 0; i < 100; i += 1) { s += i; } return s; }");
+        let t = ch_trace(
+            "fn main() -> int { var s: int = 0;
+            for (var i: int = 0; i < 100; i += 1) { s += i; } return s; }",
+        );
         let u = hand_usage(t.iter());
-        assert!(u.writes[3] < u.total / 20, "s writes {:?} of {}", u.writes[3], u.total);
+        assert!(
+            u.writes[3] < u.total / 20,
+            "s writes {:?} of {}",
+            u.writes[3],
+            u.total
+        );
     }
 }

@@ -24,7 +24,11 @@ pub struct HandsSweep {
 impl HandsSweep {
     /// Remaining fraction for `k` hands (the Fig. 7 y-axis).
     pub fn fraction(&self, k: usize, with_sp: bool) -> f64 {
-        let rem = if with_sp { self.remaining_with_sp[k - 1] } else { self.remaining_general[k - 1] };
+        let rem = if with_sp {
+            self.remaining_with_sp[k - 1]
+        } else {
+            self.remaining_general[k - 1]
+        };
         rem as f64 / self.baseline.max(1) as f64
     }
 }
@@ -67,13 +71,19 @@ pub fn hands_sweep(trace: &[DynInst]) -> HandsSweep {
                 CtrlKind::Ret => {
                     call_depth = call_depth.saturating_sub(1);
                     // Loops of the returning function are finished.
-                    while stack.last().map(|l| l.call_depth > call_depth).unwrap_or(false) {
+                    while stack
+                        .last()
+                        .map(|l| l.call_depth > call_depth)
+                        .unwrap_or(false)
+                    {
                         stack.pop();
                     }
                 }
                 _ => {}
             }
-            if ctrl.taken && ctrl.target <= inst.pc && !ctrl.kind.is_indirect()
+            if ctrl.taken
+                && ctrl.target <= inst.pc
+                && !ctrl.kind.is_indirect()
                 && ctrl.kind != CtrlKind::Call
             {
                 if let Some(pos) = stack.iter().position(|l| l.head_pc == ctrl.target) {
@@ -100,14 +110,16 @@ pub fn hands_sweep(trace: &[DynInst]) -> HandsSweep {
         }
     }
     let baseline: u64 = relays_by_depth.iter().sum();
-    let mut out = HandsSweep { baseline, ..Default::default() };
+    let mut out = HandsSweep {
+        baseline,
+        ..Default::default()
+    };
     for k in 1..=8usize {
         // k hands, one for changing values: constants of loops nested
         // deeper than k-1 still need relays.
         let covered_general = k.saturating_sub(1);
         let covered_sp = k.saturating_sub(2);
-        out.remaining_general[k - 1] =
-            relays_by_depth.iter().skip(covered_general).sum();
+        out.remaining_general[k - 1] = relays_by_depth.iter().skip(covered_general).sum();
         out.remaining_with_sp[k - 1] = relays_by_depth.iter().skip(covered_sp).sum();
     }
     out
@@ -121,7 +133,11 @@ mod tests {
 
     fn trace_of(src: &str) -> Vec<DynInst> {
         let prog = assemble(src).expect("assembles");
-        Interpreter::new(prog).expect("valid").trace(10_000_000).expect("runs").0
+        Interpreter::new(prog)
+            .expect("valid")
+            .trace(10_000_000)
+            .expect("runs")
+            .0
     }
 
     fn nested(levels: usize) -> String {
@@ -165,7 +181,10 @@ mod tests {
         let t = trace_of(&nested(3));
         let sweep = hands_sweep(&t);
         for k in 2..=8 {
-            assert_eq!(sweep.remaining_with_sp[k - 1], sweep.remaining_general[k - 2]);
+            assert_eq!(
+                sweep.remaining_with_sp[k - 1],
+                sweep.remaining_general[k - 2]
+            );
         }
     }
 
@@ -174,6 +193,9 @@ mod tests {
         let t = trace_of(&nested(1));
         let sweep = hands_sweep(&t);
         assert!(sweep.baseline > 0);
-        assert_eq!(sweep.remaining_general[1], 0, "depth-1 constants covered by k=2");
+        assert_eq!(
+            sweep.remaining_general[1], 0,
+            "depth-1 constants covered by k=2"
+        );
     }
 }

@@ -110,14 +110,14 @@ mod tests {
 
     #[test]
     fn unread_definition_has_zero_lifetime() {
-        let t = vec![inst(0, &[], Some(DstTag::Reg(1)))];
+        let t = [inst(0, &[], Some(DstTag::Reg(1)))];
         let d = lifetimes_of(t.iter());
         assert_eq!(d.defs[0].2, 0);
     }
 
     #[test]
     fn lifetime_spans_to_last_use() {
-        let t = vec![
+        let t = [
             inst(0, &[], Some(DstTag::Reg(1))),
             inst(1, &[0], None),
             inst(2, &[], Some(DstTag::Reg(2))),
@@ -155,7 +155,7 @@ mod tests {
 
     #[test]
     fn filter_selects_hands() {
-        let t = vec![
+        let t = [
             inst(0, &[], Some(DstTag::Hand(0))),
             inst(1, &[0], Some(DstTag::Hand(2))),
             inst(2, &[1], None),

@@ -45,7 +45,10 @@ impl StraightIncrease {
 /// iteration's loop constants are the distinct producers defined before
 /// the loop was entered but read during the iteration.
 pub fn straight_increase(trace: &[DynInst]) -> StraightIncrease {
-    let mut out = StraightIncrease { total_insts: trace.len() as u64, ..Default::default() };
+    let mut out = StraightIncrease {
+        total_insts: trace.len() as u64,
+        ..Default::default()
+    };
 
     // ---- mv-MaxDistance: per definition, floor(lifetime / M). ----
     let dist = lifetimes_of(trace.iter());
@@ -125,7 +128,11 @@ mod tests {
 
     fn trace_of(src: &str) -> Vec<DynInst> {
         let prog = assemble(src).expect("assembles");
-        Interpreter::new(prog).expect("valid").trace(10_000_000).expect("runs").0
+        Interpreter::new(prog)
+            .expect("valid")
+            .trace(10_000_000)
+            .expect("runs")
+            .0
     }
 
     #[test]

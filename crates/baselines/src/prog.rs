@@ -32,7 +32,12 @@ pub struct Prog<I> {
 
 impl<I> Default for Prog<I> {
     fn default() -> Self {
-        Prog { insts: Vec::new(), entry: 0, labels: BTreeMap::new(), data: Vec::new() }
+        Prog {
+            insts: Vec::new(),
+            entry: 0,
+            labels: BTreeMap::new(),
+            data: Vec::new(),
+        }
     }
 }
 

@@ -25,7 +25,10 @@ impl std::fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Parses a register name.
@@ -120,7 +123,11 @@ fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
     if !tok.ends_with(')') {
         return err(line, format!("expected off(base), got `{tok}`"));
     }
-    let off = if tok[..open].is_empty() { 0 } else { parse_imm(&tok[..open], line)? };
+    let off = if tok[..open].is_empty() {
+        0
+    } else {
+        parse_imm(&tok[..open], line)?
+    };
     Ok((off, reg(&tok[open + 1..tok.len() - 1], line)?))
 }
 
@@ -254,7 +261,10 @@ pub fn assemble(source: &str) -> Result<RvProgram, AsmError> {
             if label.is_empty() || label.contains(char::is_whitespace) {
                 break;
             }
-            if labels.insert(label.to_string(), prog.insts.len() as u32).is_some() {
+            if labels
+                .insert(label.to_string(), prog.insts.len() as u32)
+                .is_some()
+            {
                 return err(line, format!("duplicate label `{label}`"));
             }
             text = rest[1..].trim();
@@ -289,7 +299,10 @@ pub fn assemble(source: &str) -> Result<RvProgram, AsmError> {
             if ops.len() == n {
                 Ok(())
             } else {
-                err(line, format!("`{mnem}` expects {n} operands, got {}", ops.len()))
+                err(
+                    line,
+                    format!("`{mnem}` expects {n} operands, got {}", ops.len()),
+                )
             }
         };
 
@@ -313,11 +326,21 @@ pub fn assemble(source: &str) -> Result<RvProgram, AsmError> {
         } else if let Some(op) = load_op(mnem) {
             need(2)?;
             let (offset, base) = parse_mem(&ops[1], line)?;
-            RvInst::Load { op, rd: reg(&ops[0], line)?, base, offset }
+            RvInst::Load {
+                op,
+                rd: reg(&ops[0], line)?,
+                base,
+                offset,
+            }
         } else if let Some(op) = store_op(mnem) {
             need(2)?;
             let (offset, base) = parse_mem(&ops[1], line)?;
-            RvInst::Store { op, rs: reg(&ops[0], line)?, base, offset }
+            RvInst::Store {
+                op,
+                rs: reg(&ops[0], line)?,
+                base,
+                offset,
+            }
         } else if let Some(cond) = br_cond(mnem) {
             need(3)?;
             label_ref = Some(ops[2].clone());
@@ -331,11 +354,17 @@ pub fn assemble(source: &str) -> Result<RvProgram, AsmError> {
             match mnem {
                 "li" => {
                     need(2)?;
-                    RvInst::Li { rd: reg(&ops[0], line)?, imm: parse_imm(&ops[1], line)? }
+                    RvInst::Li {
+                        rd: reg(&ops[0], line)?,
+                        imm: parse_imm(&ops[1], line)?,
+                    }
                 }
                 "mv" => {
                     need(2)?;
-                    RvInst::Mv { rd: reg(&ops[0], line)?, rs: reg(&ops[1], line)? }
+                    RvInst::Mv {
+                        rd: reg(&ops[0], line)?,
+                        rs: reg(&ops[1], line)?,
+                    }
                 }
                 "j" => {
                     need(1)?;
@@ -345,15 +374,23 @@ pub fn assemble(source: &str) -> Result<RvProgram, AsmError> {
                 "call" => {
                     need(2)?;
                     label_ref = Some(ops[1].clone());
-                    RvInst::Call { rd: reg(&ops[0], line)?, target: 0 }
+                    RvInst::Call {
+                        rd: reg(&ops[0], line)?,
+                        target: 0,
+                    }
                 }
                 "jalr" => {
                     need(2)?;
-                    RvInst::CallReg { rd: reg(&ops[0], line)?, rs: reg(&ops[1], line)? }
+                    RvInst::CallReg {
+                        rd: reg(&ops[0], line)?,
+                        rs: reg(&ops[1], line)?,
+                    }
                 }
                 "jr" | "ret" => {
                     need(1)?;
-                    RvInst::JumpReg { rs: reg(&ops[0], line)? }
+                    RvInst::JumpReg {
+                        rs: reg(&ops[0], line)?,
+                    }
                 }
                 "nop" => {
                     need(0)?;
@@ -361,7 +398,9 @@ pub fn assemble(source: &str) -> Result<RvProgram, AsmError> {
                 }
                 "halt" => {
                     need(1)?;
-                    RvInst::Halt { rs: reg(&ops[0], line)? }
+                    RvInst::Halt {
+                        rs: reg(&ops[0], line)?,
+                    }
                 }
                 _ => return err(line, format!("unknown mnemonic `{mnem}`")),
             }
@@ -378,9 +417,9 @@ pub fn assemble(source: &str) -> Result<RvProgram, AsmError> {
             None => return err(line, format!("undefined label `{label}`")),
         };
         match &mut prog.insts[idx] {
-            RvInst::Branch { target, .. } | RvInst::Jump { target } | RvInst::Call { target, .. } => {
-                *target = t
-            }
+            RvInst::Branch { target, .. }
+            | RvInst::Jump { target }
+            | RvInst::Call { target, .. } => *target = t,
             _ => unreachable!("pending target on non-branch"),
         }
     }
@@ -434,13 +473,28 @@ pub fn disassemble(prog: &RvProgram) -> String {
                 format!("{m} {rd}, {rs1}, {imm}")
             }
             RvInst::Li { rd, imm } => format!("li {rd}, {imm}"),
-            RvInst::Load { op, rd, base, offset } => {
+            RvInst::Load {
+                op,
+                rd,
+                base,
+                offset,
+            } => {
                 format!("{} {rd}, {offset}({base})", op.mnemonic())
             }
-            RvInst::Store { op, rs, base, offset } => {
+            RvInst::Store {
+                op,
+                rs,
+                base,
+                offset,
+            } => {
                 format!("{} {rs}, {offset}({base})", op.mnemonic())
             }
-            RvInst::Branch { cond, rs1, rs2, target } => {
+            RvInst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 format!("{} {rs1}, {rs2}, {}", cond.mnemonic(), target_name(target))
             }
             RvInst::Jump { target } => format!("j {}", target_name(target)),

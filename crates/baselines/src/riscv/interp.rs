@@ -181,18 +181,33 @@ impl Interpreter {
                 self.write(rd, v, seq);
             }
             RvInst::Li { rd, imm } => self.write(rd, imm as u64, seq),
-            RvInst::Load { op, rd, base, offset } => {
+            RvInst::Load {
+                op,
+                rd,
+                base,
+                offset,
+            } => {
                 let addr = self.read(base).wrapping_add(offset as i64 as u64);
                 let v = op.extend(self.mem.read(addr, op.size()));
                 self.write(rd, v, seq);
                 rec = rec.with_mem(addr, op.size());
             }
-            RvInst::Store { op, rs, base, offset } => {
+            RvInst::Store {
+                op,
+                rs,
+                base,
+                offset,
+            } => {
                 let addr = self.read(base).wrapping_add(offset as i64 as u64);
                 self.mem.write(addr, op.size(), self.read(rs));
                 rec = rec.with_mem(addr, op.size());
             }
-            RvInst::Branch { cond, rs1, rs2, target } => {
+            RvInst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let taken = cond.eval(self.read(rs1), self.read(rs2));
                 if taken {
                     next_pc = target;
@@ -236,7 +251,7 @@ impl Interpreter {
 
     fn index_of_pc(&self, pc_val: u64) -> Result<u32, RvError> {
         let base = self.prog.pc_of(0);
-        if pc_val < base || (pc_val - base) % 4 != 0 {
+        if pc_val < base || !(pc_val - base).is_multiple_of(4) {
             return Err(RvError::PcOffEnd { pc: u32::MAX });
         }
         let idx = ((pc_val - base) / 4) as u32;
@@ -302,6 +317,12 @@ impl Iterator for Interpreter {
     }
 }
 
+// Experiment drivers run interpreters on worker threads (compile-time audit).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Interpreter>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,7 +330,10 @@ mod tests {
 
     fn run_src(src: &str) -> RunResult {
         let prog = assemble(src).expect("assembles");
-        Interpreter::new(prog).expect("valid").run(1_000_000).expect("runs")
+        Interpreter::new(prog)
+            .expect("valid")
+            .run(1_000_000)
+            .expect("runs")
     }
 
     #[test]

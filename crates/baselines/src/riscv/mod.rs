@@ -236,9 +236,9 @@ impl RvInst {
 impl CheckInst for RvInst {
     fn check(&self, _at: u32, len: u32) -> Result<(), String> {
         let target = match *self {
-            RvInst::Branch { target, .. } | RvInst::Jump { target } | RvInst::Call { target, .. } => {
-                Some(target)
-            }
+            RvInst::Branch { target, .. }
+            | RvInst::Jump { target }
+            | RvInst::Call { target, .. } => Some(target),
             _ => None,
         };
         if let Some(t) = target {
@@ -259,9 +259,19 @@ mod tests {
 
     #[test]
     fn zero_register_is_not_a_destination() {
-        let i = RvInst::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::x(5), imm: 1 };
+        let i = RvInst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::x(5),
+            imm: 1,
+        };
         assert_eq!(i.dst(), None);
-        let j = RvInst::AluImm { op: AluOp::Add, rd: Reg::x(5), rs1: Reg::ZERO, imm: 1 };
+        let j = RvInst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::x(5),
+            rs1: Reg::ZERO,
+            imm: 1,
+        };
         assert_eq!(j.dst(), Some(Reg::x(5)));
     }
 

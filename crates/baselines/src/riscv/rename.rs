@@ -162,7 +162,11 @@ impl Renamer {
                 }
                 None => (None, None),
             };
-            out.push(Renamed { dst: dst_phys, prev_dst: prev, srcs: srcs_phys });
+            out.push(Renamed {
+                dst: dst_phys,
+                prev_dst: prev,
+                srcs: srcs_phys,
+            });
         }
         // Commit the group's final mappings to the RMT.
         for (l, p) in local {
@@ -226,7 +230,9 @@ mod tests {
     #[test]
     fn stall_when_freelist_exhausted() {
         let mut r = Renamer::new(66); // only 2 free registers
-        assert!(r.rename_group(&[(Some(1), vec![]), (Some(2), vec![])]).is_some());
+        assert!(r
+            .rename_group(&[(Some(1), vec![]), (Some(2), vec![])])
+            .is_some());
         assert!(r.rename_group(&[(Some(3), vec![])]).is_none());
         r.release(64);
         assert!(r.rename_group(&[(Some(3), vec![])]).is_some());
@@ -235,10 +241,12 @@ mod tests {
     #[test]
     fn dcl_comparisons_grow_quadratically() {
         let mut r = Renamer::new(1024);
-        let g4: Vec<(Option<u8>, Vec<u8>)> =
-            (0..4).map(|i| (Some(i as u8 + 1), vec![i as u8 + 1, 20])).collect();
-        let g8: Vec<(Option<u8>, Vec<u8>)> =
-            (0..8).map(|i| (Some(i as u8 + 1), vec![i as u8 + 1, 20])).collect();
+        let g4: Vec<(Option<u8>, Vec<u8>)> = (0..4)
+            .map(|i| (Some(i as u8 + 1), vec![i as u8 + 1, 20]))
+            .collect();
+        let g8: Vec<(Option<u8>, Vec<u8>)> = (0..8)
+            .map(|i| (Some(i as u8 + 1), vec![i as u8 + 1, 20]))
+            .collect();
         let (_, e4) = r.rename_group(&g4).unwrap();
         let (_, e8) = r.rename_group(&g8).unwrap();
         // 3 comparisons per (inst, predecessor) pair: W(W-1)/2 pairs.

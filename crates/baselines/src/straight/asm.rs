@@ -25,7 +25,10 @@ impl std::fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 fn parse_src(tok: &str, line: usize) -> Result<StSrc, AsmError> {
@@ -64,7 +67,11 @@ fn parse_mem(tok: &str, line: usize) -> Result<(i32, StSrc), AsmError> {
     if !tok.ends_with(')') {
         return err(line, format!("expected off(base), got `{tok}`"));
     }
-    let off = if tok[..open].is_empty() { 0 } else { parse_imm(&tok[..open], line)? };
+    let off = if tok[..open].is_empty() {
+        0
+    } else {
+        parse_imm(&tok[..open], line)?
+    };
     Ok((off, parse_src(&tok[open + 1..tok.len() - 1], line)?))
 }
 
@@ -198,7 +205,10 @@ pub fn assemble(source: &str) -> Result<StProgram, AsmError> {
             if label.is_empty() || label.contains(char::is_whitespace) || label.contains('[') {
                 break;
             }
-            if labels.insert(label.to_string(), prog.insts.len() as u32).is_some() {
+            if labels
+                .insert(label.to_string(), prog.insts.len() as u32)
+                .is_some()
+            {
                 return err(line, format!("duplicate label `{label}`"));
             }
             text = rest[1..].trim();
@@ -233,17 +243,28 @@ pub fn assemble(source: &str) -> Result<StProgram, AsmError> {
             if ops.len() == n {
                 Ok(())
             } else {
-                err(line, format!("`{mnem}` expects {n} operands, got {}", ops.len()))
+                err(
+                    line,
+                    format!("`{mnem}` expects {n} operands, got {}", ops.len()),
+                )
             }
         };
 
         let mut label_ref: Option<String> = None;
         let inst = if let Some(op) = alu_op(mnem) {
             need(2)?;
-            StInst::Alu { op, src1: parse_src(&ops[0], line)?, src2: parse_src(&ops[1], line)? }
+            StInst::Alu {
+                op,
+                src1: parse_src(&ops[0], line)?,
+                src2: parse_src(&ops[1], line)?,
+            }
         } else if let Some(op) = alu_imm_op(mnem) {
             need(2)?;
-            StInst::AluImm { op, src1: parse_src(&ops[0], line)?, imm: parse_imm(&ops[1], line)? }
+            StInst::AluImm {
+                op,
+                src1: parse_src(&ops[0], line)?,
+                imm: parse_imm(&ops[1], line)?,
+            }
         } else if let Some(op) = load_op(mnem) {
             need(1)?;
             let (offset, base) = parse_mem(&ops[0], line)?;
@@ -251,7 +272,12 @@ pub fn assemble(source: &str) -> Result<StProgram, AsmError> {
         } else if let Some(op) = store_op(mnem) {
             need(2)?;
             let (offset, base) = parse_mem(&ops[1], line)?;
-            StInst::Store { op, value: parse_src(&ops[0], line)?, base, offset }
+            StInst::Store {
+                op,
+                value: parse_src(&ops[0], line)?,
+                base,
+                offset,
+            }
         } else if let Some(cond) = br_cond(mnem) {
             need(3)?;
             label_ref = Some(ops[2].clone());
@@ -265,11 +291,15 @@ pub fn assemble(source: &str) -> Result<StProgram, AsmError> {
             match mnem {
                 "li" => {
                     need(1)?;
-                    StInst::Li { imm: parse_imm(&ops[0], line)? }
+                    StInst::Li {
+                        imm: parse_imm(&ops[0], line)?,
+                    }
                 }
                 "mv" => {
                     need(1)?;
-                    StInst::Mv { src: parse_src(&ops[0], line)? }
+                    StInst::Mv {
+                        src: parse_src(&ops[0], line)?,
+                    }
                 }
                 "j" => {
                     need(1)?;
@@ -283,11 +313,15 @@ pub fn assemble(source: &str) -> Result<StProgram, AsmError> {
                 }
                 "jr" | "ret" => {
                     need(1)?;
-                    StInst::JumpReg { src: parse_src(&ops[0], line)? }
+                    StInst::JumpReg {
+                        src: parse_src(&ops[0], line)?,
+                    }
                 }
                 "spaddi" => {
                     need(1)?;
-                    StInst::SpAddi { imm: parse_imm(&ops[0], line)? }
+                    StInst::SpAddi {
+                        imm: parse_imm(&ops[0], line)?,
+                    }
                 }
                 "nop" => {
                     need(0)?;
@@ -295,7 +329,9 @@ pub fn assemble(source: &str) -> Result<StProgram, AsmError> {
                 }
                 "halt" => {
                     need(1)?;
-                    StInst::Halt { src: parse_src(&ops[0], line)? }
+                    StInst::Halt {
+                        src: parse_src(&ops[0], line)?,
+                    }
                 }
                 _ => return err(line, format!("unknown mnemonic `{mnem}`")),
             }
@@ -367,11 +403,25 @@ pub fn disassemble(prog: &StProgram) -> String {
             }
             StInst::Li { imm } => format!("li {imm}"),
             StInst::Load { op, base, offset } => format!("{} {offset}({base})", op.mnemonic()),
-            StInst::Store { op, value, base, offset } => {
+            StInst::Store {
+                op,
+                value,
+                base,
+                offset,
+            } => {
                 format!("{} {value}, {offset}({base})", op.mnemonic())
             }
-            StInst::Branch { cond, src1, src2, target } => {
-                format!("{} {src1}, {src2}, {}", cond.mnemonic(), target_name(target))
+            StInst::Branch {
+                cond,
+                src1,
+                src2,
+                target,
+            } => {
+                format!(
+                    "{} {src1}, {src2}, {}",
+                    cond.mnemonic(),
+                    target_name(target)
+                )
             }
             StInst::Jump { target } => format!("j {}", target_name(target)),
             StInst::Call { target } => format!("call {}", target_name(target)),

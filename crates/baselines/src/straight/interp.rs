@@ -215,12 +215,22 @@ impl Interpreter {
                 rec.dst = Some(DstTag::RingSlot);
                 rec = rec.with_mem(addr, op.size());
             }
-            StInst::Store { value, base, offset, op } => {
+            StInst::Store {
+                value,
+                base,
+                offset,
+                op,
+            } => {
                 let addr = self.read(base)?.wrapping_add(offset as i64 as u64);
                 self.mem.write(addr, op.size(), self.read(value)?);
                 rec = rec.with_mem(addr, op.size());
             }
-            StInst::Branch { cond, src1, src2, target } => {
+            StInst::Branch {
+                cond,
+                src1,
+                src2,
+                target,
+            } => {
                 let taken = cond.eval(self.read(src1)?, self.read(src2)?);
                 if taken {
                     next_pc = target;
@@ -269,7 +279,7 @@ impl Interpreter {
 
     fn index_of_pc(&self, pc_val: u64) -> Result<u32, StError> {
         let base = self.prog.pc_of(0);
-        if pc_val < base || (pc_val - base) % 4 != 0 {
+        if pc_val < base || !(pc_val - base).is_multiple_of(4) {
             return Err(StError::PcOffEnd { pc: u32::MAX });
         }
         let idx = ((pc_val - base) / 4) as u32;
@@ -335,6 +345,12 @@ impl Iterator for Interpreter {
     }
 }
 
+// Experiment drivers run interpreters on worker threads (compile-time audit).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Interpreter>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,7 +358,10 @@ mod tests {
 
     fn run_src(src: &str) -> RunResult {
         let prog = assemble(src).expect("assembles");
-        Interpreter::new(prog).expect("valid").run(1_000_000).expect("runs")
+        Interpreter::new(prog)
+            .expect("valid")
+            .run(1_000_000)
+            .expect("runs")
     }
 
     #[test]

@@ -235,25 +235,28 @@ mod tests {
     #[test]
     fn every_instruction_occupies_a_slot_but_few_produce() {
         assert!(StInst::Li { imm: 3 }.produces_value());
-        assert!(StInst::Mv { src: StSrc::Dist(1) }.produces_value());
+        assert!(StInst::Mv {
+            src: StSrc::Dist(1)
+        }
+        .produces_value());
         assert!(StInst::Call { target: 0 }.produces_value());
         assert!(!StInst::Nop.produces_value());
         assert!(!StInst::SpAddi { imm: -8 }.produces_value());
-        assert!(
-            !StInst::Store {
-                value: StSrc::Dist(1),
-                base: StSrc::Sp,
-                offset: 0,
-                op: StoreOp::Sd
-            }
-            .produces_value()
-        );
+        assert!(!StInst::Store {
+            value: StSrc::Dist(1),
+            base: StSrc::Sp,
+            offset: 0,
+            op: StoreOp::Sd
+        }
+        .produces_value());
     }
 
     #[test]
     fn validation_rejects_bad_distance() {
         let mut p = StProgram::new();
-        p.insts.push(StInst::Mv { src: StSrc::Dist(0) });
+        p.insts.push(StInst::Mv {
+            src: StSrc::Dist(0),
+        });
         assert!(p.validate().is_err());
     }
 }

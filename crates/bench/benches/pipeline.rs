@@ -1,8 +1,15 @@
-//! Criterion microbenchmarks over the reproduction's own machinery:
-//! compilation, functional emulation, and cycle simulation of the
-//! workload kernels, plus the hot predictor structures. These measure
-//! the *harness* (how fast the figures regenerate), complementing the
-//! `figures` binary which measures the *paper's* quantities.
+//! Microbenchmarks over the reproduction's own machinery: compilation,
+//! functional emulation, and cycle simulation of the workload kernels,
+//! plus the hot predictor structures. These measure the *harness* (how
+//! fast the figures regenerate), complementing the `figures` binary
+//! which measures the *paper's* quantities.
+//!
+//! The harness is self-contained (`harness = false`, no crates.io
+//! dependency): each benchmark is warmed once, then timed over adaptive
+//! batches until ~0.5 s has elapsed, and the per-iteration median,
+//! minimum, and mean are printed.
+//!
+//! Run with `cargo bench -p ch-bench`.
 
 use ch_common::config::{MachineConfig, WidthClass};
 use ch_common::IsaKind;
@@ -10,100 +17,101 @@ use ch_sim::cache::Cache;
 use ch_sim::tage::Tage;
 use ch_sim::Simulator;
 use ch_workloads::{Scale, Workload};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_compiler(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compiler");
+/// Times `f` in adaptive batches for ~0.5 s and prints per-iteration stats.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    const TARGET: Duration = Duration::from_millis(500);
+    black_box(f()); // warm up (fills caches, faults in pages)
+    let mut samples: Vec<Duration> = Vec::new();
+    let started = Instant::now();
+    while started.elapsed() < TARGET && samples.len() < 10_000 {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} {:>12} median {:>12} min {:>12} mean ({} iters)",
+        format!("{median:.1?}"),
+        format!("{min:.1?}"),
+        format!("{mean:.1?}"),
+        samples.len()
+    );
+}
+
+fn bench_compiler() {
     for w in [Workload::Coremark, Workload::Xz] {
-        g.bench_function(format!("three_backends/{}", w.name()), |b| {
-            let src = w.source(Scale::Test);
-            b.iter(|| ch_compiler::compile(black_box(&src)).expect("compiles"));
+        let src = w.source(Scale::Test);
+        bench(&format!("compiler/three_backends/{}", w.name()), || {
+            ch_compiler::compile(black_box(&src)).expect("compiles")
         });
     }
-    g.finish();
 }
 
-fn bench_interpreters(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interp");
-    g.sample_size(10);
+fn bench_interpreters() {
     let set = Workload::Xz.compile(Scale::Test).expect("compiles");
-    g.bench_function("riscv/xz", |b| {
-        b.iter(|| {
-            let mut cpu =
-                ch_baselines::riscv::interp::Interpreter::new(set.riscv.clone()).expect("valid");
-            black_box(cpu.run(1_000_000_000).expect("runs").committed)
-        })
+    bench("interp/riscv/xz", || {
+        let mut cpu =
+            ch_baselines::riscv::interp::Interpreter::new(set.riscv.clone()).expect("valid");
+        cpu.run(1_000_000_000).expect("runs").committed
     });
-    g.bench_function("straight/xz", |b| {
-        b.iter(|| {
-            let mut cpu = ch_baselines::straight::interp::Interpreter::new(set.straight.clone())
-                .expect("valid");
-            black_box(cpu.run(1_000_000_000).expect("runs").committed)
-        })
+    bench("interp/straight/xz", || {
+        let mut cpu =
+            ch_baselines::straight::interp::Interpreter::new(set.straight.clone()).expect("valid");
+        cpu.run(1_000_000_000).expect("runs").committed
     });
-    g.bench_function("clockhands/xz", |b| {
-        b.iter(|| {
-            let mut cpu =
-                clockhands::interp::Interpreter::new(set.clockhands.clone()).expect("valid");
-            black_box(cpu.run(1_000_000_000).expect("runs").committed)
-        })
+    bench("interp/clockhands/xz", || {
+        let mut cpu = clockhands::interp::Interpreter::new(set.clockhands.clone()).expect("valid");
+        cpu.run(1_000_000_000).expect("runs").committed
     });
-    g.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(10);
+fn bench_simulator() {
     let set = Workload::Xz.compile(Scale::Test).expect("compiles");
     let mut cpu = clockhands::interp::Interpreter::new(set.clockhands).expect("valid");
     let (trace, _) = cpu.trace(1_000_000_000).expect("runs");
     for width in [WidthClass::W4, WidthClass::W8, WidthClass::W16] {
-        g.bench_function(format!("clockhands/xz/{}", width.label()), |b| {
-            b.iter(|| {
-                let mut sim =
-                    Simulator::new(MachineConfig::preset(width, IsaKind::Clockhands));
+        bench(
+            &format!("simulator/clockhands/xz/{}", width.label()),
+            || {
+                let mut sim = Simulator::new(MachineConfig::preset(width, IsaKind::Clockhands));
                 for i in &trace {
                     sim.step(black_box(i));
                 }
-                black_box(sim.finish().cycles)
-            })
-        });
+                sim.finish().cycles
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_predictors(c: &mut Criterion) {
-    let mut g = c.benchmark_group("predictors");
-    g.bench_function("tage/predict_update", |b| {
-        let mut t = Tage::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let pc = 0x1000 + (i % 64) * 4;
-            let taken = (i / 7) % 3 != 0;
-            let p = t.predict(black_box(pc));
-            t.update(pc, taken, p);
-            black_box(p)
-        })
+fn bench_predictors() {
+    let mut t = Tage::new();
+    let mut i = 0u64;
+    bench("predictors/tage/predict_update", || {
+        i += 1;
+        let pc = 0x1000 + (i % 64) * 4;
+        let taken = !(i / 7).is_multiple_of(3);
+        let p = t.predict(black_box(pc));
+        t.update(pc, taken, p);
+        p
     });
-    g.bench_function("cache/access", |b| {
-        let cfg = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);
-        let mut cache = Cache::new(&cfg.l1d);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(0x95f1);
-            black_box(cache.access(black_box(i & 0xf_ffff)))
-        })
+    let cfg = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);
+    let mut cache = Cache::new(&cfg.l1d);
+    let mut j = 0u64;
+    bench("predictors/cache/access", || {
+        j = j.wrapping_add(0x95f1);
+        cache.access(black_box(j & 0xf_ffff))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_compiler,
-    bench_interpreters,
-    bench_simulator,
-    bench_predictors
-);
-criterion_main!(benches);
+fn main() {
+    bench_compiler();
+    bench_interpreters();
+    bench_simulator();
+    bench_predictors();
+}

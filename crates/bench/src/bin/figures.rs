@@ -1,11 +1,17 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--scale test|small|full] [ids...]
-//! ids: table1 table2 table3 fig3 fig4 fig7 fig13 fig14 fig15 fig16 fig17 fig18
+//! figures [--scale test|small|full] [--jobs N] [ids...]
+//! ids: table1 table2 table3 fig3 fig4 fig7 fig13 fig14 fig15 fig16 fig17
+//!      fig18 ablation
 //! ```
 //!
-//! With no ids, everything runs (in paper order).
+//! With no ids, everything runs (in paper order). Independent
+//! `(workload, isa, width)` jobs inside each experiment are fanned out
+//! over `--jobs` worker threads (default: available parallelism);
+//! results land in process-wide caches, so the rendered output is
+//! byte-identical at any worker count. Per-experiment wall time, busy
+//! time, and achieved speedup go to stderr, keeping stdout clean.
 
 use ch_bench as bench;
 use ch_workloads::Scale;
@@ -17,50 +23,68 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
-                scale = match args.next().as_deref() {
+                let value = args.next();
+                scale = match value.as_deref() {
                     Some("test") => Scale::Test,
                     Some("small") => Scale::Small,
                     Some("full") => Scale::Full,
                     other => {
-                        eprintln!("unknown scale {other:?} (test|small|full)");
+                        let got = other.unwrap_or("nothing");
+                        eprintln!("unknown scale `{got}` (test|small|full)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--jobs" => {
+                let value = args.next();
+                match value.as_deref().map(str::parse::<usize>) {
+                    Some(Ok(n)) if n > 0 => bench::set_jobs(n),
+                    _ => {
+                        let got = value.as_deref().unwrap_or("nothing");
+                        eprintln!("--jobs needs a positive integer, got `{got}`");
                         std::process::exit(2);
                     }
                 }
             }
             "--help" | "-h" => {
-                eprintln!("figures [--scale test|small|full] [ids...]");
+                eprintln!("figures [--scale test|small|full] [--jobs N] [ids...]");
                 return;
             }
             id => ids.push(id.to_string()),
         }
     }
     let all = [
-        "table1", "table2", "table3", "fig3", "fig4", "fig7", "fig13", "fig14", "fig15",
-        "fig16", "fig17", "fig18", "ablation",
+        "table1", "table2", "table3", "fig3", "fig4", "fig7", "fig13", "fig14", "fig15", "fig16",
+        "fig17", "fig18", "ablation",
     ];
     if ids.is_empty() {
         ids = all.iter().map(|s| s.to_string()).collect();
     }
-    for id in &ids {
-        let out = match id.as_str() {
-            "table1" => bench::table1(),
-            "table2" => bench::table2(),
-            "table3" => bench::table3(),
-            "fig3" => bench::fig3(scale),
-            "fig4" => bench::fig4(scale),
-            "fig7" => bench::fig7(scale),
-            "fig13" => bench::fig13(scale),
-            "fig14" => bench::fig14(scale),
-            "fig15" => bench::fig15(scale),
-            "fig16" => bench::fig16(scale),
-            "fig17" => bench::fig17(scale),
-            "fig18" => bench::fig18(scale),
-            "ablation" => bench::ablation(scale),
-            other => {
-                eprintln!("unknown experiment `{other}` (known: {all:?})");
-                std::process::exit(2);
-            }
-        };
-        println!("{out}");
-    }
+    eprintln!("figures: {} worker thread(s)", bench::jobs());
+    let ((), total) = bench::timed(|| {
+        for id in &ids {
+            let (out, timing) = bench::timed(|| match id.as_str() {
+                "table1" => bench::table1(),
+                "table2" => bench::table2(),
+                "table3" => bench::table3(),
+                "fig3" => bench::fig3(scale),
+                "fig4" => bench::fig4(scale),
+                "fig7" => bench::fig7(scale),
+                "fig13" => bench::fig13(scale),
+                "fig14" => bench::fig14(scale),
+                "fig15" => bench::fig15(scale),
+                "fig16" => bench::fig16(scale),
+                "fig17" => bench::fig17(scale),
+                "fig18" => bench::fig18(scale),
+                "ablation" => bench::ablation(scale),
+                other => {
+                    eprintln!("unknown experiment `{other}` (known: {all:?})");
+                    std::process::exit(2);
+                }
+            });
+            println!("{out}");
+            eprintln!("[timing] {id:<10} {timing}");
+        }
+    });
+    eprintln!("[timing] {:<10} {total}", "total");
 }

@@ -1,0 +1,115 @@
+//! Parallel experiment driver.
+//!
+//! Every table/figure decomposes into independent `(workload, isa,
+//! width)` jobs — separate interpreter runs and separate simulations
+//! that share nothing but the read-only trace cache. This module fans
+//! such job lists out over [`std::thread::scope`] workers.
+//!
+//! The worker count is a process-wide setting ([`set_jobs`], the
+//! `figures` binary's `--jobs` flag) defaulting to
+//! [`std::thread::available_parallelism`]. Output ordering is the
+//! caller's: [`par_map`] returns results in item order no matter which
+//! worker computed what, so rendered experiments are byte-identical to
+//! a serial run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// 0 means "not set": fall back to available parallelism.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count for subsequent parallel fan-outs.
+///
+/// `0` restores the default (available parallelism).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count: the last [`set_jobs`] value, or the
+/// machine's available parallelism when unset.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Applies `f` to every item on a pool of [`jobs`] scoped workers and
+/// returns the results **in item order**.
+///
+/// Items are claimed through an atomic cursor, so workers stay busy
+/// regardless of per-item cost skew. A panicking job (e.g. a checksum
+/// mismatch inside a trace computation) propagates out of the scope.
+pub fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = jobs().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let slots = Mutex::new(slots);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                slots.lock().expect("result slots")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result slots")
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+/// Applies `f` to every item on a pool of [`jobs`] scoped workers,
+/// discarding results (used to warm the trace/simulation caches).
+pub fn par_for_each<T: Sync>(items: &[T], f: impl Fn(&T) + Sync) {
+    par_map(items, |item| {
+        f(item);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        set_jobs(4);
+        let items: Vec<u64> = (0..64).collect();
+        let doubled = par_map(&items, |&x| {
+            // Skew per-item cost so completion order differs from item order.
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * 2
+        });
+        set_jobs(0);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_matches() {
+        set_jobs(1);
+        let items = [1, 2, 3];
+        assert_eq!(par_map(&items, |&x| x + 1), vec![2, 3, 4]);
+        set_jobs(0);
+    }
+
+    #[test]
+    fn jobs_defaults_to_available_parallelism() {
+        set_jobs(0);
+        assert!(jobs() >= 1);
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+    }
+}

@@ -7,12 +7,24 @@
 //! paper-vs-measured comparison). All experiments run the five workload
 //! kernels through the compiler, the functional interpreters, the timing
 //! simulator, and the energy/FPGA models as appropriate.
+//!
+//! ## Parallel execution
+//!
+//! The `(workload, isa, width)` jobs behind a table or figure are
+//! independent, so each experiment warms the process-wide trace and
+//! simulation caches through the [`driver`] fan-out before rendering
+//! serially from the caches. Rendered output is therefore byte-identical
+//! at any worker count (`--jobs` on the `figures` binary), and repeated
+//! experiments (Fig. 13 and Fig. 14 share all 75 simulations) are
+//! computed exactly once per process — concurrent callers of the same
+//! key block on a per-key [`OnceLock`] instead of duplicating the run.
 
-use ch_analysis::{hand_usage, hands_sweep, instruction_mix, lifetime_ccdf, lifetimes_of,
-    straight_increase};
+use ch_analysis::{
+    hand_usage, hands_sweep, instruction_mix, lifetime_ccdf, lifetimes_of, straight_increase,
+};
 use ch_common::config::{MachineConfig, WidthClass};
 use ch_common::op::OpClass;
-use ch_common::stats::Counters;
+use ch_common::stats::{BusyClock, Counters, ExperimentTiming};
 use ch_common::{DynInst, IsaKind};
 use ch_energy::energy;
 use ch_fpga::resources;
@@ -20,13 +32,39 @@ use ch_sim::Simulator;
 use ch_workloads::{Scale, Workload};
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::hash::Hash;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+pub mod driver;
+
+pub use driver::{jobs, par_for_each, par_map, set_jobs};
 
 /// Interpreter instruction budget.
 const LIMIT: u64 = 2_000_000_000;
 
-static TRACE_CACHE: Mutex<Option<HashMap<(Workload, IsaKind, u8), Vec<DynInst>>>> =
-    Mutex::new(None);
+/// Busy time charged by every trace and simulation computation; compared
+/// against wall time by [`timed`] to report the achieved speedup.
+static BUSY: BusyClock = BusyClock::new();
+
+type TraceKey = (Workload, IsaKind, u8);
+type SimKey = (Workload, IsaKind, WidthClass, u8);
+type KeyedCache<K, V> = OnceLock<Mutex<HashMap<K, Arc<OnceLock<V>>>>>;
+
+static TRACE_CACHE: KeyedCache<TraceKey, Arc<[DynInst]>> = OnceLock::new();
+static SIM_CACHE: KeyedCache<SimKey, Counters> = OnceLock::new();
+
+/// Grabs (creating on first use) the per-key once-cell of a cache.
+///
+/// The map lock is held only for the lookup — never while a value is
+/// being computed — so concurrent callers of *different* keys proceed in
+/// parallel, and concurrent callers of the *same* key block on the
+/// returned cell rather than computing the value twice.
+fn cache_cell<K: Eq + Hash, V>(cache: &KeyedCache<K, V>, key: K) -> Arc<OnceLock<V>> {
+    let map = cache.get_or_init(Mutex::default);
+    let mut map = map.lock().expect("cache lock");
+    Arc::clone(map.entry(key).or_default())
+}
 
 fn scale_id(s: Scale) -> u8 {
     match s {
@@ -36,23 +74,20 @@ fn scale_id(s: Scale) -> u8 {
     }
 }
 
-/// The committed trace of one workload on one ISA (cached per process).
-pub fn trace(w: Workload, isa: IsaKind, scale: Scale) -> Vec<DynInst> {
-    let key = (w, isa, scale_id(scale));
-    {
-        let cache = TRACE_CACHE.lock().expect("cache lock");
-        if let Some(map) = cache.as_ref() {
-            if let Some(t) = map.get(&key) {
-                return t.clone();
-            }
-        }
-    }
+/// The committed trace of one workload on one ISA (cached per process;
+/// a cache hit is a pointer bump, not a trace copy).
+pub fn trace(w: Workload, isa: IsaKind, scale: Scale) -> Arc<[DynInst]> {
+    let cell = cache_cell(&TRACE_CACHE, (w, isa, scale_id(scale)));
+    cell.get_or_init(|| BUSY.time(|| compute_trace(w, isa, scale)))
+        .clone()
+}
+
+fn compute_trace(w: Workload, isa: IsaKind, scale: Scale) -> Arc<[DynInst]> {
     let set = w.compile(scale).expect("workload compiles");
     let expect = w.reference(scale);
     let (t, exit) = match isa {
         IsaKind::Riscv => {
-            let mut cpu =
-                ch_baselines::riscv::interp::Interpreter::new(set.riscv).expect("valid");
+            let mut cpu = ch_baselines::riscv::interp::Interpreter::new(set.riscv).expect("valid");
             let (t, r) = cpu.trace(LIMIT).expect("runs");
             (t, r.exit_value)
         }
@@ -69,19 +104,71 @@ pub fn trace(w: Workload, isa: IsaKind, scale: Scale) -> Vec<DynInst> {
         }
     };
     assert_eq!(exit, expect, "{w}/{isa}: checksum mismatch");
-    let mut cache = TRACE_CACHE.lock().expect("cache lock");
-    cache.get_or_insert_with(HashMap::new).insert(key, t.clone());
-    t
+    Arc::from(t)
 }
 
-/// Simulates one workload on one Table 2 machine.
+/// Simulates one workload on one Table 2 machine (cached per process).
 pub fn simulate(w: Workload, isa: IsaKind, width: WidthClass, scale: Scale) -> Counters {
-    let cfg = MachineConfig::preset(width, isa);
-    let mut sim = Simulator::new(cfg);
-    for inst in trace(w, isa, scale) {
-        sim.step(&inst);
+    let cell = cache_cell(&SIM_CACHE, (w, isa, width, scale_id(scale)));
+    cell.get_or_init(|| {
+        let t = trace(w, isa, scale);
+        BUSY.time(|| {
+            let mut sim = Simulator::new(MachineConfig::preset(width, isa));
+            for inst in t.iter() {
+                sim.step(inst);
+            }
+            sim.finish()
+        })
+    })
+    .clone()
+}
+
+/// Runs `f`, reporting its wall time and the busy time its trace and
+/// simulation computations charged across all workers.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, ExperimentTiming) {
+    let busy0 = BUSY.total();
+    let t0 = Instant::now();
+    let r = f();
+    let timing = ExperimentTiming {
+        wall: t0.elapsed(),
+        busy: BUSY.total() - busy0,
+    };
+    (r, timing)
+}
+
+/// Computes the given traces in parallel (deduplicated, cache-backed).
+fn warm_traces(scale: Scale, keys: impl IntoIterator<Item = (Workload, IsaKind)>) {
+    let mut unique: Vec<(Workload, IsaKind)> = Vec::new();
+    for k in keys {
+        if !unique.contains(&k) {
+            unique.push(k);
+        }
     }
-    sim.finish()
+    par_for_each(&unique, |&(w, isa)| {
+        trace(w, isa, scale);
+    });
+}
+
+/// Computes the given simulations in parallel. Traces are warmed first
+/// so sim workers never serialize on a shared trace cell.
+fn warm_sims(scale: Scale, combos: &[(Workload, IsaKind, WidthClass)]) {
+    warm_traces(scale, combos.iter().map(|&(w, isa, _)| (w, isa)));
+    par_for_each(combos, |&(w, isa, width)| {
+        simulate(w, isa, width, scale);
+    });
+}
+
+/// Every `(workload, isa, width)` combination of the Fig. 13/14 sweeps.
+fn full_sweep() -> Vec<(Workload, IsaKind, WidthClass)> {
+    let mut combos = Vec::new();
+    for w in Workload::ALL {
+        for isa in IsaKind::ALL {
+            for width in WidthClass::ALL {
+                combos.push((w, isa, width));
+            }
+        }
+    }
+    combos
 }
 
 /// Table 1: recovery information (checkpoint) size per architecture.
@@ -96,7 +183,13 @@ pub fn table1() -> String {
             IsaKind::Straight => "~11b + 64b",
             IsaKind::Clockhands => "4 x ~11b",
         };
-        let _ = writeln!(s, "{:<16} {:>18} {:>12}", isa.to_string(), formula, cfg.checkpoint_bits());
+        let _ = writeln!(
+            s,
+            "{:<16} {:>18} {:>12}",
+            isa.to_string(),
+            formula,
+            cfg.checkpoint_bits()
+        );
     }
     s
 }
@@ -121,7 +214,10 @@ pub fn table2() -> String {
         r
     };
     for (name, f) in [
-        ("front width", (&|c: &MachineConfig| c.front_width) as &dyn Fn(&MachineConfig) -> u32),
+        (
+            "front width",
+            (&|c: &MachineConfig| c.front_width) as &dyn Fn(&MachineConfig) -> u32,
+        ),
         ("issue width", &|c| c.issue_width),
         ("ROB", &|c| c.rob),
         ("scheduler", &|c| c.scheduler),
@@ -141,7 +237,10 @@ pub fn table2() -> String {
 /// Table 3: FPGA resources of the allocation stage and the whole core.
 pub fn table3() -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Table 3: FPGA resource model (paper values in parentheses)");
+    let _ = writeln!(
+        s,
+        "Table 3: FPGA resource model (paper values in parentheses)"
+    );
     let paper: [(u32, IsaKind, f64, f64); 9] = [
         (4, IsaKind::Riscv, 2310.0, 101_483.0),
         (4, IsaKind::Straight, 442.0, 96_631.0),
@@ -177,12 +276,16 @@ pub fn table3() -> String {
 /// Fig. 3: inevitable STRAIGHT instruction increase per workload.
 pub fn fig3(scale: Scale) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 3: inevitable STRAIGHT increase (fraction of executed insts)");
+    let _ = writeln!(
+        s,
+        "Fig. 3: inevitable STRAIGHT increase (fraction of executed insts)"
+    );
     let _ = writeln!(
         s,
         "{:<12} {:>10} {:>16} {:>18} {:>8}",
         "workload", "nop", "mv-MaxDistance", "mv-LoopConstant", "total"
     );
+    warm_traces(scale, Workload::ALL.map(|w| (w, IsaKind::Riscv)));
     let mut totals = (0.0, 0.0, 0.0);
     for w in Workload::ALL {
         let t = trace(w, IsaKind::Riscv, scale);
@@ -222,7 +325,11 @@ pub fn fig3(scale: Scale) -> String {
 /// Fig. 4: register lifetime CCDF from the RISC traces.
 pub fn fig4(scale: Scale) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 4: definition frequency of registers with lifetime >= k");
+    let _ = writeln!(
+        s,
+        "Fig. 4: definition frequency of registers with lifetime >= k"
+    );
+    warm_traces(scale, Workload::ALL.map(|w| (w, IsaKind::Riscv)));
     for w in Workload::ALL {
         let t = trace(w, IsaKind::Riscv, scale);
         let d = lifetimes_of(t.iter());
@@ -242,11 +349,10 @@ pub fn fig7(scale: Scale) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Fig. 7: remaining loop-constant relays vs hand count");
     let _ = writeln!(s, "{:<10} {:>10} {:>14}", "hands", "general", "one-for-SP");
-    let mut sweeps = Vec::new();
-    for w in Workload::ALL {
+    let sweeps = par_map(&Workload::ALL, |&w| {
         let t = trace(w, IsaKind::Riscv, scale);
-        sweeps.push(hands_sweep(&t));
-    }
+        hands_sweep(&t)
+    });
     for k in 1..=8usize {
         let g: f64 =
             sweeps.iter().map(|sw| sw.fraction(k, false)).sum::<f64>() / sweeps.len() as f64;
@@ -261,7 +367,12 @@ pub fn fig7(scale: Scale) -> String {
 pub fn fig13(scale: Scale) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Fig. 13: performance relative to 4-fetch RISC-V");
-    let _ = writeln!(s, "{:<12} {:<6} {:>8} {:>8} {:>8}", "workload", "width", "R", "S", "C");
+    let _ = writeln!(
+        s,
+        "{:<12} {:<6} {:>8} {:>8} {:>8}",
+        "workload", "width", "R", "S", "C"
+    );
+    warm_sims(scale, &full_sweep());
     for w in Workload::ALL {
         let base = simulate(w, IsaKind::Riscv, WidthClass::W4, scale).cycles as f64;
         for width in WidthClass::ALL {
@@ -286,12 +397,16 @@ pub fn fig13(scale: Scale) -> String {
 /// component separated out.
 pub fn fig14(scale: Scale) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 14: energy relative to 4-fetch RISC-V (average of workloads)");
+    let _ = writeln!(
+        s,
+        "Fig. 14: energy relative to 4-fetch RISC-V (average of workloads)"
+    );
     let _ = writeln!(
         s,
         "{:<6} {:<12} {:>10} {:>14} {:>14}",
         "width", "ISA", "total", "renamer", "vs RISC"
     );
+    warm_sims(scale, &full_sweep());
     // Baseline: 4-fetch RISC average energy.
     let mut base = 0.0;
     for w in Workload::ALL {
@@ -339,6 +454,12 @@ pub fn fig15(scale: Scale) -> String {
         "{:<12} {:<4} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "workload", "ISA", "total", "Load", "Store", "ALU", "Move", "NOP"
     );
+    warm_traces(
+        scale,
+        Workload::ALL
+            .iter()
+            .flat_map(|&w| IsaKind::ALL.map(|isa| (w, isa))),
+    );
     for w in Workload::ALL {
         let base = trace(w, IsaKind::Riscv, scale).len() as f64;
         for isa in IsaKind::ALL {
@@ -370,6 +491,7 @@ pub fn fig16(scale: Scale) -> String {
         "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "workload", "t.w", "u.w", "v.w", "s.w", "nodst", "t.r", "u.r", "v.r", "s.r"
     );
+    warm_traces(scale, Workload::ALL.map(|w| (w, IsaKind::Clockhands)));
     for w in Workload::ALL {
         let t = trace(w, IsaKind::Clockhands, scale);
         let u = hand_usage(t.iter());
@@ -395,11 +517,20 @@ pub fn fig16(scale: Scale) -> String {
 /// Fig. 17: lifetime CCDF for each ISA (STRAIGHT truncates at 127).
 pub fn fig17(scale: Scale) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 17: lifetime CCDF per ISA (frequency at selected k)");
+    let _ = writeln!(
+        s,
+        "Fig. 17: lifetime CCDF per ISA (frequency at selected k)"
+    );
     let _ = writeln!(
         s,
         "{:<12} {:<4} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "workload", "ISA", "k=1", "k=16", "k=128", "k=1024", "k=8192"
+    );
+    warm_traces(
+        scale,
+        Workload::ALL
+            .iter()
+            .flat_map(|&w| IsaKind::ALL.map(|isa| (w, isa))),
     );
     for w in Workload::ALL {
         for isa in IsaKind::ALL {
@@ -435,12 +566,16 @@ pub fn fig17(scale: Scale) -> String {
 /// Fig. 18: lifetime CCDF per hand (Clockhands traces).
 pub fn fig18(scale: Scale) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 18: lifetime CCDF per hand (frequency at selected k)");
+    let _ = writeln!(
+        s,
+        "Fig. 18: lifetime CCDF per hand (frequency at selected k)"
+    );
     let _ = writeln!(
         s,
         "{:<12} {:<5} {:>9} {:>9} {:>9} {:>9}",
         "workload", "hand", "k=1", "k=16", "k=256", "k=4096"
     );
+    warm_traces(scale, Workload::ALL.map(|w| (w, IsaKind::Clockhands)));
     for w in Workload::ALL {
         let t = trace(w, IsaKind::Clockhands, scale);
         let d = lifetimes_of(t.iter());
@@ -482,31 +617,38 @@ pub fn ablation(scale: Scale) -> String {
         "{:<12} {:>10} {:>12} {:>12}",
         "workload", "paper cfg", "starved t", "7-cyc front"
     );
-    for w in Workload::ALL {
+    let base = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);
+    // (a) Starve the t hand (128 registers) instead of the t-heavy
+    // Table 2 split — Section 4.3 argues t needs the most.
+    let mut equal = base.clone();
+    let rest = (base.phys_regs - 128) / 3;
+    equal.hand_quotas = Some([128, rest, rest, base.phys_regs - 128 - 2 * rest]);
+    // (b) A RISC-depth front end (what renaming would cost in cycles).
+    let mut deep = base.clone();
+    deep.front_latency = 7;
+    warm_traces(scale, Workload::ALL.map(|w| (w, IsaKind::Clockhands)));
+    let jobs: Vec<(Workload, &MachineConfig)> = Workload::ALL
+        .iter()
+        .flat_map(|&w| [&base, &equal, &deep].map(|cfg| (w, cfg)))
+        .collect();
+    let cycles = par_map(&jobs, |&(w, cfg)| {
         let t = trace(w, IsaKind::Clockhands, scale);
-        let run = |cfg: MachineConfig| -> u64 {
-            let mut sim = Simulator::new(cfg);
-            for i in &t {
+        BUSY.time(|| {
+            let mut sim = Simulator::new(cfg.clone());
+            for i in t.iter() {
                 sim.step(i);
             }
             sim.finish().cycles
-        };
-        let base = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);
-        // (a) Starve the t hand (128 registers) instead of the t-heavy
-        // Table 2 split — Section 4.3 argues t needs the most.
-        let mut equal = base.clone();
-        let rest = (base.phys_regs - 128) / 3;
-        equal.hand_quotas = Some([128, rest, rest, base.phys_regs - 128 - 2 * rest]);
-        // (b) A RISC-depth front end (what renaming would cost in cycles).
-        let mut deep = base.clone();
-        deep.front_latency = 7;
+        })
+    });
+    for (w, row) in Workload::ALL.iter().zip(cycles.chunks(3)) {
         let _ = writeln!(
             s,
             "{:<12} {:>10} {:>12} {:>12}",
             w.name(),
-            run(base),
-            run(equal),
-            run(deep)
+            row[0],
+            row[1],
+            row[2]
         );
     }
     let _ = writeln!(

@@ -1,0 +1,41 @@
+//! Determinism under parallelism: `crates/sim/tests/determinism.rs`
+//! guarantees the simulator itself is deterministic; these tests extend
+//! that guarantee up through the `ch-bench` experiment driver — a table
+//! and a figure must render byte-identically at any worker count.
+
+use std::process::Command;
+
+/// Runs the `figures` binary and returns its stdout.
+fn figures(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(args)
+        .output()
+        .expect("figures binary runs");
+    assert!(
+        out.status.success(),
+        "figures {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("figures output is UTF-8")
+}
+
+#[test]
+fn figures_output_is_byte_identical_across_jobs() {
+    // One table and one figure; fig13 exercises the full trace + sim
+    // fan-out (5 workloads x 3 ISAs x 5 widths in one process).
+    let serial = figures(&["--scale", "test", "--jobs", "1", "table1", "fig13"]);
+    let parallel = figures(&["--scale", "test", "--jobs", "4", "table1", "fig13"]);
+    assert!(serial.contains("Table 1") && serial.contains("Fig. 13"));
+    assert_eq!(serial, parallel, "--jobs must not change rendered output");
+}
+
+#[test]
+fn in_process_renders_identically_at_any_worker_count() {
+    use ch_workloads::Scale;
+    ch_bench::set_jobs(4);
+    let parallel = ch_bench::fig7(Scale::Test);
+    ch_bench::set_jobs(1);
+    let serial = ch_bench::fig7(Scale::Test);
+    ch_bench::set_jobs(0);
+    assert_eq!(parallel, serial);
+}

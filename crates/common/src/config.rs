@@ -243,9 +243,24 @@ impl MachineConfig {
             phys_regs,
             hand_quotas,
             max_ref_distance,
-            l1i: CacheConfig { size: 128 << 10, assoc: 8, line: 64, latency: 3 },
-            l1d: CacheConfig { size: 128 << 10, assoc: 8, line: 64, latency: 3 },
-            l2: CacheConfig { size: 8 << 20, assoc: 16, line: 64, latency: 12 },
+            l1i: CacheConfig {
+                size: 128 << 10,
+                assoc: 8,
+                line: 64,
+                latency: 3,
+            },
+            l1d: CacheConfig {
+                size: 128 << 10,
+                assoc: 8,
+                line: 64,
+                latency: 3,
+            },
+            l2: CacheConfig {
+                size: 8 << 20,
+                assoc: 16,
+                line: 64,
+                latency: 12,
+            },
             mem_latency: 80,
             prefetch_distance: 8,
             prefetch_degree: 2,
@@ -304,7 +319,10 @@ mod tests {
         for w in WidthClass::ALL {
             assert_eq!(MachineConfig::preset(w, IsaKind::Riscv).front_latency, 7);
             assert_eq!(MachineConfig::preset(w, IsaKind::Straight).front_latency, 5);
-            assert_eq!(MachineConfig::preset(w, IsaKind::Clockhands).front_latency, 5);
+            assert_eq!(
+                MachineConfig::preset(w, IsaKind::Clockhands).front_latency,
+                5
+            );
         }
     }
 
@@ -359,7 +377,10 @@ mod tests {
 
     #[test]
     fn logical_register_counts_match_table2() {
-        assert_eq!(MachineConfig::preset(WidthClass::W4, IsaKind::Riscv).logical_regs(), 63);
+        assert_eq!(
+            MachineConfig::preset(WidthClass::W4, IsaKind::Riscv).logical_regs(),
+            63
+        );
         assert_eq!(
             MachineConfig::preset(WidthClass::W4, IsaKind::Straight).logical_regs(),
             127

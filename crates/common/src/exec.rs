@@ -138,13 +138,7 @@ impl AluOp {
                     x.wrapping_div(y) as u64
                 }
             }
-            Divu => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            Divu => a.checked_div(b).unwrap_or(u64::MAX),
             Rem => {
                 let (x, y) = (a as i64, b as i64);
                 if y == 0 {
@@ -153,13 +147,7 @@ impl AluOp {
                     x.wrapping_rem(y) as u64
                 }
             }
-            Remu => {
-                if b == 0 {
-                    a
-                } else {
-                    a % b
-                }
-            }
+            Remu => a.checked_rem(b).unwrap_or(a),
             Mulw => (a as i32).wrapping_mul(b as i32) as i64 as u64,
             Divw => {
                 let (x, y) = (a as i32, b as i32);
@@ -412,7 +400,10 @@ mod tests {
         assert_eq!(AluOp::Divu.eval(42, 0), u64::MAX);
         assert_eq!(AluOp::Rem.eval(42, 0), 42);
         assert_eq!(AluOp::Remu.eval(42, 0), 42);
-        assert_eq!(AluOp::Div.eval((i64::MIN) as u64, (-1i64) as u64), i64::MIN as u64);
+        assert_eq!(
+            AluOp::Div.eval((i64::MIN) as u64, (-1i64) as u64),
+            i64::MIN as u64
+        );
     }
 
     #[test]
@@ -455,7 +446,14 @@ mod tests {
         assert!(BrCond::Lt.eval((-1i64) as u64, 0));
         assert!(!BrCond::Ltu.eval((-1i64) as u64, 0));
         assert!(BrCond::Geu.eval((-1i64) as u64, 0));
-        for c in [BrCond::Eq, BrCond::Ne, BrCond::Lt, BrCond::Ge, BrCond::Ltu, BrCond::Geu] {
+        for c in [
+            BrCond::Eq,
+            BrCond::Ne,
+            BrCond::Lt,
+            BrCond::Ge,
+            BrCond::Ltu,
+            BrCond::Geu,
+        ] {
             // negation is an involution and flips the outcome
             assert_eq!(c.negate().negate(), c);
             assert_ne!(c.eval(1, 2), c.negate().eval(1, 2));

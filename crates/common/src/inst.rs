@@ -11,6 +11,12 @@
 
 use crate::op::OpClass;
 
+// Traces are shared across experiment worker threads (compile-time audit).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DynInst>()
+};
+
 /// Sentinel meaning "no producer": the source is a constant, the zero
 /// register, or a value that existed before the trace began.
 pub const NO_PRODUCER: u64 = u64::MAX;
@@ -155,7 +161,11 @@ impl DynInst {
 
     /// Sets the control-flow outcome.
     pub fn with_ctrl(mut self, kind: CtrlKind, taken: bool, target: u64) -> Self {
-        self.ctrl = Some(CtrlInfo { kind, taken, target });
+        self.ctrl = Some(CtrlInfo {
+            kind,
+            taken,
+            target,
+        });
         self
     }
 

@@ -38,7 +38,7 @@ pub use config::{MachineConfig, WidthClass};
 pub use inst::{CtrlInfo, CtrlKind, DynInst, MemAccess};
 pub use mem::Memory;
 pub use op::{FuKind, OpClass};
-pub use stats::Counters;
+pub use stats::{BusyClock, Counters, ExperimentTiming};
 
 /// Which of the three evaluated instruction set architectures a program,
 /// trace, or machine configuration belongs to.

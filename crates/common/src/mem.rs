@@ -114,10 +114,18 @@ mod tests {
     #[test]
     fn roundtrip_all_sizes() {
         let mut m = Memory::new();
-        for (size, val) in [(1u8, 0xab), (2, 0xabcd), (4, 0xabcd_ef01), (8, 0x0123_4567_89ab_cdef)]
-        {
+        for (size, val) in [
+            (1u8, 0xab),
+            (2, 0xabcd),
+            (4, 0xabcd_ef01),
+            (8, 0x0123_4567_89ab_cdef),
+        ] {
             m.write(0x100, size, val);
-            let mask = if size == 8 { u64::MAX } else { (1 << (8 * size)) - 1 };
+            let mask = if size == 8 {
+                u64::MAX
+            } else {
+                (1 << (8 * size)) - 1
+            };
             assert_eq!(m.read(0x100, size), val & mask);
         }
     }

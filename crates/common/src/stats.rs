@@ -1,8 +1,90 @@
-//! Event counters shared by the timing simulator and the energy model.
+//! Event counters shared by the timing simulator and the energy model,
+//! plus wall-time bookkeeping for the experiment drivers.
 //!
-//! The simulator increments these while it runs; the energy model multiplies
-//! them by per-event energies (McPAT-style) to produce the Fig. 14 stacks.
-//! This is a passive data structure, so its fields are public.
+//! The simulator increments [`Counters`] while it runs; the energy model
+//! multiplies them by per-event energies (McPAT-style) to produce the
+//! Fig. 14 stacks. [`Counters`] is a passive data structure, so its
+//! fields are public.
+//!
+//! [`BusyClock`] and [`ExperimentTiming`] let a driver that fans
+//! independent simulations out over worker threads report, per
+//! experiment, the elapsed wall time, the total busy (CPU) time summed
+//! over workers, and the effective speedup `busy / wall`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Thread-safe accumulator of busy (per-worker CPU) wall time.
+///
+/// Workers wrap each unit of work in [`BusyClock::time`]; the driver
+/// compares [`BusyClock::total`] against elapsed wall time to report the
+/// parallel speedup actually achieved.
+#[derive(Debug, Default)]
+pub struct BusyClock {
+    nanos: AtomicU64,
+}
+
+impl BusyClock {
+    /// A zeroed clock (usable in `static` position).
+    pub const fn new() -> BusyClock {
+        BusyClock {
+            nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `d` to the accumulated busy time.
+    pub fn add(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Runs `f`, charging its elapsed time to this clock.
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.add(t0.elapsed());
+        r
+    }
+
+    /// Total busy time accumulated so far.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+}
+
+/// One experiment's timing summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentTiming {
+    /// Elapsed wall time of the experiment.
+    pub wall: Duration,
+    /// Busy time summed over all workers during the experiment.
+    pub busy: Duration,
+}
+
+impl ExperimentTiming {
+    /// Effective parallel speedup: busy time over wall time.
+    ///
+    /// 1.0 means fully serial; `N` means `N` workers were kept busy the
+    /// whole experiment. Returns 0.0 for a zero-length experiment.
+    pub fn speedup(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / self.wall.as_secs_f64()
+        }
+    }
+}
+
+impl std::fmt::Display for ExperimentTiming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wall {:.2}s busy {:.2}s speedup {:.2}x",
+            self.wall.as_secs_f64(),
+            self.busy.as_secs_f64(),
+            self.speedup()
+        )
+    }
+}
 
 /// Event counts accumulated over one simulation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -113,12 +195,42 @@ impl Counters {
             ($($f:ident),* $(,)?) => { $( dst.$f += other.$f; )* };
         }
         acc!(
-            cycles, fetched, fetch_groups, icache_misses, decoded, allocated, rmt_reads,
-            rmt_writes, dcl_comparisons, freelist_ops, rp_updates, checkpoints, checkpoint_bits,
-            dispatched, sched_wakeups, issued, regfile_reads, regfile_writes, int_ops, fp_ops,
-            loads, stores, lsq_searches, stl_forwards, mem_order_violations, dcache_accesses,
-            dcache_misses, l2_accesses, l2_misses, prefetches, branch_preds, branch_mispredicts,
-            squashes, rob_writes, rob_reads, committed,
+            cycles,
+            fetched,
+            fetch_groups,
+            icache_misses,
+            decoded,
+            allocated,
+            rmt_reads,
+            rmt_writes,
+            dcl_comparisons,
+            freelist_ops,
+            rp_updates,
+            checkpoints,
+            checkpoint_bits,
+            dispatched,
+            sched_wakeups,
+            issued,
+            regfile_reads,
+            regfile_writes,
+            int_ops,
+            fp_ops,
+            loads,
+            stores,
+            lsq_searches,
+            stl_forwards,
+            mem_order_violations,
+            dcache_accesses,
+            dcache_misses,
+            l2_accesses,
+            l2_misses,
+            prefetches,
+            branch_preds,
+            branch_mispredicts,
+            squashes,
+            rob_writes,
+            rob_reads,
+            committed,
         );
     }
 }
@@ -130,7 +242,11 @@ mod tests {
     #[test]
     fn ipc_handles_zero_cycles() {
         assert_eq!(Counters::new().ipc(), 0.0);
-        let c = Counters { cycles: 100, committed: 250, ..Counters::default() };
+        let c = Counters {
+            cycles: 100,
+            committed: 250,
+            ..Counters::default()
+        };
         assert!((c.ipc() - 2.5).abs() < 1e-12);
     }
 
@@ -146,9 +262,44 @@ mod tests {
     }
 
     #[test]
+    fn busy_clock_accumulates_across_threads() {
+        static CLOCK: BusyClock = BusyClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| CLOCK.add(Duration::from_millis(10)));
+            }
+        });
+        assert_eq!(CLOCK.total(), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn timing_speedup() {
+        let t = ExperimentTiming {
+            wall: Duration::from_secs(2),
+            busy: Duration::from_secs(6),
+        };
+        assert!((t.speedup() - 3.0).abs() < 1e-12);
+        assert_eq!(t.to_string(), "wall 2.00s busy 6.00s speedup 3.00x");
+        let zero = ExperimentTiming {
+            wall: Duration::ZERO,
+            busy: Duration::ZERO,
+        };
+        assert_eq!(zero.speedup(), 0.0);
+    }
+
+    #[test]
     fn merge_accumulates() {
-        let mut a = Counters { cycles: 10, committed: 20, ..Counters::default() };
-        let b = Counters { cycles: 5, committed: 7, loads: 3, ..Counters::default() };
+        let mut a = Counters {
+            cycles: 10,
+            committed: 20,
+            ..Counters::default()
+        };
+        let b = Counters {
+            cycles: 5,
+            committed: 7,
+            loads: 3,
+            ..Counters::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles, 15);
         assert_eq!(a.committed, 27);

@@ -45,9 +45,14 @@ pub fn compile(module: &Module) -> Result<Program, String> {
 
     // _start: call main (return address to s), halt with s[1] (= the
     // return value; s[0] is the restored SP).
-    prog.insts.push(ChInst::Call { dst: Hand::S, target: 0 });
+    prog.insts.push(ChInst::Call {
+        dst: Hand::S,
+        target: 0,
+    });
     call_fixups.push((0, module.main_index()));
-    prog.insts.push(ChInst::Halt { src: Src::Hand(Hand::S, 1) });
+    prog.insts.push(ChInst::Halt {
+        src: Src::Hand(Hand::S, 1),
+    });
     prog.labels.insert("_start".to_string(), 0);
 
     for f in &module.funcs {
@@ -70,6 +75,10 @@ struct Loc {
     hand: Hand,
     pos: i64,
 }
+
+/// Snapshot of the codegen path state handed to a single-predecessor
+/// successor: live-value locations, per-hand write counters, SP position.
+type PathState = (HashMap<VReg, Loc>, [i64; 4], i64);
 
 struct FnCg<'a> {
     f: &'a Function,
@@ -108,7 +117,7 @@ struct FnCg<'a> {
     /// Predecessor counts (single-pred blocks inherit state, no relays).
     preds_count: Vec<usize>,
     /// Saved path state for single-predecessor successors.
-    pending: HashMap<usize, (HashMap<VReg, Loc>, [i64; 4], i64)>,
+    pending: HashMap<usize, PathState>,
     /// Chosen entry layout per join: per hand (t, u), (vreg, distance).
     layouts: Vec<[Vec<(VReg, i64)>; 2]>,
     /// Hot natural delivery per block: (source loop depth, vreg → dist).
@@ -184,8 +193,7 @@ impl<'a> FnCg<'a> {
                 if zero_vregs.contains(v) {
                     return false;
                 }
-                let single_entry_def =
-                    defs.get(&v) == Some(&1) && def_block.get(&v) == Some(&0);
+                let single_entry_def = defs.get(&v) == Some(&1) && def_block.get(&v) == Some(&0);
                 let pristine_param = is_param(v) && !defs.contains_key(&v);
                 single_entry_def || pristine_param
             })
@@ -349,7 +357,13 @@ impl<'a> FnCg<'a> {
     /// Records that the next write to `hand` defines vreg `v` (call just
     /// before pushing the defining instruction).
     fn define(&mut self, v: VReg, hand: Hand) {
-        self.loc.insert(v, Loc { hand, pos: self.counters[hand.index()] });
+        self.loc.insert(
+            v,
+            Loc {
+                hand,
+                pos: self.counters[hand.index()],
+            },
+        );
     }
 
     fn dist_of(&self, l: Loc) -> i64 {
@@ -366,7 +380,11 @@ impl<'a> FnCg<'a> {
             .get(&v)
             .ok_or_else(|| format!("{}: v{v} has no location", self.f.name))?;
         let d = self.dist_of(*l);
-        let limit = if l.hand == Hand::S { MAX_DIST - 1 } else { MAX_DIST };
+        let limit = if l.hand == Hand::S {
+            MAX_DIST - 1
+        } else {
+            MAX_DIST
+        };
         if !(0..=limit).contains(&d) {
             return Err(format!("{}: v{v} at {}-distance {d}", self.f.name, l.hand));
         }
@@ -389,7 +407,11 @@ impl<'a> FnCg<'a> {
             return Ok(());
         }
         if let Some(&l) = self.loc.get(&v) {
-            let limit = if l.hand == Hand::S { MAX_DIST - 3 } else { MAX_DIST - 2 };
+            let limit = if l.hand == Hand::S {
+                MAX_DIST - 3
+            } else {
+                MAX_DIST - 2
+            };
             if self.dist_of(l) <= limit {
                 return Ok(());
             }
@@ -401,7 +423,12 @@ impl<'a> FnCg<'a> {
         let h = self.assign[v as usize];
         let sp = self.sp_src()?;
         self.define(v, h);
-        self.push(ChInst::Load { op: LoadOp::Ld, dst: h, base: sp, offset: off });
+        self.push(ChInst::Load {
+            op: LoadOp::Ld,
+            dst: h,
+            base: sp,
+            offset: off,
+        });
         Ok(())
     }
 
@@ -413,7 +440,12 @@ impl<'a> FnCg<'a> {
         let off = self.spill_off[&v];
         let val = self.src(v)?;
         let sp = self.sp_src()?;
-        self.push(ChInst::Store { op: StoreOp::Sd, value: val, base: sp, offset: off });
+        self.push(ChInst::Store {
+            op: StoreOp::Sd,
+            value: val,
+            base: sp,
+            offset: off,
+        });
         Ok(())
     }
 
@@ -431,7 +463,9 @@ impl<'a> FnCg<'a> {
                     continue;
                 }
                 let d = self.dist_of(l);
-                if keep(v) && d >= threshold && victim.map(|(bd, bv, _)| (d, v) > (bd, bv)).unwrap_or(true)
+                if keep(v)
+                    && d >= threshold
+                    && victim.map(|(bd, bv, _)| (d, v) > (bd, bv)).unwrap_or(true)
                 {
                     victim = Some((d, v, l.hand));
                 }
@@ -485,7 +519,7 @@ impl<'a> FnCg<'a> {
         }
         for &sz in &self.f.frame_slots {
             self.array_offsets.push(off);
-            off += ((sz + 7) / 8 * 8) as i32;
+            off += (sz.div_ceil(8) * 8) as i32;
         }
         self.frame_size = (off + 15) / 16 * 16;
 
@@ -498,7 +532,10 @@ impl<'a> FnCg<'a> {
             .map(|(t, u)| {
                 let mk = |o: &Vec<VReg>| {
                     let k = o.len() as i64;
-                    o.iter().enumerate().map(|(j, &v)| (v, k - 1 - j as i64)).collect()
+                    o.iter()
+                        .enumerate()
+                        .map(|(j, &v)| (v, k - 1 - j as i64))
+                        .collect()
                 };
                 [mk(t), mk(u)]
             })
@@ -566,9 +603,7 @@ impl<'a> FnCg<'a> {
                 let mut relays: Vec<VReg> = Vec::new();
                 for &v in &order {
                     match nat.get(&v) {
-                        Some(&d)
-                            if (0..=LIMIT).contains(&d) && stable(v, d) && used.insert(d) =>
-                        {
+                        Some(&d) if (0..=LIMIT).contains(&d) && stable(v, d) && used.insert(d) => {
                             naturals.push((v, d));
                         }
                         _ => relays.push(v),
@@ -598,7 +633,12 @@ impl<'a> FnCg<'a> {
     /// distance: emitted fixes occupy distances `0..c` (jumps write no
     /// hand), an unemitted value drifts to `current + c`.
     fn min_fix_writes(&self, targets: &[(VReg, i64)]) -> i64 {
-        let maxd = targets.iter().map(|&(_, d)| d).max().map(|d| d + 1).unwrap_or(0);
+        let maxd = targets
+            .iter()
+            .map(|&(_, d)| d)
+            .max()
+            .map(|d| d + 1)
+            .unwrap_or(0);
         'outer: for c in 0..=maxd {
             for &(v, d) in targets {
                 if d >= c {
@@ -674,8 +714,7 @@ impl<'a> FnCg<'a> {
         for (i, ins) in insts.iter().enumerate() {
             let lu = &last_use;
             let lo = &live_out;
-            let keep =
-                move |v: VReg| lo.contains(v) || lu.get(&v).map(|&l| l > i).unwrap_or(false);
+            let keep = move |v: VReg| lo.contains(v) || lu.get(&v).map(|&l| l > i).unwrap_or(false);
             self.relay_over(RELAY_AT, &keep)?;
             self.gen_ins(ins, i, &last_use, &live_out)?;
         }
@@ -694,7 +733,13 @@ impl<'a> FnCg<'a> {
         self.counters[Hand::S.index()] = n + 2;
         let ra_pos = n + 1;
         for (i, &p) in self.f.params.iter().enumerate() {
-            self.loc.insert(p, Loc { hand: Hand::S, pos: n - i as i64 });
+            self.loc.insert(
+                p,
+                Loc {
+                    hand: Hand::S,
+                    pos: n - i as i64,
+                },
+            );
         }
         let caller_sp_pos = 0i64;
 
@@ -783,12 +828,18 @@ impl<'a> FnCg<'a> {
             Ins::FConst { dst, val } => {
                 let h = self.assign[*dst as usize];
                 self.define(*dst, h);
-                self.push(ChInst::Li { dst: h, imm: val.to_bits() as i64 });
+                self.push(ChInst::Li {
+                    dst: h,
+                    imm: val.to_bits() as i64,
+                });
             }
             Ins::GlobalAddr { dst, id } => {
                 let h = self.assign[*dst as usize];
                 self.define(*dst, h);
-                self.push(ChInst::Li { dst: h, imm: self.module.globals[*id].addr as i64 });
+                self.push(ChInst::Li {
+                    dst: h,
+                    imm: self.module.globals[*id].addr as i64,
+                });
             }
             Ins::FrameAddr { dst, slot } => {
                 let h = self.assign[*dst as usize];
@@ -806,24 +857,44 @@ impl<'a> FnCg<'a> {
                 let s2 = self.src(*b)?;
                 let h = self.assign[*dst as usize];
                 self.define(*dst, h);
-                self.push(ChInst::Alu { op: *op, dst: h, src1: s1, src2: s2 });
+                self.push(ChInst::Alu {
+                    op: *op,
+                    dst: h,
+                    src1: s1,
+                    src2: s2,
+                });
             }
             Ins::BinImm { op, dst, a, imm } => {
                 let s1 = self.src(*a)?;
                 let h = self.assign[*dst as usize];
                 self.define(*dst, h);
-                self.push(ChInst::AluImm { op: *op, dst: h, src1: s1, imm: *imm });
+                self.push(ChInst::AluImm {
+                    op: *op,
+                    dst: h,
+                    src1: s1,
+                    imm: *imm,
+                });
             }
             Ins::Load { op, dst, addr, off } => {
                 let base = self.src(*addr)?;
                 let h = self.assign[*dst as usize];
                 self.define(*dst, h);
-                self.push(ChInst::Load { op: *op, dst: h, base, offset: *off });
+                self.push(ChInst::Load {
+                    op: *op,
+                    dst: h,
+                    base,
+                    offset: *off,
+                });
             }
             Ins::Store { op, val, addr, off } => {
                 let value = self.src(*val)?;
                 let base = self.src(*addr)?;
-                self.push(ChInst::Store { op: *op, value, base, offset: *off });
+                self.push(ChInst::Store {
+                    op: *op,
+                    value,
+                    base,
+                    offset: *off,
+                });
             }
             Ins::Copy { dst, src } => {
                 let s = self.src(*src)?;
@@ -838,8 +909,7 @@ impl<'a> FnCg<'a> {
                     .keys()
                     .copied()
                     .filter(|&v| {
-                        (live_out.contains(v)
-                            || last_use.get(&v).map(|&l| l > i).unwrap_or(false))
+                        (live_out.contains(v) || last_use.get(&v).map(|&l| l > i).unwrap_or(false))
                             && Some(v) != *dst
                             && !self.zero_vregs.contains(v)
                             && !self.stack_set.contains(v)
@@ -854,17 +924,28 @@ impl<'a> FnCg<'a> {
                         .get(&v)
                         .ok_or_else(|| format!("{}: v{v} has no spill slot", self.f.name))?;
                     let sp = self.sp_src()?;
-                    self.push(ChInst::Store { op: StoreOp::Sd, value: s, base: sp, offset: off });
+                    self.push(ChInst::Store {
+                        op: StoreOp::Sd,
+                        value: s,
+                        base: sp,
+                        offset: off,
+                    });
                 }
                 // 2. Push args argN..arg1 into s (SP is already the most
                 //    recent s write, so the callee finds it at s[n+1]).
                 for &a in args.iter().rev() {
                     let s = self.src(a)?;
-                    self.push(ChInst::Mv { dst: Hand::S, src: s });
+                    self.push(ChInst::Mv {
+                        dst: Hand::S,
+                        src: s,
+                    });
                 }
                 // 3. Call (RA written to s).
                 let at = self.out.insts.len();
-                self.push(ChInst::Call { dst: Hand::S, target: 0 });
+                self.push(ChInst::Call {
+                    dst: Hand::S,
+                    target: 0,
+                });
                 self.call_fixups.push((at, *callee));
                 // 4. After return: t/u positions dead; v preserved by the
                 //    convention; s[0]=restored SP, s[1]=return value.
@@ -879,12 +960,21 @@ impl<'a> FnCg<'a> {
                     self.loc.insert(v, l);
                 }
                 let sc = self.counters[Hand::S.index()];
-                let (new_sc, retval_pos) =
-                    if dst.is_some() { (sc + 2, sc) } else { (sc + 1, sc) };
+                let (new_sc, retval_pos) = if dst.is_some() {
+                    (sc + 2, sc)
+                } else {
+                    (sc + 1, sc)
+                };
                 self.counters[Hand::S.index()] = new_sc;
                 self.sp_pos = new_sc - 1;
                 if let Some(d) = dst {
-                    self.loc.insert(*d, Loc { hand: Hand::S, pos: retval_pos });
+                    self.loc.insert(
+                        *d,
+                        Loc {
+                            hand: Hand::S,
+                            pos: retval_pos,
+                        },
+                    );
                     // Move it out of s promptly (s churns at every call).
                     let h = self.assign[*d as usize];
                     let s = self.src(*d)?;
@@ -897,7 +987,12 @@ impl<'a> FnCg<'a> {
                     let h = self.assign[v as usize];
                     let sp = self.sp_src()?;
                     self.define(v, h);
-                    self.push(ChInst::Load { op: LoadOp::Ld, dst: h, base: sp, offset: off });
+                    self.push(ChInst::Load {
+                        op: LoadOp::Ld,
+                        dst: h,
+                        base: sp,
+                        offset: off,
+                    });
                 }
             }
         }
@@ -916,12 +1011,16 @@ impl<'a> FnCg<'a> {
                 self.push(ChInst::Jump { target: 0 });
                 self.fixups.push((at, t));
             }
-            self.pending.insert(t, (self.loc.clone(), self.counters, self.sp_pos));
+            self.pending
+                .insert(t, (self.loc.clone(), self.counters, self.sp_pos));
             return Ok(());
         }
         // Record the natural delivery for the layout update.
         let d_from = self.depth[from];
-        let record = self.deliveries[t].as_ref().map(|(d, _)| *d < d_from).unwrap_or(true);
+        let record = self.deliveries[t]
+            .as_ref()
+            .map(|(d, _)| *d < d_from)
+            .unwrap_or(true);
         if record {
             let mut nat = HashMap::new();
             for hi in 0..2 {
@@ -957,7 +1056,10 @@ impl<'a> FnCg<'a> {
                     Some((v, _)) => {
                         let sop = self.src(v)?;
                         self.define(v, hand);
-                        self.push(ChInst::Mv { dst: hand, src: sop });
+                        self.push(ChInst::Mv {
+                            dst: hand,
+                            src: sop,
+                        });
                         self.fix_writes += 1;
                         c = self.min_fix_writes(&targets);
                     }
@@ -970,7 +1072,10 @@ impl<'a> FnCg<'a> {
                     Some(&(v, _)) => {
                         let sop = self.src(v)?;
                         self.define(v, hand);
-                        self.push(ChInst::Mv { dst: hand, src: sop });
+                        self.push(ChInst::Mv {
+                            dst: hand,
+                            src: sop,
+                        });
                     }
                     None => self.push(ChInst::Li { dst: hand, imm: 0 }),
                 }
@@ -987,7 +1092,13 @@ impl<'a> FnCg<'a> {
     fn gen_term(&mut self, from: usize, term: &Term, next: Option<usize>) -> Result<(), String> {
         match term {
             Term::Jump(t) => self.take_edge(from, *t, next == Some(*t)),
-            Term::CondBr { cond, a, b, then_, else_ } => {
+            Term::CondBr {
+                cond,
+                a,
+                b,
+                then_,
+                else_,
+            } => {
                 if then_ == else_ {
                     return self.take_edge(from, *then_, next == Some(*then_));
                 }
@@ -996,7 +1107,12 @@ impl<'a> FnCg<'a> {
                 let s1 = self.src(*a)?;
                 let s2 = self.src(*b)?;
                 let br_at = self.out.insts.len();
-                self.push(ChInst::Branch { cond: *cond, src1: s1, src2: s2, target: 0 });
+                self.push(ChInst::Branch {
+                    cond: *cond,
+                    src1: s1,
+                    src2: s2,
+                    target: 0,
+                });
                 let saved_loc = self.loc.clone();
                 let saved_counters = self.counters;
                 let saved_sp = self.sp_pos;
@@ -1051,7 +1167,10 @@ impl<'a> FnCg<'a> {
                 }
                 if let Some(rv) = v {
                     let s = self.src(*rv)?;
-                    self.push(ChInst::Mv { dst: Hand::S, src: s });
+                    self.push(ChInst::Mv {
+                        dst: Hand::S,
+                        src: s,
+                    });
                 }
                 let spsrc = self.sp_src()?;
                 self.push(ChInst::AluImm {
@@ -1061,7 +1180,9 @@ impl<'a> FnCg<'a> {
                     imm: self.frame_size,
                 });
                 let ra_d = self.counters[Hand::U.index()] - 1 - ra_u_pos;
-                self.push(ChInst::JumpReg { src: Src::Hand(Hand::U, ra_d as u8) });
+                self.push(ChInst::JumpReg {
+                    src: Src::Hand(Hand::U, ra_d as u8),
+                });
                 Ok(())
             }
         }
@@ -1089,7 +1210,10 @@ mod tests {
     #[test]
     fn arithmetic() {
         assert_eq!(run("fn main() -> int { return 6 * 7; }"), 42);
-        assert_eq!(run("fn main() -> int { var a: int = 10; return a % 3; }"), 1);
+        assert_eq!(
+            run("fn main() -> int { var a: int = 10; return a % 3; }"),
+            1
+        );
     }
 
     #[test]
@@ -1120,7 +1244,10 @@ mod tests {
             .iter()
             .filter(|d| d.dst.and_then(|t| t.hand()) == Some(Hand::V.index() as u8))
             .count();
-        assert!(v_writes < 30, "v written {v_writes} times (should be entry/exit only)");
+        assert!(
+            v_writes < 30,
+            "v written {v_writes} times (should be entry/exit only)"
+        );
     }
 
     #[test]
@@ -1212,10 +1339,14 @@ mod tests {
         let (ch_trace, _) = chi.trace(1_000_000).unwrap();
         let mut sti = ch_baselines::straight::interp::Interpreter::new(st).unwrap();
         let (st_trace, _) = sti.trace(1_000_000).unwrap();
-        let ch_mv =
-            ch_trace.iter().filter(|d| d.class == ch_common::op::OpClass::Move).count();
-        let st_mv =
-            st_trace.iter().filter(|d| d.class == ch_common::op::OpClass::Move).count();
+        let ch_mv = ch_trace
+            .iter()
+            .filter(|d| d.class == ch_common::op::OpClass::Move)
+            .count();
+        let st_mv = st_trace
+            .iter()
+            .filter(|d| d.class == ch_common::op::OpClass::Move)
+            .count();
         assert!(
             2 * ch_mv < st_mv,
             "Clockhands should execute far fewer relays: {ch_mv} vs {st_mv}"

@@ -55,7 +55,10 @@ pub fn compile(module: &Module) -> Result<RvProgram, String> {
     let mut call_fixups: Vec<(usize, usize)> = Vec::new(); // (inst idx, func idx)
 
     // _start: call main, halt with its return value.
-    prog.insts.push(RvInst::Call { rd: Reg::RA, target: 0 });
+    prog.insts.push(RvInst::Call {
+        rd: Reg::RA,
+        target: 0,
+    });
     call_fixups.push((0, module.main_index()));
     prog.insts.push(RvInst::Halt { rs: Reg::A0 });
     prog.labels.insert("_start".to_string(), 0);
@@ -200,8 +203,11 @@ fn compile_fn(
         match reg {
             Some(r) => {
                 let r = Reg(r);
-                let is_callee =
-                    if r.is_fp() { FP_CALLEE.contains(&r.0) } else { INT_CALLEE.contains(&r.0) };
+                let is_callee = if r.is_fp() {
+                    FP_CALLEE.contains(&r.0)
+                } else {
+                    INT_CALLEE.contains(&r.0)
+                };
                 if is_callee && !used_callee.contains(&r) {
                     used_callee.push(r);
                 }
@@ -234,7 +240,7 @@ fn compile_fn(
     let mut array_offsets = Vec::new();
     for &sz in &f.frame_slots {
         array_offsets.push(off);
-        off += ((sz + 7) / 8 * 8) as i32;
+        off += (sz.div_ceil(8) * 8) as i32;
     }
     let frame_size = (off + 15) / 16 * 16;
     for h in &mut homes {
@@ -259,13 +265,28 @@ fn compile_fn(
 
     // ---- Prologue ----
     if cg.frame_size > 0 {
-        cg.push(RvInst::AluImm { op: AluOp::Add, rd: Reg::SP, rs1: Reg::SP, imm: -cg.frame_size });
+        cg.push(RvInst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::SP,
+            rs1: Reg::SP,
+            imm: -cg.frame_size,
+        });
     }
     for (i, r) in cg.saved_regs.clone().into_iter().enumerate() {
-        cg.push(RvInst::Store { op: StoreOp::Sd, rs: r, base: Reg::SP, offset: 8 * i as i32 });
+        cg.push(RvInst::Store {
+            op: StoreOp::Sd,
+            rs: r,
+            base: Reg::SP,
+            offset: 8 * i as i32,
+        });
     }
     if cg.save_ra {
-        cg.push(RvInst::Store { op: StoreOp::Sd, rs: Reg::RA, base: Reg::SP, offset: ra_off });
+        cg.push(RvInst::Store {
+            op: StoreOp::Sd,
+            rs: Reg::RA,
+            base: Reg::SP,
+            offset: ra_off,
+        });
     }
     // Move incoming arguments to their homes.
     let mut int_args = 0u8;
@@ -287,9 +308,12 @@ fn compile_fn(
                     cg.push(RvInst::Mv { rd: r, rs: src });
                 }
             }
-            Home::Spill(o) => {
-                cg.push(RvInst::Store { op: StoreOp::Sd, rs: src, base: Reg::SP, offset: o })
-            }
+            Home::Spill(o) => cg.push(RvInst::Store {
+                op: StoreOp::Sd,
+                rs: src,
+                base: Reg::SP,
+                offset: o,
+            }),
         }
     }
 
@@ -311,13 +335,28 @@ fn compile_fn(
         }
     }
     if cg.save_ra {
-        cg.push(RvInst::Load { op: LoadOp::Ld, rd: Reg::RA, base: Reg::SP, offset: ra_off });
+        cg.push(RvInst::Load {
+            op: LoadOp::Ld,
+            rd: Reg::RA,
+            base: Reg::SP,
+            offset: ra_off,
+        });
     }
     for (i, r) in cg.saved_regs.clone().into_iter().enumerate() {
-        cg.push(RvInst::Load { op: LoadOp::Ld, rd: r, base: Reg::SP, offset: 8 * i as i32 });
+        cg.push(RvInst::Load {
+            op: LoadOp::Ld,
+            rd: r,
+            base: Reg::SP,
+            offset: 8 * i as i32,
+        });
     }
     if cg.frame_size > 0 {
-        cg.push(RvInst::AluImm { op: AluOp::Add, rd: Reg::SP, rs1: Reg::SP, imm: cg.frame_size });
+        cg.push(RvInst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::SP,
+            rs1: Reg::SP,
+            imm: cg.frame_size,
+        });
     }
     cg.push(RvInst::JumpReg { rs: Reg::RA });
 
@@ -354,7 +393,12 @@ impl<'a> FnCg<'a> {
                 } else {
                     SCRATCH2
                 };
-                self.push(RvInst::Load { op: LoadOp::Ld, rd: scratch, base: Reg::SP, offset: off });
+                self.push(RvInst::Load {
+                    op: LoadOp::Ld,
+                    rd: scratch,
+                    base: Reg::SP,
+                    offset: off,
+                });
                 scratch
             }
         }
@@ -377,7 +421,12 @@ impl<'a> FnCg<'a> {
     /// Stores a scratch-computed result back to a spilled home.
     fn finish_write(&mut self, v: VReg, r: Reg) {
         if let Home::Spill(off) = self.homes[v as usize] {
-            self.push(RvInst::Store { op: StoreOp::Sd, rs: r, base: Reg::SP, offset: off });
+            self.push(RvInst::Store {
+                op: StoreOp::Sd,
+                rs: r,
+                base: Reg::SP,
+                offset: off,
+            });
         }
     }
 
@@ -390,44 +439,80 @@ impl<'a> FnCg<'a> {
             }
             Ins::FConst { dst, val } => {
                 let rd = self.write_reg(*dst);
-                self.push(RvInst::Li { rd: SCRATCH2, imm: val.to_bits() as i64 });
-                self.push(RvInst::Alu { op: AluOp::Fmvdx, rd, rs1: SCRATCH2, rs2: Reg::ZERO });
+                self.push(RvInst::Li {
+                    rd: SCRATCH2,
+                    imm: val.to_bits() as i64,
+                });
+                self.push(RvInst::Alu {
+                    op: AluOp::Fmvdx,
+                    rd,
+                    rs1: SCRATCH2,
+                    rs2: Reg::ZERO,
+                });
                 self.finish_write(*dst, rd);
             }
             Ins::GlobalAddr { dst, id } => {
                 let rd = self.write_reg(*dst);
-                self.push(RvInst::Li { rd, imm: module.globals[*id].addr as i64 });
+                self.push(RvInst::Li {
+                    rd,
+                    imm: module.globals[*id].addr as i64,
+                });
                 self.finish_write(*dst, rd);
             }
             Ins::FrameAddr { dst, slot } => {
                 let rd = self.write_reg(*dst);
                 let imm = self.array_offsets[*slot];
-                self.push(RvInst::AluImm { op: AluOp::Add, rd, rs1: Reg::SP, imm });
+                self.push(RvInst::AluImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: Reg::SP,
+                    imm,
+                });
                 self.finish_write(*dst, rd);
             }
             Ins::Bin { op, dst, a, b } => {
                 let ra = self.read(*a, 0);
                 let rb = self.read(*b, 1);
                 let rd = self.write_reg(*dst);
-                self.push(RvInst::Alu { op: *op, rd, rs1: ra, rs2: rb });
+                self.push(RvInst::Alu {
+                    op: *op,
+                    rd,
+                    rs1: ra,
+                    rs2: rb,
+                });
                 self.finish_write(*dst, rd);
             }
             Ins::BinImm { op, dst, a, imm } => {
                 let ra = self.read(*a, 0);
                 let rd = self.write_reg(*dst);
-                self.push(RvInst::AluImm { op: *op, rd, rs1: ra, imm: *imm });
+                self.push(RvInst::AluImm {
+                    op: *op,
+                    rd,
+                    rs1: ra,
+                    imm: *imm,
+                });
                 self.finish_write(*dst, rd);
             }
             Ins::Load { op, dst, addr, off } => {
                 let ra = self.read(*addr, 0);
                 let rd = self.write_reg(*dst);
-                self.push(RvInst::Load { op: *op, rd, base: ra, offset: *off });
+                self.push(RvInst::Load {
+                    op: *op,
+                    rd,
+                    base: ra,
+                    offset: *off,
+                });
                 self.finish_write(*dst, rd);
             }
             Ins::Store { op, val, addr, off } => {
                 let rv = self.read(*val, 0);
                 let ra = self.read(*addr, 1);
-                self.push(RvInst::Store { op: *op, rs: rv, base: ra, offset: *off });
+                self.push(RvInst::Store {
+                    op: *op,
+                    rs: rv,
+                    base: ra,
+                    offset: *off,
+                });
             }
             Ins::Copy { dst, src } => {
                 let rs = self.read(*src, 0);
@@ -455,11 +540,17 @@ impl<'a> FnCg<'a> {
                         return Err("more than 8 arguments are not supported".into());
                     }
                     if src != dst_reg {
-                        self.push(RvInst::Mv { rd: dst_reg, rs: src });
+                        self.push(RvInst::Mv {
+                            rd: dst_reg,
+                            rs: src,
+                        });
                     }
                 }
                 let at = self.out.insts.len();
-                self.push(RvInst::Call { rd: Reg::RA, target: 0 });
+                self.push(RvInst::Call {
+                    rd: Reg::RA,
+                    target: 0,
+                });
                 self.call_fixups.push((at, *callee));
                 if let Some(d) = dst {
                     let ret = if self.is_fp(*d) { Reg(42) } else { Reg::A0 };
@@ -483,16 +574,32 @@ impl<'a> FnCg<'a> {
                     self.br_fixups.push((at, *t));
                 }
             }
-            Term::CondBr { cond, a, b, then_, else_ } => {
+            Term::CondBr {
+                cond,
+                a,
+                b,
+                then_,
+                else_,
+            } => {
                 let ra = self.read(*a, 0);
                 let rb = self.read(*b, 1);
                 if next == Some(*then_) {
                     let at = self.out.insts.len();
-                    self.push(RvInst::Branch { cond: cond.negate(), rs1: ra, rs2: rb, target: 0 });
+                    self.push(RvInst::Branch {
+                        cond: cond.negate(),
+                        rs1: ra,
+                        rs2: rb,
+                        target: 0,
+                    });
                     self.br_fixups.push((at, *else_));
                 } else {
                     let at = self.out.insts.len();
-                    self.push(RvInst::Branch { cond: *cond, rs1: ra, rs2: rb, target: 0 });
+                    self.push(RvInst::Branch {
+                        cond: *cond,
+                        rs1: ra,
+                        rs2: rb,
+                        target: 0,
+                    });
                     self.br_fixups.push((at, *then_));
                     if next != Some(*else_) {
                         let at = self.out.insts.len();
@@ -534,7 +641,10 @@ mod tests {
     #[test]
     fn arithmetic() {
         assert_eq!(run("fn main() -> int { return 6 * 7; }"), 42);
-        assert_eq!(run("fn main() -> int { var a: int = 10; return a % 3; }"), 1);
+        assert_eq!(
+            run("fn main() -> int { var a: int = 10; return a % 3; }"),
+            1
+        );
     }
 
     #[test]

@@ -47,7 +47,9 @@ pub fn compile(module: &Module) -> Result<StProgram, String> {
 
     prog.insts.push(StInst::Call { target: 0 });
     call_fixups.push((0, module.main_index()));
-    prog.insts.push(StInst::Halt { src: StSrc::Dist(2) });
+    prog.insts.push(StInst::Halt {
+        src: StSrc::Dist(2),
+    });
     prog.labels.insert("_start".to_string(), 0);
 
     for f in &module.funcs {
@@ -116,8 +118,11 @@ impl<'a> FnCg<'a> {
         // Canonical order: ascending vreg id, EXCEPT the entry block whose
         // order is dictated by the calling convention (args are pushed
         // argN..arg1, so the last relay before the call is arg1).
-        let mut entry_order: Vec<Vec<VReg>> =
-            live.live_in.iter().map(|s| s.iter().collect::<Vec<_>>()).collect();
+        let mut entry_order: Vec<Vec<VReg>> = live
+            .live_in
+            .iter()
+            .map(|s| s.iter().collect::<Vec<_>>())
+            .collect();
         entry_order[0] = f.params.iter().rev().copied().collect();
         // Zero-const vregs: single definition, `Const 0`.
         let mut defs: HashMap<VReg, u32> = HashMap::new();
@@ -191,11 +196,7 @@ impl<'a> FnCg<'a> {
     }
 
     /// Relays any still-needed value whose distance reached `threshold`.
-    fn relay_over(
-        &mut self,
-        threshold: i64,
-        keep: &dyn Fn(VReg) -> bool,
-    ) -> Result<(), String> {
+    fn relay_over(&mut self, threshold: i64, keep: &dyn Fn(VReg) -> bool) -> Result<(), String> {
         for _guard in 0..512 {
             // Deterministic choice: deepest value first, vreg id ties.
             let mut victim: Option<(i64, VReg)> = None;
@@ -218,7 +219,10 @@ impl<'a> FnCg<'a> {
                 None => return Ok(()),
             }
         }
-        Err(format!("{}: relay pressure too high (≥512 relays)", self.f.name))
+        Err(format!(
+            "{}: relay pressure too high (≥512 relays)",
+            self.f.name
+        ))
     }
 
     fn run(mut self) -> Result<(), String> {
@@ -254,7 +258,7 @@ impl<'a> FnCg<'a> {
         }
         for &sz in &self.f.frame_slots {
             self.array_offsets.push(off);
-            off += ((sz + 7) / 8 * 8) as i32;
+            off += (sz.div_ceil(8) * 8) as i32;
         }
         self.frame_size = (off + 15) / 16 * 16;
 
@@ -409,7 +413,9 @@ impl<'a> FnCg<'a> {
         if is_entry {
             // Prologue: allocate the frame, then spill the return address
             // (the call's slot: distance 1 at entry, 2 after the spaddi).
-            self.push(StInst::SpAddi { imm: -self.frame_size });
+            self.push(StInst::SpAddi {
+                imm: -self.frame_size,
+            });
             self.push(StInst::Store {
                 op: StoreOp::Sd,
                 value: StSrc::Dist(2),
@@ -450,11 +456,15 @@ impl<'a> FnCg<'a> {
             }
             Ins::FConst { dst, val } => {
                 self.define(*dst);
-                self.push(StInst::Li { imm: val.to_bits() as i64 });
+                self.push(StInst::Li {
+                    imm: val.to_bits() as i64,
+                });
             }
             Ins::GlobalAddr { dst, id } => {
                 self.define(*dst);
-                self.push(StInst::Li { imm: self.module.globals[*id].addr as i64 });
+                self.push(StInst::Li {
+                    imm: self.module.globals[*id].addr as i64,
+                });
             }
             Ins::FrameAddr { dst, slot } => {
                 self.define(*dst);
@@ -468,22 +478,39 @@ impl<'a> FnCg<'a> {
                 let s1 = self.src(*a)?;
                 let s2 = self.src(*b)?;
                 self.define(*dst);
-                self.push(StInst::Alu { op: *op, src1: s1, src2: s2 });
+                self.push(StInst::Alu {
+                    op: *op,
+                    src1: s1,
+                    src2: s2,
+                });
             }
             Ins::BinImm { op, dst, a, imm } => {
                 let s1 = self.src(*a)?;
                 self.define(*dst);
-                self.push(StInst::AluImm { op: *op, src1: s1, imm: *imm });
+                self.push(StInst::AluImm {
+                    op: *op,
+                    src1: s1,
+                    imm: *imm,
+                });
             }
             Ins::Load { op, dst, addr, off } => {
                 let base = self.src(*addr)?;
                 self.define(*dst);
-                self.push(StInst::Load { op: *op, base, offset: *off });
+                self.push(StInst::Load {
+                    op: *op,
+                    base,
+                    offset: *off,
+                });
             }
             Ins::Store { op, val, addr, off } => {
                 let value = self.src(*val)?;
                 let base = self.src(*addr)?;
-                self.push(StInst::Store { op: *op, value, base, offset: *off });
+                self.push(StInst::Store {
+                    op: *op,
+                    value,
+                    base,
+                    offset: *off,
+                });
             }
             Ins::Copy { dst, src } => {
                 let s = self.src(*src)?;
@@ -498,8 +525,7 @@ impl<'a> FnCg<'a> {
                     .keys()
                     .copied()
                     .filter(|&v| {
-                        (live_out.contains(v)
-                            || last_use.get(&v).map(|&l| l > i).unwrap_or(false))
+                        (live_out.contains(v) || last_use.get(&v).map(|&l| l > i).unwrap_or(false))
                             && Some(v) != *dst
                             && !self.zero_vregs.contains(v)
                     })
@@ -537,7 +563,11 @@ impl<'a> FnCg<'a> {
                 for &v in &after {
                     let off = self.spill_off[&v];
                     self.define(v);
-                    self.push(StInst::Load { op: LoadOp::Ld, base: StSrc::Sp, offset: off });
+                    self.push(StInst::Load {
+                        op: LoadOp::Ld,
+                        base: StSrc::Sp,
+                        offset: off,
+                    });
                 }
             }
         }
@@ -583,7 +613,10 @@ impl<'a> FnCg<'a> {
         let jj = jump as i64;
         // Record the natural delivery for the layout update.
         let d_from = self.depth[from];
-        let record = self.deliveries[t].as_ref().map(|(d, _)| *d < d_from).unwrap_or(true);
+        let record = self.deliveries[t]
+            .as_ref()
+            .map(|(d, _)| *d < d_from)
+            .unwrap_or(true);
         if record {
             let mut nat = HashMap::new();
             for &(v, _) in &targets {
@@ -643,14 +676,25 @@ impl<'a> FnCg<'a> {
     fn gen_term(&mut self, from: usize, term: &Term, next: Option<usize>) -> Result<(), String> {
         match term {
             Term::Jump(t) => self.take_edge(from, *t, next == Some(*t)),
-            Term::CondBr { cond, a, b, then_, else_ } => {
+            Term::CondBr {
+                cond,
+                a,
+                b,
+                then_,
+                else_,
+            } => {
                 if then_ == else_ {
                     return self.take_edge(from, *then_, next == Some(*then_));
                 }
                 let s1 = self.src(*a)?;
                 let s2 = self.src(*b)?;
                 let br_at = self.out.insts.len();
-                self.push(StInst::Branch { cond: *cond, src1: s1, src2: s2, target: 0 });
+                self.push(StInst::Branch {
+                    cond: *cond,
+                    src1: s1,
+                    src2: s2,
+                    target: 0,
+                });
                 // Both edges have executed the branch slot; fork the state.
                 let saved_loc = self.loc.clone();
                 let saved_counter = self.counter;
@@ -687,9 +731,15 @@ impl<'a> FnCg<'a> {
                     Some(v) => Some(self.src(*v)?),
                     None => None,
                 };
-                self.push(StInst::Load { op: LoadOp::Ld, base: StSrc::Sp, offset: self.ra_off });
+                self.push(StInst::Load {
+                    op: LoadOp::Ld,
+                    base: StSrc::Sp,
+                    offset: self.ra_off,
+                });
                 let ra_pos = self.counter - 1;
-                self.push(StInst::SpAddi { imm: self.frame_size });
+                self.push(StInst::SpAddi {
+                    imm: self.frame_size,
+                });
                 if let Some(s) = retsrc {
                     // Two instructions were emitted since the source was
                     // resolved; shift the distance.
@@ -706,7 +756,9 @@ impl<'a> FnCg<'a> {
                     self.push(StInst::Mv { src: s });
                 }
                 let d = self.counter - ra_pos;
-                self.push(StInst::JumpReg { src: StSrc::Dist(d as u8) });
+                self.push(StInst::JumpReg {
+                    src: StSrc::Dist(d as u8),
+                });
                 Ok(())
             }
         }
@@ -731,7 +783,10 @@ mod tests {
     #[test]
     fn arithmetic() {
         assert_eq!(run("fn main() -> int { return 6 * 7; }"), 42);
-        assert_eq!(run("fn main() -> int { var a: int = 10; return a % 3; }"), 1);
+        assert_eq!(
+            run("fn main() -> int { var a: int = 10; return a % 3; }"),
+            1
+        );
     }
 
     #[test]
@@ -744,7 +799,11 @@ mod tests {
         assert_eq!(run(src), 55);
         let m = build_ir(src).unwrap();
         let prog = compile(&m).unwrap();
-        let mvs = prog.insts.iter().filter(|i| matches!(i, StInst::Mv { .. })).count();
+        let mvs = prog
+            .insts
+            .iter()
+            .filter(|i| matches!(i, StInst::Mv { .. }))
+            .count();
         assert!(mvs > 0, "STRAIGHT loops require relay mv instructions");
     }
 
@@ -771,8 +830,15 @@ mod tests {
         assert_eq!(run(src), 20);
         let m = build_ir(src).unwrap();
         let prog = compile(&m).unwrap();
-        let loads = prog.insts.iter().filter(|i| i.class() == OpClass::Load).count();
-        assert!(loads >= 3, "x must be reloaded after the first call (got {loads} loads)");
+        let loads = prog
+            .insts
+            .iter()
+            .filter(|i| i.class() == OpClass::Load)
+            .count();
+        assert!(
+            loads >= 3,
+            "x must be reloaded after the first call (got {loads} loads)"
+        );
     }
 
     #[test]

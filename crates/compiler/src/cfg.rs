@@ -12,7 +12,9 @@ pub struct BitSet {
 impl BitSet {
     /// Creates an empty set sized for `n` elements.
     pub fn new(n: usize) -> Self {
-        BitSet { words: vec![0; n.div_ceil(64)] }
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Inserts `i`; returns whether the set changed.

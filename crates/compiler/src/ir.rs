@@ -227,7 +227,10 @@ impl Function {
             name: name.into(),
             params: Vec::new(),
             ret,
-            blocks: vec![Block { insts: Vec::new(), term: Term::Ret(None) }],
+            blocks: vec![Block {
+                insts: Vec::new(),
+                term: Term::Ret(None),
+            }],
             vreg_ty: Vec::new(),
             frame_slots: Vec::new(),
         }
@@ -242,7 +245,10 @@ impl Function {
 
     /// Adds an empty block, returning its id.
     pub fn new_block(&mut self) -> BlockId {
-        self.blocks.push(Block { insts: Vec::new(), term: Term::Ret(None) });
+        self.blocks.push(Block {
+            insts: Vec::new(),
+            term: Term::Ret(None),
+        });
         self.blocks.len() - 1
     }
 
@@ -319,7 +325,13 @@ mod tests {
         let b1 = f.new_block();
         let b2 = f.new_block();
         let c = f.new_vreg(Ty::Int);
-        f.blocks[0].term = Term::CondBr { cond: BrCond::Eq, a: c, b: c, then_: b1, else_: b2 };
+        f.blocks[0].term = Term::CondBr {
+            cond: BrCond::Eq,
+            a: c,
+            b: c,
+            then_: b1,
+            else_: b2,
+        };
         f.blocks[b1].term = Term::Jump(b2);
         let preds = f.predecessors();
         assert_eq!(preds[b1], vec![0]);
@@ -328,11 +340,21 @@ mod tests {
 
     #[test]
     fn ins_accessors() {
-        let st = Ins::Store { op: StoreOp::Sd, val: 1, addr: 2, off: 0 };
+        let st = Ins::Store {
+            op: StoreOp::Sd,
+            val: 1,
+            addr: 2,
+            off: 0,
+        };
         assert_eq!(st.dst(), None);
         assert_eq!(st.srcs(), vec![1, 2]);
         assert!(st.has_side_effects());
-        let add = Ins::Bin { op: AluOp::Add, dst: 0, a: 1, b: 2 };
+        let add = Ins::Bin {
+            op: AluOp::Add,
+            dst: 0,
+            a: 1,
+            b: 2,
+        };
         assert_eq!(add.dst(), Some(0));
         assert!(!add.has_side_effects());
     }

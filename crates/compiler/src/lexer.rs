@@ -145,7 +145,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         line,
                         message: format!("bad hex literal `{}`", &src[start..i]),
                     })?;
-                    out.push(Spanned { tok: Tok::Int(v), line });
+                    out.push(Spanned {
+                        tok: Tok::Int(v),
+                        line,
+                    });
                     continue;
                 }
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
@@ -153,7 +156,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
                 if i < bytes.len()
                     && bytes[i] == b'.'
-                    && bytes.get(i + 1).map(|b| (*b as char).is_ascii_digit()).unwrap_or(false)
+                    && bytes
+                        .get(i + 1)
+                        .map(|b| (*b as char).is_ascii_digit())
+                        .unwrap_or(false)
                 {
                     is_real = true;
                     i += 1;
@@ -188,9 +194,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             _ => {
                 // Longest-match punctuation.
                 const PUNCTS: [&str; 33] = [
-                    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+=", "-=",
-                    "*=", "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",",
-                    "=", "<", ">", "+", "-", "!", ":",
+                    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+=", "-=", "*=",
+                    "/=", "%=", "&=", "|=", "^=", "(", ")", "{", "}", "[", "]", ";", ",", "=", "<",
+                    ">", "+", "-", "!", ":",
                 ];
                 const SINGLES: [&str; 7] = ["*", "/", "%", "&", "|", "^", "~"];
                 let rest = &src[i..];
@@ -203,7 +209,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
                 match matched {
                     Some(p) => {
-                        out.push(Spanned { tok: Tok::Punct(p), line });
+                        out.push(Spanned {
+                            tok: Tok::Punct(p),
+                            line,
+                        });
                         i += p.len();
                     }
                     None => {
@@ -216,7 +225,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 

@@ -23,7 +23,10 @@ impl std::fmt::Display for LowerError {
 impl std::error::Error for LowerError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, LowerError> {
-    Err(LowerError { line, message: message.into() })
+    Err(LowerError {
+        line,
+        message: message.into(),
+    })
 }
 
 #[derive(Debug, Clone)]
@@ -79,7 +82,9 @@ impl<'a> Ctx<'a> {
             None => {
                 let z = self.f.new_vreg(Ty::Int);
                 // Define it first thing in the entry block.
-                self.f.blocks[0].insts.insert(0, Ins::Const { dst: z, val: 0 });
+                self.f.blocks[0]
+                    .insts
+                    .insert(0, Ins::Const { dst: z, val: 0 });
                 self.zero = Some(z);
                 z
             }
@@ -91,7 +96,10 @@ impl<'a> Ctx<'a> {
     }
 
     fn bind(&mut self, name: &str, b: Binding) {
-        self.scopes.last_mut().expect("scope stack nonempty").insert(name.to_string(), b);
+        self.scopes
+            .last_mut()
+            .expect("scope stack nonempty")
+            .insert(name.to_string(), b);
     }
 
     fn ty_of(&self, v: VReg) -> Ty {
@@ -213,7 +221,12 @@ impl<'a> Ctx<'a> {
                             } else {
                                 self.vreg(ty)
                             };
-                            self.emit(Ins::Load { op: lop, dst: out, addr, off: 0 });
+                            self.emit(Ins::Load {
+                                op: lop,
+                                dst: out,
+                                addr,
+                                off: 0,
+                            });
                             return Ok(out);
                         }
                         Ok(dst)
@@ -231,7 +244,12 @@ impl<'a> Ctx<'a> {
                     }
                     None => self.vreg(ty),
                 };
-                self.emit(Ins::Load { op: lop, dst, addr, off });
+                self.emit(Ins::Load {
+                    op: lop,
+                    dst,
+                    addr,
+                    off,
+                });
                 Ok(dst)
             }
             ExprKind::Bin(op, a, b) => self.bin(*op, a, b, hint, line),
@@ -244,12 +262,22 @@ impl<'a> Ctx<'a> {
                         match ty {
                             Ty::Int => {
                                 let z = self.zero();
-                                self.emit(Ins::Bin { op: AluOp::Sub, dst, a: z, b: v });
+                                self.emit(Ins::Bin {
+                                    op: AluOp::Sub,
+                                    dst,
+                                    a: z,
+                                    b: v,
+                                });
                             }
                             Ty::Real => {
                                 let z = self.vreg(Ty::Real);
                                 self.emit(Ins::FConst { dst: z, val: 0.0 });
-                                self.emit(Ins::Bin { op: AluOp::Fsub, dst, a: z, b: v });
+                                self.emit(Ins::Bin {
+                                    op: AluOp::Fsub,
+                                    dst,
+                                    a: z,
+                                    b: v,
+                                });
                             }
                         }
                         Ok(dst)
@@ -259,7 +287,12 @@ impl<'a> Ctx<'a> {
                             return err(line, "`!` needs an integer operand");
                         }
                         let dst = hint.unwrap_or_else(|| self.vreg(Ty::Int));
-                        self.emit(Ins::BinImm { op: AluOp::Sltu, dst, a: v, imm: 1 });
+                        self.emit(Ins::BinImm {
+                            op: AluOp::Sltu,
+                            dst,
+                            a: v,
+                            imm: 1,
+                        });
                         Ok(dst)
                     }
                     UnOp::BitNot => {
@@ -267,7 +300,12 @@ impl<'a> Ctx<'a> {
                             return err(line, "`~` needs an integer operand");
                         }
                         let dst = hint.unwrap_or_else(|| self.vreg(Ty::Int));
-                        self.emit(Ins::BinImm { op: AluOp::Xor, dst, a: v, imm: -1 });
+                        self.emit(Ins::BinImm {
+                            op: AluOp::Xor,
+                            dst,
+                            a: v,
+                            imm: -1,
+                        });
                         Ok(dst)
                     }
                 }
@@ -310,7 +348,11 @@ impl<'a> Ctx<'a> {
                     }),
                     None => None,
                 };
-                self.emit(Ins::Call { dst, callee, args: argv });
+                self.emit(Ins::Call {
+                    dst,
+                    callee,
+                    args: argv,
+                });
                 match dst {
                     Some(d) => Ok(d),
                     None => err(line, format!("void function `{name}` used as a value")),
@@ -328,7 +370,12 @@ impl<'a> Ctx<'a> {
                     Ty::Int => AluOp::Fcvtld,
                 };
                 let z = self.zero();
-                self.emit(Ins::Bin { op, dst, a: v, b: z });
+                self.emit(Ins::Bin {
+                    op,
+                    dst,
+                    a: v,
+                    b: z,
+                });
                 Ok(dst)
             }
         }
@@ -349,7 +396,10 @@ impl<'a> Ctx<'a> {
             let rhs_bb = self.f.new_block();
             let short_bb = self.f.new_block();
             let end_bb = self.f.new_block();
-            let e = Expr { kind: ExprKind::Bin(op, Box::new(a.clone()), Box::new(b.clone())), line };
+            let e = Expr {
+                kind: ExprKind::Bin(op, Box::new(a.clone()), Box::new(b.clone())),
+                line,
+            };
             // branch on a: LAnd -> (rhs, short), LOr -> (short, rhs)
             match op {
                 BinOp::LAnd => self.cond_branch(a, rhs_bb, short_bb)?,
@@ -358,7 +408,10 @@ impl<'a> Ctx<'a> {
             }
             let _ = e;
             self.switch_to(short_bb);
-            self.emit(Ins::Const { dst: res, val: (op == BinOp::LOr) as i64 });
+            self.emit(Ins::Const {
+                dst: res,
+                val: (op == BinOp::LOr) as i64,
+            });
             self.set_term(Term::Jump(end_bb));
             self.switch_to(rhs_bb);
             let bv = self.expr(b, None)?;
@@ -366,7 +419,12 @@ impl<'a> Ctx<'a> {
                 return err(line, "logical operator needs integer operands");
             }
             let z = self.zero();
-            self.emit(Ins::Bin { op: AluOp::Sltu, dst: res, a: z, b: bv });
+            self.emit(Ins::Bin {
+                op: AluOp::Sltu,
+                dst: res,
+                a: z,
+                b: bv,
+            });
             self.set_term(Term::Jump(end_bb));
             self.switch_to(end_bb);
             return Ok(res);
@@ -382,12 +440,22 @@ impl<'a> Ctx<'a> {
                     if let Ok(alu) = int_binop(op, line) {
                         if imm_form(alu) {
                             let dst = hint.unwrap_or_else(|| self.vreg(Ty::Int));
-                            self.emit(Ins::BinImm { op: alu, dst, a: va, imm: v as i32 });
+                            self.emit(Ins::BinImm {
+                                op: alu,
+                                dst,
+                                a: va,
+                                imm: v as i32,
+                            });
                             return Ok(dst);
                         }
                         if alu == AluOp::Sub && v > IMM_MIN {
                             let dst = hint.unwrap_or_else(|| self.vreg(Ty::Int));
-                            self.emit(Ins::BinImm { op: AluOp::Add, dst, a: va, imm: -v as i32 });
+                            self.emit(Ins::BinImm {
+                                op: AluOp::Add,
+                                dst,
+                                a: va,
+                                imm: -v as i32,
+                            });
                             return Ok(dst);
                         }
                     }
@@ -412,30 +480,85 @@ impl<'a> Ctx<'a> {
             Ty::Real => real_binop(op, line)?,
         };
         let dst = hint.unwrap_or_else(|| self.vreg(ta));
-        self.emit(Ins::Bin { op: alu, dst, a: va, b: vb });
+        self.emit(Ins::Bin {
+            op: alu,
+            dst,
+            a: va,
+            b: vb,
+        });
         Ok(dst)
     }
 
     fn int_compare(&mut self, op: BinOp, dst: VReg, a: VReg, b: VReg) {
         match op {
-            BinOp::Lt => self.emit(Ins::Bin { op: AluOp::Slt, dst, a, b }),
-            BinOp::Gt => self.emit(Ins::Bin { op: AluOp::Slt, dst, a: b, b: a }),
+            BinOp::Lt => self.emit(Ins::Bin {
+                op: AluOp::Slt,
+                dst,
+                a,
+                b,
+            }),
+            BinOp::Gt => self.emit(Ins::Bin {
+                op: AluOp::Slt,
+                dst,
+                a: b,
+                b: a,
+            }),
             BinOp::Le => {
-                self.emit(Ins::Bin { op: AluOp::Slt, dst, a: b, b: a });
-                self.emit(Ins::BinImm { op: AluOp::Xor, dst, a: dst, imm: 1 });
+                self.emit(Ins::Bin {
+                    op: AluOp::Slt,
+                    dst,
+                    a: b,
+                    b: a,
+                });
+                self.emit(Ins::BinImm {
+                    op: AluOp::Xor,
+                    dst,
+                    a: dst,
+                    imm: 1,
+                });
             }
             BinOp::Ge => {
-                self.emit(Ins::Bin { op: AluOp::Slt, dst, a, b });
-                self.emit(Ins::BinImm { op: AluOp::Xor, dst, a: dst, imm: 1 });
+                self.emit(Ins::Bin {
+                    op: AluOp::Slt,
+                    dst,
+                    a,
+                    b,
+                });
+                self.emit(Ins::BinImm {
+                    op: AluOp::Xor,
+                    dst,
+                    a: dst,
+                    imm: 1,
+                });
             }
             BinOp::Eq => {
-                self.emit(Ins::Bin { op: AluOp::Xor, dst, a, b });
-                self.emit(Ins::BinImm { op: AluOp::Sltu, dst, a: dst, imm: 1 });
+                self.emit(Ins::Bin {
+                    op: AluOp::Xor,
+                    dst,
+                    a,
+                    b,
+                });
+                self.emit(Ins::BinImm {
+                    op: AluOp::Sltu,
+                    dst,
+                    a: dst,
+                    imm: 1,
+                });
             }
             BinOp::Ne => {
-                self.emit(Ins::Bin { op: AluOp::Xor, dst, a, b });
+                self.emit(Ins::Bin {
+                    op: AluOp::Xor,
+                    dst,
+                    a,
+                    b,
+                });
                 let z = self.zero();
-                self.emit(Ins::Bin { op: AluOp::Sltu, dst, a: z, b: dst });
+                self.emit(Ins::Bin {
+                    op: AluOp::Sltu,
+                    dst,
+                    a: z,
+                    b: dst,
+                });
             }
             _ => unreachable!("not a comparison"),
         }
@@ -443,14 +566,49 @@ impl<'a> Ctx<'a> {
 
     fn real_compare(&mut self, op: BinOp, dst: VReg, a: VReg, b: VReg) {
         match op {
-            BinOp::Lt => self.emit(Ins::Bin { op: AluOp::Flt, dst, a, b }),
-            BinOp::Gt => self.emit(Ins::Bin { op: AluOp::Flt, dst, a: b, b: a }),
-            BinOp::Le => self.emit(Ins::Bin { op: AluOp::Fle, dst, a, b }),
-            BinOp::Ge => self.emit(Ins::Bin { op: AluOp::Fle, dst, a: b, b: a }),
-            BinOp::Eq => self.emit(Ins::Bin { op: AluOp::Feq, dst, a, b }),
+            BinOp::Lt => self.emit(Ins::Bin {
+                op: AluOp::Flt,
+                dst,
+                a,
+                b,
+            }),
+            BinOp::Gt => self.emit(Ins::Bin {
+                op: AluOp::Flt,
+                dst,
+                a: b,
+                b: a,
+            }),
+            BinOp::Le => self.emit(Ins::Bin {
+                op: AluOp::Fle,
+                dst,
+                a,
+                b,
+            }),
+            BinOp::Ge => self.emit(Ins::Bin {
+                op: AluOp::Fle,
+                dst,
+                a: b,
+                b: a,
+            }),
+            BinOp::Eq => self.emit(Ins::Bin {
+                op: AluOp::Feq,
+                dst,
+                a,
+                b,
+            }),
             BinOp::Ne => {
-                self.emit(Ins::Bin { op: AluOp::Feq, dst, a, b });
-                self.emit(Ins::BinImm { op: AluOp::Xor, dst, a: dst, imm: 1 });
+                self.emit(Ins::Bin {
+                    op: AluOp::Feq,
+                    dst,
+                    a,
+                    b,
+                });
+                self.emit(Ins::BinImm {
+                    op: AluOp::Xor,
+                    dst,
+                    a: dst,
+                    imm: 1,
+                });
             }
             _ => unreachable!("not a comparison"),
         }
@@ -467,9 +625,8 @@ impl<'a> Ctx<'a> {
         // Element type: known for named arrays, 8-byte int otherwise.
         let elem = match &base.kind {
             ExprKind::Var(name) => match self.lookup(name) {
-                Some(Binding::LocalArray { elem, .. }) | Some(Binding::GlobalArray { elem, .. }) => {
-                    *elem
-                }
+                Some(Binding::LocalArray { elem, .. })
+                | Some(Binding::GlobalArray { elem, .. }) => *elem,
                 Some(Binding::Scalar(_, Ty::Int)) => ElemTy::Int,
                 Some(Binding::Scalar(_, Ty::Real)) => {
                     return err(line, "cannot index a real scalar")
@@ -497,13 +654,23 @@ impl<'a> Ctx<'a> {
         }
         let scaled = if elem.size() == 8 {
             let s = self.vreg(Ty::Int);
-            self.emit(Ins::BinImm { op: AluOp::Sll, dst: s, a: iv, imm: 3 });
+            self.emit(Ins::BinImm {
+                op: AluOp::Sll,
+                dst: s,
+                a: iv,
+                imm: 3,
+            });
             s
         } else {
             iv
         };
         let addr = self.vreg(Ty::Int);
-        self.emit(Ins::Bin { op: AluOp::Add, dst: addr, a: baddr, b: scaled });
+        self.emit(Ins::Bin {
+            op: AluOp::Add,
+            dst: addr,
+            a: baddr,
+            b: scaled,
+        });
         Ok((addr, 0, lop, ty))
     }
 
@@ -534,7 +701,13 @@ impl<'a> Ctx<'a> {
                     let t = self.vreg(Ty::Int);
                     self.real_compare(*op, t, va, vb);
                     let z = self.zero();
-                    self.set_term(Term::CondBr { cond: BrCond::Ne, a: t, b: z, then_, else_ });
+                    self.set_term(Term::CondBr {
+                        cond: BrCond::Ne,
+                        a: t,
+                        b: z,
+                        then_,
+                        else_,
+                    });
                     return Ok(());
                 }
                 // Normalise Le/Gt by swapping operands.
@@ -543,7 +716,13 @@ impl<'a> Ctx<'a> {
                     BinOp::Gt => (BrCond::Lt, vb, va),
                     other => (br_cond_of(*other).expect("comparison"), va, vb),
                 };
-                self.set_term(Term::CondBr { cond, a: x, b: y, then_, else_ });
+                self.set_term(Term::CondBr {
+                    cond,
+                    a: x,
+                    b: y,
+                    then_,
+                    else_,
+                });
                 Ok(())
             }
             _ => {
@@ -552,7 +731,13 @@ impl<'a> Ctx<'a> {
                     return err(e.line, "condition must be an integer");
                 }
                 let z = self.zero();
-                self.set_term(Term::CondBr { cond: BrCond::Ne, a: v, b: z, then_, else_ });
+                self.set_term(Term::CondBr {
+                    cond: BrCond::Ne,
+                    a: v,
+                    b: z,
+                    then_,
+                    else_,
+                });
                 Ok(())
             }
         }
@@ -620,14 +805,23 @@ impl<'a> Ctx<'a> {
                         LoadOp::Lbu => StoreOp::Sb,
                         _ => StoreOp::Sd,
                     };
-                    self.emit(Ins::Store { op: sop, val, addr, off });
+                    self.emit(Ins::Store {
+                        op: sop,
+                        val,
+                        addr,
+                        off,
+                    });
                     Ok(())
                 }
             },
             Stmt::If(cond, then_b, else_b) => {
                 let then_bb = self.f.new_block();
                 let end_bb = self.f.new_block();
-                let else_bb = if else_b.is_empty() { end_bb } else { self.f.new_block() };
+                let else_bb = if else_b.is_empty() {
+                    end_bb
+                } else {
+                    self.f.new_block()
+                };
                 self.cond_branch(cond, then_bb, else_bb)?;
                 self.switch_to(then_bb);
                 self.scopes.push(HashMap::new());
@@ -705,9 +899,7 @@ impl<'a> Ctx<'a> {
                     }
                     (None, None) => self.set_term(Term::Ret(None)),
                     (Some(e), None) => return err(e.line, "void function returns a value"),
-                    (None, Some(_)) => {
-                        return err(line_hint, "function must return a value")
-                    }
+                    (None, Some(_)) => return err(line_hint, "function must return a value"),
                 }
                 // Code after a return in the same block is unreachable;
                 // park it in a fresh dead block.
@@ -754,7 +946,11 @@ impl<'a> Ctx<'a> {
                             }
                             argv.push(v);
                         }
-                        self.emit(Ins::Call { dst: None, callee, args: argv });
+                        self.emit(Ins::Call {
+                            dst: None,
+                            callee,
+                            args: argv,
+                        });
                         return Ok(());
                     }
                 }
@@ -805,7 +1001,11 @@ pub fn lower(unit: &Unit) -> Result<Module, LowerError> {
     for g in &unit.globals {
         let size = g.elem.size() * g.len;
         let id = globals.len();
-        globals.push(GlobalInfo { name: g.name.clone(), addr, size });
+        globals.push(GlobalInfo {
+            name: g.name.clone(),
+            addr,
+            size,
+        });
         let binding = if g.scalar {
             Binding::GlobalScalar { id, elem: g.elem }
         } else {
@@ -833,7 +1033,10 @@ pub fn lower(unit: &Unit) -> Result<Module, LowerError> {
         return err(1, "program has no `main` function");
     }
 
-    let mut module = Module { funcs: Vec::new(), globals };
+    let mut module = Module {
+        funcs: Vec::new(),
+        globals,
+    };
     for fd in &unit.funcs {
         let mut func = Function::new(&fd.name, fd.ret);
         let mut param_regs = Vec::new();
@@ -910,11 +1113,16 @@ mod tests {
     #[test]
     fn immediate_folding() {
         let m = lower_src("fn main() -> int { var a: int = 5; return a + 3; }");
-        let has_imm = m.funcs[0]
-            .blocks
-            .iter()
-            .flat_map(|b| &b.insts)
-            .any(|i| matches!(i, Ins::BinImm { op: AluOp::Add, imm: 3, .. }));
+        let has_imm = m.funcs[0].blocks.iter().flat_map(|b| &b.insts).any(|i| {
+            matches!(
+                i,
+                Ins::BinImm {
+                    op: AluOp::Add,
+                    imm: 3,
+                    ..
+                }
+            )
+        });
         assert!(has_imm, "a + 3 should lower to addi");
     }
 

@@ -22,7 +22,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { line: e.line, message: e.message }
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -49,7 +52,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.line(), message: message.into() })
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
     }
 
     fn is_punct(&self, p: &str) -> bool {
@@ -138,7 +144,12 @@ impl Parser {
                         (1, true)
                     };
                     self.eat_punct(";")?;
-                    unit.globals.push(GlobalDef { name, elem, len, scalar });
+                    unit.globals.push(GlobalDef {
+                        name,
+                        elem,
+                        len,
+                        scalar,
+                    });
                 }
                 Tok::Kw(Kw::Fn) => {
                     let line = self.line();
@@ -170,7 +181,13 @@ impl Parser {
                         None
                     };
                     let body = self.block()?;
-                    unit.funcs.push(FnDef { name, params, ret, body, line });
+                    unit.funcs.push(FnDef {
+                        name,
+                        params,
+                        ret,
+                        body,
+                        line,
+                    });
                 }
                 other => return self.err(format!("expected `fn` or `global`, found {other:?}")),
             }
@@ -204,7 +221,11 @@ impl Parser {
                         let len = self.int_lit()?;
                         self.eat_punct("]")?;
                         self.eat_punct(";")?;
-                        Ok(Stmt::ArrDecl { name, elem, len: len as u64 })
+                        Ok(Stmt::ArrDecl {
+                            name,
+                            elem,
+                            len: len as u64,
+                        })
                     }
                     _ => {
                         let pos = self.pos;
@@ -218,7 +239,11 @@ impl Parser {
                                 Ty::Real => ElemTy::Real,
                             };
                             let _ = pos;
-                            Ok(Stmt::ArrDecl { name, elem, len: len as u64 })
+                            Ok(Stmt::ArrDecl {
+                                name,
+                                elem,
+                                len: len as u64,
+                            })
                         } else {
                             let init = if self.at_punct("=") {
                                 Some(self.expr()?)
@@ -401,15 +426,24 @@ impl Parser {
         let line = self.line();
         if self.at_punct("-") {
             let e = self.unary()?;
-            return Ok(Expr { kind: ExprKind::Un(UnOp::Neg, Box::new(e)), line });
+            return Ok(Expr {
+                kind: ExprKind::Un(UnOp::Neg, Box::new(e)),
+                line,
+            });
         }
         if self.at_punct("!") {
             let e = self.unary()?;
-            return Ok(Expr { kind: ExprKind::Un(UnOp::Not, Box::new(e)), line });
+            return Ok(Expr {
+                kind: ExprKind::Un(UnOp::Not, Box::new(e)),
+                line,
+            });
         }
         if self.at_punct("~") {
             let e = self.unary()?;
-            return Ok(Expr { kind: ExprKind::Un(UnOp::BitNot, Box::new(e)), line });
+            return Ok(Expr {
+                kind: ExprKind::Un(UnOp::BitNot, Box::new(e)),
+                line,
+            });
         }
         self.postfix()
     }
@@ -421,7 +455,10 @@ impl Parser {
             if self.at_punct("[") {
                 let idx = self.expr()?;
                 self.eat_punct("]")?;
-                e = Expr { kind: ExprKind::Index(Box::new(e), Box::new(idx)), line };
+                e = Expr {
+                    kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                    line,
+                };
             } else {
                 break;
             }
@@ -432,19 +469,31 @@ impl Parser {
     fn primary(&mut self) -> Result<Expr, ParseError> {
         let line = self.line();
         match self.bump() {
-            Tok::Int(v) => Ok(Expr { kind: ExprKind::Int(v), line }),
-            Tok::Real(v) => Ok(Expr { kind: ExprKind::Real(v), line }),
+            Tok::Int(v) => Ok(Expr {
+                kind: ExprKind::Int(v),
+                line,
+            }),
+            Tok::Real(v) => Ok(Expr {
+                kind: ExprKind::Real(v),
+                line,
+            }),
             Tok::Kw(Kw::Int) => {
                 self.eat_punct("(")?;
                 let e = self.expr()?;
                 self.eat_punct(")")?;
-                Ok(Expr { kind: ExprKind::Cast(Ty::Int, Box::new(e)), line })
+                Ok(Expr {
+                    kind: ExprKind::Cast(Ty::Int, Box::new(e)),
+                    line,
+                })
             }
             Tok::Kw(Kw::Real) => {
                 self.eat_punct("(")?;
                 let e = self.expr()?;
                 self.eat_punct(")")?;
-                Ok(Expr { kind: ExprKind::Cast(Ty::Real, Box::new(e)), line })
+                Ok(Expr {
+                    kind: ExprKind::Cast(Ty::Real, Box::new(e)),
+                    line,
+                })
             }
             Tok::Ident(name) => {
                 if self.at_punct("(") {
@@ -458,9 +507,15 @@ impl Parser {
                             self.eat_punct(",")?;
                         }
                     }
-                    Ok(Expr { kind: ExprKind::Call(name, args), line })
+                    Ok(Expr {
+                        kind: ExprKind::Call(name, args),
+                        line,
+                    })
                 } else {
-                    Ok(Expr { kind: ExprKind::Var(name), line })
+                    Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        line,
+                    })
                 }
             }
             Tok::Punct("(") => {

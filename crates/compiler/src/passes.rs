@@ -34,7 +34,10 @@ pub fn merge_straightline(f: &mut Function) {
             }
             let succ = std::mem::replace(
                 &mut f.blocks[s],
-                Block { insts: Vec::new(), term: Term::Jump(s) },
+                Block {
+                    insts: Vec::new(),
+                    term: Term::Jump(s),
+                },
             );
             f.blocks[b].insts.extend(succ.insts);
             f.blocks[b].term = succ.term;
@@ -121,7 +124,10 @@ pub fn hoist_constants(f: &mut Function) {
         canon.insert(key, nv);
         entry_defs.push(match key {
             Key::Int(v) => Ins::Const { dst: nv, val: v },
-            Key::Real(b) => Ins::FConst { dst: nv, val: f64::from_bits(b) },
+            Key::Real(b) => Ins::FConst {
+                dst: nv,
+                val: f64::from_bits(b),
+            },
             Key::Global(id) => Ins::GlobalAddr { dst: nv, id },
             Key::Frame(slot) => Ins::FrameAddr { dst: nv, slot },
         });
@@ -197,7 +203,13 @@ pub fn prune_unreachable(f: &mut Function) {
         let mut b = b;
         b.term = match b.term {
             Term::Jump(t) => Term::Jump(remap[t].expect("target reachable")),
-            Term::CondBr { cond, a, b: rb, then_, else_ } => Term::CondBr {
+            Term::CondBr {
+                cond,
+                a,
+                b: rb,
+                then_,
+                else_,
+            } => Term::CondBr {
                 cond,
                 a,
                 b: rb,
@@ -252,15 +264,13 @@ pub fn fold_constants(f: &mut Function) {
         for ins in &mut b.insts {
             let folded: Option<(VReg, i64)> = match ins {
                 Ins::Const { dst, val } => Some((*dst, *val)),
-                Ins::Bin { op, dst, a, b } if !op.is_fp() => {
-                    match (known.get(a), known.get(b)) {
-                        (Some(&x), Some(&y)) => {
-                            let v = op.eval(x as u64, y as u64) as i64;
-                            Some((*dst, v))
-                        }
-                        _ => None,
+                Ins::Bin { op, dst, a, b } if !op.is_fp() => match (known.get(a), known.get(b)) {
+                    (Some(&x), Some(&y)) => {
+                        let v = op.eval(x as u64, y as u64) as i64;
+                        Some((*dst, v))
                     }
-                }
+                    _ => None,
+                },
                 Ins::BinImm { op, dst, a, imm } if !op.is_fp() => match known.get(a) {
                     Some(&x) => {
                         let v = op.eval(x as u64, *imm as i64 as u64) as i64;

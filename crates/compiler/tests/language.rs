@@ -30,23 +30,44 @@ fn check(src: &str, expect: u64) {
 fn arithmetic_operators() {
     check("fn main() -> int { return 7 + 3 * 2 - 4 / 2; }", 11);
     check("fn main() -> int { var a: int = 17; return a % 5; }", 2);
-    check("fn main() -> int { var a: int = 0 - 17; return a % 5 + 10; }", 8);
-    check("fn main() -> int { var a: int = 0 - 20; return a / 6 + 10; }", 7);
+    check(
+        "fn main() -> int { var a: int = 0 - 17; return a % 5 + 10; }",
+        8,
+    );
+    check(
+        "fn main() -> int { var a: int = 0 - 20; return a / 6 + 10; }",
+        7,
+    );
 }
 
 #[test]
 fn bitwise_and_shifts() {
-    check("fn main() -> int { var a: int = 0xf0; return (a >> 4) | (a << 4) & 0xf00; }", 0xf0f);
-    check("fn main() -> int { var a: int = 0 - 8; return (a >> 1) + 100; }", 96);
+    check(
+        "fn main() -> int { var a: int = 0xf0; return (a >> 4) | (a << 4) & 0xf00; }",
+        0xf0f,
+    );
+    check(
+        "fn main() -> int { var a: int = 0 - 8; return (a >> 1) + 100; }",
+        96,
+    );
     check("fn main() -> int { return (~5) & 0xff; }", 250);
     check("fn main() -> int { return 0x3c ^ 0xff; }", 0xc3);
 }
 
 #[test]
 fn comparisons_as_values() {
-    check("fn main() -> int { var a: int = 3; return (a < 5) * 10 + (a > 5); }", 10);
-    check("fn main() -> int { var a: int = 5; return (a <= 5) + (a >= 5) + (a == 5) + (a != 5); }", 3);
-    check("fn main() -> int { var a: int = 0 - 1; return (a < 0) * 2; }", 2);
+    check(
+        "fn main() -> int { var a: int = 3; return (a < 5) * 10 + (a > 5); }",
+        10,
+    );
+    check(
+        "fn main() -> int { var a: int = 5; return (a <= 5) + (a >= 5) + (a == 5) + (a != 5); }",
+        3,
+    );
+    check(
+        "fn main() -> int { var a: int = 0 - 1; return (a < 0) * 2; }",
+        2,
+    );
 }
 
 #[test]
@@ -63,8 +84,14 @@ fn logical_operators_short_circuit() {
          }",
         0,
     );
-    check("fn main() -> int { var a: int = 0; return (a || 7) + (a && 9); }", 1);
-    check("fn main() -> int { var a: int = 2; return (a || 0) + (a && 9); }", 2);
+    check(
+        "fn main() -> int { var a: int = 0; return (a || 7) + (a && 9); }",
+        1,
+    );
+    check(
+        "fn main() -> int { var a: int = 2; return (a || 0) + (a && 9); }",
+        2,
+    );
     check("fn main() -> int { var a: int = 1; return !a + !0; }", 1);
 }
 
@@ -266,6 +293,7 @@ fn shadowing_in_blocks() {
 }
 
 #[test]
+#[allow(clippy::identity_op)] // expected value mirrors the source expression term-for-term
 fn deep_expression_trees() {
     // Stress the t-hand rotation with a wide, deep expression.
     check(

@@ -38,7 +38,10 @@ impl std::fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 fn parse_src(tok: &str, line: usize) -> Result<Src, AsmError> {
@@ -52,7 +55,10 @@ fn parse_src(tok: &str, line: usize) -> Result<Src, AsmError> {
     };
     let rest = rest.trim();
     if !rest.starts_with('[') || !rest.ends_with(']') {
-        return err(line, format!("source `{tok}` must look like {hand}[k] or zero"));
+        return err(
+            line,
+            format!("source `{tok}` must look like {hand}[k] or zero"),
+        );
     }
     let d: u8 = match rest[1..rest.len() - 1].parse() {
         Ok(d) => d,
@@ -237,7 +243,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             if label.is_empty() || label.contains(char::is_whitespace) {
                 break;
             }
-            if labels.insert(label.to_string(), prog.insts.len() as u32).is_some() {
+            if labels
+                .insert(label.to_string(), prog.insts.len() as u32)
+                .is_some()
+            {
                 return err(line, format!("duplicate label `{label}`"));
             }
             text = rest[1..].trim();
@@ -274,7 +283,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             if ops.len() == n {
                 Ok(())
             } else {
-                err(line, format!("`{mnem}` expects {n} operands, got {}", ops.len()))
+                err(
+                    line,
+                    format!("`{mnem}` expects {n} operands, got {}", ops.len()),
+                )
             }
         };
 
@@ -298,11 +310,21 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         } else if let Some(op) = load_op(mnem) {
             need(2)?;
             let (offset, base) = parse_mem_operand(&ops[1], line)?;
-            Inst::Load { op, dst: parse_dst(&ops[0], line)?, base, offset }
+            Inst::Load {
+                op,
+                dst: parse_dst(&ops[0], line)?,
+                base,
+                offset,
+            }
         } else if let Some(op) = store_op(mnem) {
             need(2)?;
             let (offset, base) = parse_mem_operand(&ops[1], line)?;
-            Inst::Store { op, value: parse_src(&ops[0], line)?, base, offset }
+            Inst::Store {
+                op,
+                value: parse_src(&ops[0], line)?,
+                base,
+                offset,
+            }
         } else if let Some(cond) = br_cond(mnem) {
             need(3)?;
             target = PendingTarget::Label(ops[2].clone());
@@ -316,11 +338,17 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
             match mnem {
                 "li" => {
                     need(2)?;
-                    Inst::Li { dst: parse_dst(&ops[0], line)?, imm: parse_imm(&ops[1], line)? }
+                    Inst::Li {
+                        dst: parse_dst(&ops[0], line)?,
+                        imm: parse_imm(&ops[1], line)?,
+                    }
                 }
                 "mv" => {
                     need(2)?;
-                    Inst::Mv { dst: parse_dst(&ops[0], line)?, src: parse_src(&ops[1], line)? }
+                    Inst::Mv {
+                        dst: parse_dst(&ops[0], line)?,
+                        src: parse_src(&ops[1], line)?,
+                    }
                 }
                 "j" => {
                     need(1)?;
@@ -330,7 +358,10 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 "call" => {
                     need(2)?;
                     target = PendingTarget::Label(ops[1].clone());
-                    Inst::Call { dst: parse_dst(&ops[0], line)?, target: 0 }
+                    Inst::Call {
+                        dst: parse_dst(&ops[0], line)?,
+                        target: 0,
+                    }
                 }
                 "jalr" => {
                     need(2)?;
@@ -341,7 +372,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 }
                 "jr" | "ret" => {
                     need(1)?;
-                    Inst::JumpReg { src: parse_src(&ops[0], line)? }
+                    Inst::JumpReg {
+                        src: parse_src(&ops[0], line)?,
+                    }
                 }
                 "nop" => {
                     need(0)?;
@@ -349,7 +382,9 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 }
                 "halt" => {
                     need(1)?;
-                    Inst::Halt { src: parse_src(&ops[0], line)? }
+                    Inst::Halt {
+                        src: parse_src(&ops[0], line)?,
+                    }
                 }
                 _ => return err(line, format!("unknown mnemonic `{mnem}`")),
             }
@@ -417,7 +452,12 @@ pub fn disassemble(prog: &Program) -> String {
 
 fn fmt_inst(prog: &Program, inst: &Inst) -> String {
     match *inst {
-        Inst::Alu { op, dst, src1, src2 } => {
+        Inst::Alu {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             format!("{} {dst}, {src1}, {src2}", op.mnemonic())
         }
         Inst::AluImm { op, dst, src1, imm } => {
@@ -440,14 +480,33 @@ fn fmt_inst(prog: &Program, inst: &Inst) -> String {
             format!("{m} {dst}, {src1}, {imm}")
         }
         Inst::Li { dst, imm } => format!("li {dst}, {imm}"),
-        Inst::Load { op, dst, base, offset } => {
+        Inst::Load {
+            op,
+            dst,
+            base,
+            offset,
+        } => {
             format!("{} {dst}, {offset}({base})", op.mnemonic())
         }
-        Inst::Store { op, value, base, offset } => {
+        Inst::Store {
+            op,
+            value,
+            base,
+            offset,
+        } => {
             format!("{} {value}, {offset}({base})", op.mnemonic())
         }
-        Inst::Branch { cond, src1, src2, target } => {
-            format!("{} {src1}, {src2}, {}", cond.mnemonic(), fmt_target(prog, target))
+        Inst::Branch {
+            cond,
+            src1,
+            src2,
+            target,
+        } => {
+            format!(
+                "{} {src1}, {src2}, {}",
+                cond.mnemonic(),
+                fmt_target(prog, target)
+            )
         }
         Inst::Jump { target } => format!("j {}", fmt_target(prog, target)),
         Inst::Call { dst, target } => format!("call {dst}, {}", fmt_target(prog, target)),
@@ -545,7 +604,19 @@ mod tests {
     #[test]
     fn hex_immediates() {
         let p = assemble("li t, 0x10\nli t, -0x10\nhalt t[0]").unwrap();
-        assert_eq!(p.insts[0], Inst::Li { dst: Hand::T, imm: 16 });
-        assert_eq!(p.insts[1], Inst::Li { dst: Hand::T, imm: -16 });
+        assert_eq!(
+            p.insts[0],
+            Inst::Li {
+                dst: Hand::T,
+                imm: 16
+            }
+        );
+        assert_eq!(
+            p.insts[1],
+            Inst::Li {
+                dst: Hand::T,
+                imm: -16
+            }
+        );
     }
 }

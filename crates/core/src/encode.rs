@@ -242,7 +242,12 @@ fn br_from_funct(f: u32) -> Option<BrCond> {
 pub fn encode(inst: &Inst, at: u32) -> Result<u32, EncodeError> {
     let r = |h: Hand| (h.index() as u32) << 7;
     Ok(match *inst {
-        Inst::Alu { op, dst, src1, src2 } => {
+        Inst::Alu {
+            op,
+            dst,
+            src1,
+            src2,
+        } => {
             let (f3, f8) = alu_funct(op);
             opc::ALU
                 | r(dst)
@@ -261,14 +266,24 @@ pub fn encode(inst: &Inst, at: u32) -> Result<u32, EncodeError> {
                 | (check_imm(imm as i64, 14)? << 18)
         }
         Inst::Li { dst, imm } => opc::LI | r(dst) | (check_imm(imm, 23)? << 9),
-        Inst::Load { op, dst, base, offset } => {
+        Inst::Load {
+            op,
+            dst,
+            base,
+            offset,
+        } => {
             opc::LOAD
                 | r(dst)
                 | (load_funct(op) << 9)
                 | (src_bits(base)? << 12)
                 | (check_imm(offset as i64, 14)? << 18)
         }
-        Inst::Store { op, value, base, offset } => {
+        Inst::Store {
+            op,
+            value,
+            base,
+            offset,
+        } => {
             let imm = check_imm(offset as i64, 10)?;
             opc::STORE
                 | ((imm & 3) << 7)
@@ -277,7 +292,12 @@ pub fn encode(inst: &Inst, at: u32) -> Result<u32, EncodeError> {
                 | (src_bits(value)? << 18)
                 | ((imm >> 2) << 24)
         }
-        Inst::Branch { cond, src1, src2, target } => {
+        Inst::Branch {
+            cond,
+            src1,
+            src2,
+            target,
+        } => {
             let disp = target as i64 - at as i64;
             let imm = check_imm(disp, 10)?;
             opc::BRANCH
@@ -297,11 +317,10 @@ pub fn encode(inst: &Inst, at: u32) -> Result<u32, EncodeError> {
             let disp = target as i64 - at as i64;
             opc::JAL | r(dst) | (check_imm(disp, 22)? << 9) | (1 << 31)
         }
-        Inst::CallReg { dst, src } => {
-            opc::JALR | r(dst) | (0 << 9) | (src_bits(src)? << 12)
-        }
+        // Subop field (bits 9..) is 0 for CallReg and Mv.
+        Inst::CallReg { dst, src } => opc::JALR | r(dst) | (src_bits(src)? << 12),
         Inst::JumpReg { src } => opc::JALR | (1 << 9) | (src_bits(src)? << 12),
-        Inst::Mv { dst, src } => opc::SYS | r(dst) | (0 << 9) | (src_bits(src)? << 12),
+        Inst::Mv { dst, src } => opc::SYS | r(dst) | (src_bits(src)? << 12),
         Inst::Nop => opc::SYS | (1 << 9),
         Inst::Halt { src } => opc::SYS | (2 << 9) | (src_bits(src)? << 12),
     })
@@ -322,34 +341,67 @@ pub fn decode(word: u32, at: u32) -> Result<Inst, DecodeError> {
     Ok(match opcode {
         opc::ALU => {
             let op = alu_from_funct(f3, (word >> 24) & 0xff).ok_or_else(bad)?;
-            Inst::Alu { op, dst, src1, src2 }
+            Inst::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            }
         }
         opc::ALU_IMM => {
             let op = alu_from_funct(f3, 0).ok_or_else(bad)?;
-            Inst::AluImm { op, dst, src1, imm: sext(word >> 18, 14) }
+            Inst::AluImm {
+                op,
+                dst,
+                src1,
+                imm: sext(word >> 18, 14),
+            }
         }
-        opc::LI => Inst::Li { dst, imm: sext((word >> 9) & 0x7f_ffff, 23) as i64 },
+        opc::LI => Inst::Li {
+            dst,
+            imm: sext((word >> 9) & 0x7f_ffff, 23) as i64,
+        },
         opc::LOAD => {
             let op = load_from_funct(f3).ok_or_else(bad)?;
-            Inst::Load { op, dst, base: src1, offset: sext(word >> 18, 14) }
+            Inst::Load {
+                op,
+                dst,
+                base: src1,
+                offset: sext(word >> 18, 14),
+            }
         }
         opc::STORE => {
             let op = store_from_funct(f3).ok_or_else(bad)?;
             let imm = ((word >> 24) << 2) | ((word >> 7) & 3);
-            Inst::Store { op, value: src2, base: src1, offset: sext(imm, 10) }
+            Inst::Store {
+                op,
+                value: src2,
+                base: src1,
+                offset: sext(imm, 10),
+            }
         }
         opc::BRANCH => {
             let cond = br_from_funct(f3).ok_or_else(bad)?;
             let imm = ((word >> 24) << 2) | ((word >> 7) & 3);
             let target = (at as i64 + sext(imm, 10) as i64) as u32;
-            Inst::Branch { cond, src1, src2, target }
+            Inst::Branch {
+                cond,
+                src1,
+                src2,
+                target,
+            }
         }
         opc::JAL => {
             let disp = sext((word >> 9) & 0x3f_ffff, 22);
             if word >> 31 == 1 {
-                Inst::Call { dst, target: (at as i64 + disp as i64) as u32 }
+                Inst::Call {
+                    dst,
+                    target: (at as i64 + disp as i64) as u32,
+                }
             } else {
-                Inst::Jump { target: (at as i64 + disp as i64) as u32 }
+                Inst::Jump {
+                    target: (at as i64 + disp as i64) as u32,
+                }
             }
         }
         opc::JALR => match f3 {
@@ -381,24 +433,95 @@ mod tests {
     fn roundtrip_representative_instructions() {
         let t0 = Src::Hand(Hand::T, 0);
         let v3 = Src::Hand(Hand::V, 3);
-        roundtrip(Inst::Alu { op: AluOp::Add, dst: Hand::T, src1: t0, src2: v3 }, 10);
-        roundtrip(Inst::Alu { op: AluOp::Fdiv, dst: Hand::U, src1: v3, src2: t0 }, 10);
-        roundtrip(Inst::AluImm { op: AluOp::Add, dst: Hand::T, src1: t0, imm: -1024 }, 0);
-        roundtrip(Inst::Li { dst: Hand::V, imm: -40000 }, 0);
-        roundtrip(Inst::Load { op: LoadOp::Lwu, dst: Hand::T, base: v3, offset: 8000 }, 0);
         roundtrip(
-            Inst::Store { op: StoreOp::Sd, value: t0, base: Src::Hand(Hand::S, 2), offset: -256 },
+            Inst::Alu {
+                op: AluOp::Add,
+                dst: Hand::T,
+                src1: t0,
+                src2: v3,
+            },
+            10,
+        );
+        roundtrip(
+            Inst::Alu {
+                op: AluOp::Fdiv,
+                dst: Hand::U,
+                src1: v3,
+                src2: t0,
+            },
+            10,
+        );
+        roundtrip(
+            Inst::AluImm {
+                op: AluOp::Add,
+                dst: Hand::T,
+                src1: t0,
+                imm: -1024,
+            },
             0,
         );
         roundtrip(
-            Inst::Branch { cond: BrCond::Geu, src1: t0, src2: Src::Zero, target: 8 },
+            Inst::Li {
+                dst: Hand::V,
+                imm: -40000,
+            },
+            0,
+        );
+        roundtrip(
+            Inst::Load {
+                op: LoadOp::Lwu,
+                dst: Hand::T,
+                base: v3,
+                offset: 8000,
+            },
+            0,
+        );
+        roundtrip(
+            Inst::Store {
+                op: StoreOp::Sd,
+                value: t0,
+                base: Src::Hand(Hand::S, 2),
+                offset: -256,
+            },
+            0,
+        );
+        roundtrip(
+            Inst::Branch {
+                cond: BrCond::Geu,
+                src1: t0,
+                src2: Src::Zero,
+                target: 8,
+            },
             100,
         );
         roundtrip(Inst::Jump { target: 400 }, 100);
-        roundtrip(Inst::Call { dst: Hand::S, target: 2 }, 5000);
-        roundtrip(Inst::CallReg { dst: Hand::S, src: t0 }, 0);
-        roundtrip(Inst::JumpReg { src: Src::Hand(Hand::S, 0) }, 0);
-        roundtrip(Inst::Mv { dst: Hand::U, src: Src::Hand(Hand::T, 15) }, 0);
+        roundtrip(
+            Inst::Call {
+                dst: Hand::S,
+                target: 2,
+            },
+            5000,
+        );
+        roundtrip(
+            Inst::CallReg {
+                dst: Hand::S,
+                src: t0,
+            },
+            0,
+        );
+        roundtrip(
+            Inst::JumpReg {
+                src: Src::Hand(Hand::S, 0),
+            },
+            0,
+        );
+        roundtrip(
+            Inst::Mv {
+                dst: Hand::U,
+                src: Src::Hand(Hand::T, 15),
+            },
+            0,
+        );
         roundtrip(Inst::Nop, 0);
         roundtrip(Inst::Halt { src: Src::Zero }, 0);
     }
@@ -406,13 +529,19 @@ mod tests {
     #[test]
     fn zero_register_is_s15_encoding() {
         let w = encode(
-            &Inst::Mv { dst: Hand::T, src: Src::Zero },
+            &Inst::Mv {
+                dst: Hand::T,
+                src: Src::Zero,
+            },
             0,
         )
         .unwrap();
         assert_eq!((w >> 12) & 0x3f, 0b11_1111);
         // And s[15] itself is rejected.
-        let bad = Inst::Mv { dst: Hand::T, src: Src::Hand(Hand::S, 15) };
+        let bad = Inst::Mv {
+            dst: Hand::T,
+            src: Src::Hand(Hand::S, 15),
+        };
         assert_eq!(encode(&bad, 0), Err(EncodeError::BadSrc));
     }
 
@@ -424,14 +553,20 @@ mod tests {
             src1: Src::Zero,
             imm: 1 << 14,
         };
-        assert!(matches!(encode(&too_big, 0), Err(EncodeError::ImmRange { bits: 14, .. })));
+        assert!(matches!(
+            encode(&too_big, 0),
+            Err(EncodeError::ImmRange { bits: 14, .. })
+        ));
         let far = Inst::Branch {
             cond: BrCond::Eq,
             src1: Src::Zero,
             src2: Src::Zero,
             target: 100_000,
         };
-        assert!(matches!(encode(&far, 0), Err(EncodeError::ImmRange { bits: 10, .. })));
+        assert!(matches!(
+            encode(&far, 0),
+            Err(EncodeError::ImmRange { bits: 10, .. })
+        ));
     }
 
     #[test]

@@ -245,17 +245,34 @@ mod tests {
         assert_eq!(branch.dst(), None);
         assert_eq!(jump.dst(), None);
         // JAL[R] do have one.
-        assert_eq!(Inst::Call { dst: Hand::S, target: 0 }.dst(), Some(Hand::S));
         assert_eq!(
-            Inst::CallReg { dst: Hand::S, src: Src::Hand(Hand::T, 1) }.dst(),
+            Inst::Call {
+                dst: Hand::S,
+                target: 0
+            }
+            .dst(),
+            Some(Hand::S)
+        );
+        assert_eq!(
+            Inst::CallReg {
+                dst: Hand::S,
+                src: Src::Hand(Hand::T, 1)
+            }
+            .dst(),
             Some(Hand::S)
         );
     }
 
     #[test]
     fn encodability_limit() {
-        let ok = Inst::Mv { dst: Hand::T, src: Src::Hand(Hand::U, 15) };
-        let too_far = Inst::Mv { dst: Hand::T, src: Src::Hand(Hand::U, 16) };
+        let ok = Inst::Mv {
+            dst: Hand::T,
+            src: Src::Hand(Hand::U, 15),
+        };
+        let too_far = Inst::Mv {
+            dst: Hand::T,
+            src: Src::Hand(Hand::U, 16),
+        };
         assert!(ok.is_encodable());
         assert!(!too_far.is_encodable());
         assert!(Inst::Nop.is_encodable());
@@ -271,12 +288,19 @@ mod tests {
     fn classes() {
         assert_eq!(Inst::Nop.class(), OpClass::Nop);
         assert_eq!(
-            Inst::Mv { dst: Hand::T, src: Src::Zero }.class(),
+            Inst::Mv {
+                dst: Hand::T,
+                src: Src::Zero
+            }
+            .class(),
             OpClass::Move
         );
         assert_eq!(Inst::Jump { target: 0 }.class(), OpClass::Jump);
         assert_eq!(
-            Inst::JumpReg { src: Src::Hand(Hand::S, 0) }.class(),
+            Inst::JumpReg {
+                src: Src::Hand(Hand::S, 0)
+            }
+            .class(),
             OpClass::CallRet
         );
         let fdiv = Inst::Alu {
@@ -297,6 +321,14 @@ mod tests {
             offset: 4,
         };
         assert_eq!(st.srcs().len(), 2);
-        assert_eq!(Inst::Li { dst: Hand::T, imm: 9 }.srcs().len(), 0);
+        assert_eq!(
+            Inst::Li {
+                dst: Hand::T,
+                imm: 9
+            }
+            .srcs()
+            .len(),
+            0
+        );
     }
 }

@@ -103,7 +103,15 @@ impl Interpreter {
         let mut file = HandFile::new();
         file.write(Hand::S, STACK_TOP, NO_PRODUCER);
         let pc = prog.entry;
-        Ok(Interpreter { prog, file, mem, pc, seq: 0, halted: None, error: None })
+        Ok(Interpreter {
+            prog,
+            file,
+            mem,
+            pc,
+            seq: 0,
+            halted: None,
+            error: None,
+        })
     }
 
     /// Seeds an architectural write (e.g. an argument) without emitting a
@@ -187,7 +195,12 @@ impl Interpreter {
 
         let mut next_pc = self.pc + 1;
         match inst {
-            Inst::Alu { op, dst, src1, src2 } => {
+            Inst::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let v = op.eval(self.read(src1)?, self.read(src2)?);
                 self.file.write(dst, v, seq);
                 rec.dst = Some(DstTag::Hand(dst.index() as u8));
@@ -201,20 +214,35 @@ impl Interpreter {
                 self.file.write(dst, imm as u64, seq);
                 rec.dst = Some(DstTag::Hand(dst.index() as u8));
             }
-            Inst::Load { op, dst, base, offset } => {
+            Inst::Load {
+                op,
+                dst,
+                base,
+                offset,
+            } => {
                 let addr = self.read(base)?.wrapping_add(offset as i64 as u64);
                 let v = op.extend(self.mem.read(addr, op.size()));
                 self.file.write(dst, v, seq);
                 rec.dst = Some(DstTag::Hand(dst.index() as u8));
                 rec = rec.with_mem(addr, op.size());
             }
-            Inst::Store { op, value, base, offset } => {
+            Inst::Store {
+                op,
+                value,
+                base,
+                offset,
+            } => {
                 let addr = self.read(base)?.wrapping_add(offset as i64 as u64);
                 let v = self.read(value)?;
                 self.mem.write(addr, op.size(), v);
                 rec = rec.with_mem(addr, op.size());
             }
-            Inst::Branch { cond, src1, src2, target } => {
+            Inst::Branch {
+                cond,
+                src1,
+                src2,
+                target,
+            } => {
                 let taken = cond.eval(self.read(src1)?, self.read(src2)?);
                 if taken {
                     next_pc = target;
@@ -263,7 +291,7 @@ impl Interpreter {
 
     fn index_of_pc(&self, pc_val: u64) -> Result<u32, InterpError> {
         let base = self.prog.pc_of(0);
-        if pc_val < base || (pc_val - base) % 4 != 0 {
+        if pc_val < base || !(pc_val - base).is_multiple_of(4) {
             return Err(InterpError::PcOffEnd { pc: u32::MAX });
         }
         let idx = ((pc_val - base) / 4) as u32;
@@ -290,8 +318,11 @@ impl Interpreter {
                 });
             }
         }
-        if self.halted.is_some() {
-            Ok(RunResult { exit_value: self.halted.unwrap(), committed: self.seq })
+        if let Some(exit_value) = self.halted {
+            Ok(RunResult {
+                exit_value,
+                committed: self.seq,
+            })
         } else {
             Err(InterpError::LimitReached)
         }
@@ -337,6 +368,12 @@ impl Iterator for Interpreter {
     }
 }
 
+// Experiment drivers run interpreters on worker threads (compile-time audit).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Interpreter>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,7 +382,10 @@ mod tests {
 
     fn run_src(src: &str) -> RunResult {
         let prog = assemble(src).expect("assembles");
-        Interpreter::new(prog).expect("valid").run(1_000_000).expect("runs")
+        Interpreter::new(prog)
+            .expect("valid")
+            .run(1_000_000)
+            .expect("runs")
     }
 
     #[test]

@@ -33,7 +33,11 @@ impl std::fmt::Display for ProgramError {
                 write!(f, "instruction {at}: target {target} out of range")
             }
             ProgramError::BadDistance { at } => {
-                write!(f, "instruction {at}: source distance exceeds {}", MAX_DISTANCE - 1)
+                write!(
+                    f,
+                    "instruction {at}: source distance exceeds {}",
+                    MAX_DISTANCE - 1
+                )
             }
             ProgramError::Empty => f.write_str("program has no instructions"),
         }
@@ -108,9 +112,9 @@ impl Program {
                 return Err(ProgramError::BadDistance { at });
             }
             let target = match *inst {
-                Inst::Branch { target, .. }
-                | Inst::Jump { target }
-                | Inst::Call { target, .. } => Some(target),
+                Inst::Branch { target, .. } | Inst::Jump { target } | Inst::Call { target, .. } => {
+                    Some(target)
+                }
                 _ => None,
             };
             if let Some(t) = target {
@@ -138,21 +142,32 @@ mod tests {
     fn bad_target_detected() {
         let mut p = Program::new();
         p.insts.push(Inst::Jump { target: 5 });
-        assert_eq!(p.validate(), Err(ProgramError::BadTarget { at: 0, target: 5 }));
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::BadTarget { at: 0, target: 5 })
+        );
     }
 
     #[test]
     fn bad_distance_detected() {
         let mut p = Program::new();
-        p.insts.push(Inst::Mv { dst: Hand::T, src: Src::Hand(Hand::T, 20) });
+        p.insts.push(Inst::Mv {
+            dst: Hand::T,
+            src: Src::Hand(Hand::T, 20),
+        });
         assert_eq!(p.validate(), Err(ProgramError::BadDistance { at: 0 }));
     }
 
     #[test]
     fn valid_program_passes() {
         let mut p = Program::new();
-        p.insts.push(Inst::Li { dst: Hand::T, imm: 1 });
-        p.insts.push(Inst::Halt { src: Src::Hand(Hand::T, 0) });
+        p.insts.push(Inst::Li {
+            dst: Hand::T,
+            imm: 1,
+        });
+        p.insts.push(Inst::Halt {
+            src: Src::Hand(Hand::T, 0),
+        });
         assert!(p.validate().is_ok());
     }
 

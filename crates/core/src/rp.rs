@@ -25,6 +25,10 @@ impl RpSnapshot {
     }
 }
 
+/// One fetch-group entry passed to [`RingFile::alloc_group`]:
+/// `(dst_ring, sources)` where sources are `(ring, distance)` pairs.
+pub type GroupRequest = (Option<usize>, Vec<(usize, u32)>);
+
 /// Per-instruction allocation outcome produced by [`RingFile::alloc_group`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupAlloc {
@@ -132,7 +136,10 @@ impl RingFile {
     pub fn src_phys(&self, g: usize, dist: u32) -> u32 {
         assert!(dist < self.max_dist, "distance {dist} unencodable");
         let w = self.rps[g];
-        assert!(w > dist as u64, "ring {g} read before write (dist {dist}, writes {w})");
+        assert!(
+            w > dist as u64,
+            "ring {g} read before write (dist {dist}, writes {w})"
+        );
         self.phys_at(g, w - 1 - dist as u64)
     }
 
@@ -177,7 +184,7 @@ impl RingFile {
     ///
     /// Each element of `group` is `(dst_ring, sources)` where sources are
     /// `(ring, distance)` pairs.
-    pub fn alloc_group(&mut self, group: &[(Option<usize>, Vec<(usize, u32)>)]) -> Vec<GroupAlloc> {
+    pub fn alloc_group(&mut self, group: &[GroupRequest]) -> Vec<GroupAlloc> {
         // Prefix counts P (the Brent–Kung tree computes these in O(log W)).
         let mut counts = vec![0u64; self.rings()];
         let mut out = Vec::with_capacity(group.len());
@@ -195,7 +202,10 @@ impl RingFile {
                 counts[g] += 1;
                 p
             });
-            out.push(GroupAlloc { dst: dst_phys, srcs: srcs_phys });
+            out.push(GroupAlloc {
+                dst: dst_phys,
+                srcs: srcs_phys,
+            });
         }
         for (g, c) in counts.iter().enumerate() {
             self.rps[g] += c;
@@ -232,7 +242,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for g in 0..4 {
             for _ in 0..rp.quota(g) {
-                assert!(seen.insert(rp.alloc(g)), "physical register reused across rings");
+                assert!(
+                    seen.insert(rp.alloc(g)),
+                    "physical register reused across rings"
+                );
             }
         }
         assert_eq!(seen.len(), rp.total_regs() as usize);
@@ -252,10 +265,10 @@ mod tests {
     fn wrap_stall_rule() {
         let mut rp = small();
         let oldest = rp.snapshot(); // nothing committed yet
-        // quota 48, max_dist 16: slots holding live values are the 16
-        // behind the oldest in-flight RP plus the in-flight allocations,
-        // so up to 32 in-flight allocations fit before a wrap would
-        // overwrite a protected register.
+                                    // quota 48, max_dist 16: slots holding live values are the 16
+                                    // behind the oldest in-flight RP plus the in-flight allocations,
+                                    // so up to 32 in-flight allocations fit before a wrap would
+                                    // overwrite a protected register.
         for i in 0..32 {
             assert!(rp.can_alloc(0, &oldest), "alloc {i} should be allowed");
             rp.alloc(0);
@@ -282,7 +295,7 @@ mod tests {
 
     #[test]
     fn group_alloc_matches_sequential() {
-        let group: Vec<(Option<usize>, Vec<(usize, u32)>)> = vec![
+        let group: Vec<GroupRequest> = vec![
             (Some(0), vec![]),
             (Some(0), vec![(0, 0)]),
             (Some(1), vec![(0, 0), (0, 1)]),
@@ -297,7 +310,10 @@ mod tests {
         for (dst, srcs) in &group {
             let srcs_phys: Vec<u32> = srcs.iter().map(|&(g, d)| seq.src_phys(g, d)).collect();
             let dst_phys = dst.map(|g| seq.alloc(g));
-            want.push(GroupAlloc { dst: dst_phys, srcs: srcs_phys });
+            want.push(GroupAlloc {
+                dst: dst_phys,
+                srcs: srcs_phys,
+            });
         }
         assert_eq!(got, want);
         assert_eq!(grp.writes(0), seq.writes(0));

@@ -27,8 +27,17 @@ use ch_common::IsaKind;
 
 /// Component labels in the Fig. 14 legend order (bottom to top).
 pub const COMPONENTS: [&str; 11] = [
-    "BrPred", "I$+ITLB", "Fetcher", "Decoder", "Renamer", "Scheduler", "ExUnit+RF", "LSQ", "ROB",
-    "D$+DTLB", "L2$",
+    "BrPred",
+    "I$+ITLB",
+    "Fetcher",
+    "Decoder",
+    "Renamer",
+    "Scheduler",
+    "ExUnit+RF",
+    "LSQ",
+    "ROB",
+    "D$+DTLB",
+    "L2$",
 ];
 
 /// Energy per component, in picojoules.
@@ -80,9 +89,8 @@ pub fn energy(cfg: &MachineConfig, c: &Counters) -> EnergyBreakdown {
     let brpred = 4.0 * c.branch_preds as f64 + 1.2 * c.fetch_groups as f64 + 0.8 * cyc;
 
     // --- Instruction cache (wider fetch reads more bits per access) ---
-    let icache = (12.0 + 1.6 * w) * c.fetch_groups as f64
-        + 60.0 * c.icache_misses as f64
-        + 1.0 * cyc;
+    let icache =
+        (12.0 + 1.6 * w) * c.fetch_groups as f64 + 60.0 * c.icache_misses as f64 + 1.0 * cyc;
 
     // --- Fetch / decode (per instruction through the front end) ---
     let fetcher = 1.5 * c.fetched as f64 + 0.5 * cyc;
@@ -196,7 +204,7 @@ mod tests {
     }
 
     #[test]
-    fn renamer_dominates_growth_with_width(){
+    fn renamer_dominates_growth_with_width() {
         // The renamer share of RISC energy must grow with width.
         let share = |w: WidthClass| {
             let cfg = MachineConfig::preset(w, IsaKind::Riscv);
@@ -207,8 +215,14 @@ mod tests {
         let s4 = share(WidthClass::W4);
         let s8 = share(WidthClass::W8);
         let s16 = share(WidthClass::W16);
-        assert!(s4 < s8 && s8 < s16, "renamer share must grow: {s4:.3} {s8:.3} {s16:.3}");
-        assert!(s16 > 0.15, "at 16-fetch the renamer should be significant ({s16:.3})");
+        assert!(
+            s4 < s8 && s8 < s16,
+            "renamer share must grow: {s4:.3} {s8:.3} {s16:.3}"
+        );
+        assert!(
+            s16 > 0.15,
+            "at 16-fetch the renamer should be significant ({s16:.3})"
+        );
     }
 
     #[test]

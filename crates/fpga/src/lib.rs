@@ -97,7 +97,14 @@ mod tests {
         (8, IsaKind::Clockhands, 761.0, 1_086.0, 185_701.0, 42_254.0),
         (16, IsaKind::Riscv, 30_230.0, 14_938.0, 350_377.0, 63_338.0),
         (16, IsaKind::Straight, 1_641.0, 2_132.0, 354_105.0, 57_214.0),
-        (16, IsaKind::Clockhands, 1_432.0, 2_162.0, 349_074.0, 55_220.0),
+        (
+            16,
+            IsaKind::Clockhands,
+            1_432.0,
+            2_162.0,
+            349_074.0,
+            55_220.0,
+        ),
     ];
 
     #[test]
@@ -111,11 +118,14 @@ mod tests {
             // The paper: "this property is universal regardless of width"
             // and the gap grows.
         }
-        let gap4 = resources(4, IsaKind::Riscv).alloc_luts
-            / resources(4, IsaKind::Clockhands).alloc_luts;
+        let gap4 =
+            resources(4, IsaKind::Riscv).alloc_luts / resources(4, IsaKind::Clockhands).alloc_luts;
         let gap16 = resources(16, IsaKind::Riscv).alloc_luts
             / resources(16, IsaKind::Clockhands).alloc_luts;
-        assert!(gap16 > 2.0 * gap4, "gap must grow with width: {gap4:.1} → {gap16:.1}");
+        assert!(
+            gap16 > 2.0 * gap4,
+            "gap must grow with width: {gap4:.1} → {gap16:.1}"
+        );
     }
 
     #[test]

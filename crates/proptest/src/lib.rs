@@ -1,0 +1,488 @@
+#![warn(missing_docs)]
+
+//! # proptest (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the subset of the
+//! [proptest](https://crates.io/crates/proptest) API this workspace's
+//! property suites use. The build environment has no access to
+//! crates.io, so the real crate cannot be vendored; this shim keeps the
+//! randomized differential suites (`tests/cross_isa.rs`,
+//! `tests/isa_invariants.rs`, `crates/baselines/tests/rename_props.rs`)
+//! runnable offline with the same source text.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its case index and the
+//!   deterministic per-test seed; rerunning the test replays the same
+//!   sequence, so failures are still reproducible.
+//! * **Deterministic by default.** Each `proptest!` test derives its RNG
+//!   seed from the test's name (overridable with `PROPTEST_SEED`), so
+//!   CI runs are stable.
+//! * `prop_assume!` counts the case as passed instead of resampling.
+//! * The default case count is 64 (real proptest: 256); override per
+//!   test with `ProptestConfig::with_cases` or globally with the
+//!   `PROPTEST_CASES` environment variable.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic xorshift* generator driving every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds from `PROPTEST_SEED` when set, else from the test name.
+    pub fn for_test(name: &str) -> TestRng {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.parse::<u64>() {
+                return TestRng(seed | 1);
+            }
+        }
+        // FNV-1a over the name gives a stable, well-mixed nonzero seed.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Why a generated case failed (carried by `prop_assert*!`).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type of a `proptest!` case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-`proptest!` configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A value generator. The shim's analogue of proptest's `Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Gen<O>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+        O: 'static,
+    {
+        let inner = self;
+        Gen::new(move |rng| f(inner.gen_value(rng)))
+    }
+
+    /// Type-erases this strategy (used by `prop_oneof!`).
+    fn into_gen(self) -> Gen<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        Gen::new(move |rng| inner.gen_value(rng))
+    }
+}
+
+/// A boxed, clonable strategy (the closed form every combinator returns).
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<T> Gen<T> {
+    /// Wraps a drawing function.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Gen<T> {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Picks uniformly among `arms` each draw.
+    pub fn one_of(arms: Vec<Gen<T>>) -> Gen<T>
+    where
+        T: 'static,
+    {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Gen::new(move |rng| {
+            let i = rng.below(arms.len() as u64) as usize;
+            arms[i].gen_value(rng)
+        })
+    }
+
+    /// Picks among `arms` with the given relative weights.
+    pub fn one_of_weighted(arms: Vec<(u32, Gen<T>)>) -> Gen<T>
+    where
+        T: 'static,
+    {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        Gen::new(move |rng| {
+            let mut pick = rng.below(total);
+            for (w, g) in &arms {
+                if pick < *w as u64 {
+                    return g.gen_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick in range")
+        })
+    }
+}
+
+impl<T> Strategy for Gen<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u128;
+                // Spans here always fit u64 (integer ranges in tests are small).
+                let off = rng.below(span as u64) as i128;
+                (lo + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The full-range strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary + 'static>() -> Gen<T> {
+    Gen::new(T::arbitrary)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Gen, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A `Vec` whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S>(element: S, len: Range<usize>) -> Gen<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        Gen::new(move |rng: &mut TestRng| {
+            let n = len.gen_value(rng);
+            (0..n).map(|_| element.gen_value(rng)).collect()
+        })
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Gen, Strategy, TestRng};
+
+    /// `None` about a quarter of the time, otherwise `Some` of `inner`.
+    pub fn of<S>(inner: S) -> Gen<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        Gen::new(move |rng: &mut TestRng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.gen_value(rng))
+            }
+        })
+    }
+}
+
+/// Everything a property suite conventionally imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Gen, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Uniform (or weighted, with `w => strategy` arms) choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:literal => $s:expr),+ $(,)?) => {
+        $crate::Gen::one_of_weighted(vec![$(($w as u32, $crate::Strategy::into_gen($s))),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::Gen::one_of(vec![$($crate::Strategy::into_gen($s)),+])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), a, b
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+/// Skips the rest of the case when `cond` does not hold.
+///
+/// The shim counts the case as passed instead of redrawing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+/// Declares `#[test]` functions whose arguments are drawn from strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u32..100, y in arb_thing()) { prop_assert!(x < 100); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::gen_value(&($strat), &mut rng);)+
+                let outcome: $crate::TestCaseResult = (move || {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{} (deterministic seed; rerun reproduces): {}",
+                        stringify!($name), case, config.cases, e
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_test("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let v = Strategy::gen_value(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&v));
+            let u = Strategy::gen_value(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_respected() {
+        let g = prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = crate::TestRng::for_test("oneof_weights_respected");
+        let ones = (0..1000).filter(|_| g.gen_value(&mut rng) == 1).count();
+        assert!(ones > 700, "weight 9:1 should dominate, got {ones}/1000");
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::for_test("same");
+        let mut b = crate::TestRng::for_test("same");
+        assert_eq!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn macro_draws_and_asserts(x in 0u32..10, v in crate::collection::vec(0u8..4, 1..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(!v.is_empty() && v.len() < 5, "len {}", v.len());
+            prop_assert_eq!(x, x);
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+}

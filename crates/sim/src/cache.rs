@@ -54,7 +54,7 @@ impl Cache {
         let line = self.line_of(addr);
         let s = (line as usize) % self.sets.len();
         let set = &mut self.sets[s];
-        if set.iter().any(|&l| l == line) {
+        if set.contains(&line) {
             return;
         }
         if set.len() >= self.assoc {
@@ -76,7 +76,11 @@ pub struct StreamPrefetcher {
 impl StreamPrefetcher {
     /// Creates a prefetcher with the given look-ahead distance and degree.
     pub fn new(distance: u32, degree: u32) -> Self {
-        StreamPrefetcher { streams: Vec::new(), distance: distance as i64, degree: degree as usize }
+        StreamPrefetcher {
+            streams: Vec::new(),
+            distance: distance as i64,
+            degree: degree as usize,
+        }
     }
 
     /// Observes a miss line; returns the lines to prefetch.
@@ -129,7 +133,13 @@ pub struct MemHierarchy {
 
 impl MemHierarchy {
     /// Builds the data-side hierarchy from the machine configuration.
-    pub fn new(l1: &CacheConfig, l2: &CacheConfig, mem_latency: u32, pf_dist: u32, pf_deg: u32) -> Self {
+    pub fn new(
+        l1: &CacheConfig,
+        l2: &CacheConfig,
+        mem_latency: u32,
+        pf_dist: u32,
+        pf_deg: u32,
+    ) -> Self {
         MemHierarchy {
             l1: Cache::new(l1),
             l2: Cache::new(l2),
@@ -140,7 +150,10 @@ impl MemHierarchy {
 
     /// Performs a demand access, returning its latency and events.
     pub fn access(&mut self, addr: u64) -> MemAccessResult {
-        let mut r = MemAccessResult { latency: self.l1.latency, ..Default::default() };
+        let mut r = MemAccessResult {
+            latency: self.l1.latency,
+            ..Default::default()
+        };
         if self.l1.access(addr) {
             return r;
         }
@@ -169,7 +182,12 @@ mod tests {
     use ch_common::config::CacheConfig;
 
     fn small() -> CacheConfig {
-        CacheConfig { size: 1024, assoc: 2, line: 64, latency: 3 }
+        CacheConfig {
+            size: 1024,
+            assoc: 2,
+            line: 64,
+            latency: 3,
+        }
     }
 
     #[test]
@@ -207,7 +225,12 @@ mod tests {
 
     #[test]
     fn hierarchy_latencies_compose() {
-        let l2 = CacheConfig { size: 8192, assoc: 4, line: 64, latency: 12 };
+        let l2 = CacheConfig {
+            size: 8192,
+            assoc: 4,
+            line: 64,
+            latency: 12,
+        };
         let mut m = MemHierarchy::new(&small(), &l2, 80, 8, 2);
         let first = m.access(0x4000);
         assert!(first.l1_miss && first.l2_miss);
@@ -219,12 +242,21 @@ mod tests {
             m.access(0x4000 + i * 64);
         }
         let back = m.access(0x4000);
-        assert!(back.latency == 3 || back.latency == 15, "got {}", back.latency);
+        assert!(
+            back.latency == 3 || back.latency == 15,
+            "got {}",
+            back.latency
+        );
     }
 
     #[test]
     fn sequential_walk_benefits_from_prefetch() {
-        let l2 = CacheConfig { size: 1 << 20, assoc: 8, line: 64, latency: 12 };
+        let l2 = CacheConfig {
+            size: 1 << 20,
+            assoc: 8,
+            line: 64,
+            latency: 12,
+        };
         let mut m = MemHierarchy::new(&small(), &l2, 80, 4, 2);
         let mut misses_late = 0;
         for i in 0..256u64 {
@@ -233,6 +265,9 @@ mod tests {
                 misses_late += 1;
             }
         }
-        assert!(misses_late < 200, "prefetcher should hide some of the stream");
+        assert!(
+            misses_late < 200,
+            "prefetcher should hide some of the stream"
+        );
     }
 }

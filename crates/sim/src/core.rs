@@ -109,9 +109,7 @@ pub struct Simulator {
 impl Simulator {
     /// Creates a simulator for one machine configuration.
     pub fn new(cfg: MachineConfig) -> Self {
-        let fu_free = std::array::from_fn(|k| {
-            vec![0u64; cfg.fu_counts[k].max(1) as usize]
-        });
+        let fu_free = std::array::from_fn(|k| vec![0u64; cfg.fu_counts[k].max(1) as usize]);
         Simulator {
             icache: Cache::new(&cfg.l1i),
             tage: Tage::new(),
@@ -317,7 +315,11 @@ impl Simulator {
                 // same cycle (quadratic in width — counted per pair).
                 let same_cycle = {
                     let slot = self.alloc_bw[(alloc as usize) % BW_RING];
-                    if slot.0 == alloc { slot.1 as u64 } else { 0 }
+                    if slot.0 == alloc {
+                        slot.1 as u64
+                    } else {
+                        0
+                    }
                 };
                 c.dcl_comparisons += (nsrc + 1) * same_cycle;
                 if inst.dst.is_some() {
@@ -366,7 +368,9 @@ impl Simulator {
         c.rob_writes += 1;
 
         // Back-pressure: fetch cannot run unboundedly ahead of allocation.
-        self.fetch_cycle = self.fetch_cycle.max(alloc.saturating_sub(cfg.front_latency as u64 + 8));
+        self.fetch_cycle = self
+            .fetch_cycle
+            .max(alloc.saturating_sub(cfg.front_latency as u64 + 8));
 
         // ---------- Select / issue / execute ----------
         let ready = inst
@@ -392,7 +396,11 @@ impl Simulator {
                 .min_by_key(|f| **f)
                 .expect("at least one unit");
             if *best <= exec_start {
-                *best = if fu.pipelined() { exec_start + 1 } else { exec_start + exec_latency };
+                *best = if fu.pipelined() {
+                    exec_start + 1
+                } else {
+                    exec_start + exec_latency
+                };
                 select = select_c;
                 break;
             }
@@ -420,8 +428,8 @@ impl Simulator {
                     if sseq >= seq || scommit <= exec_start {
                         continue;
                     }
-                    let overlap = saddr < mem.addr + mem.size as u64
-                        && mem.addr < saddr + ssize as u64;
+                    let overlap =
+                        saddr < mem.addr + mem.size as u64 && mem.addr < saddr + ssize as u64;
                     if !overlap {
                         continue;
                     }
@@ -485,8 +493,11 @@ impl Simulator {
         }
 
         // ---------- Commit ----------
-        let commit =
-            Self::bw_slot(&mut self.commit_bw, (complete + 1).max(self.last_commit), self.cfg.commit_width);
+        let commit = Self::bw_slot(
+            &mut self.commit_bw,
+            (complete + 1).max(self.last_commit),
+            self.cfg.commit_width,
+        );
         self.last_commit = commit;
         self.commit_ring[(seq as usize) % BW_RING] = commit;
         self.counters.committed += 1;
@@ -506,8 +517,14 @@ exec {exec_start} complete {complete} commit {commit}",
                 if self.store_window.len() >= STORE_WINDOW {
                     self.store_window.pop_front();
                 }
-                self.store_window
-                    .push_back((seq, mem.addr, mem.size, exec_start + 1, commit, inst.pc));
+                self.store_window.push_back((
+                    seq,
+                    mem.addr,
+                    mem.size,
+                    exec_start + 1,
+                    commit,
+                    inst.pc,
+                ));
             }
         }
         self.last_fetch_time = fetch_time;

@@ -31,6 +31,14 @@ use ch_common::config::{MachineConfig, WidthClass};
 use ch_common::inst::DynInst;
 use ch_common::IsaKind;
 
+// Experiment drivers move simulations across worker threads; keep the
+// simulator and its outputs thread-safe (compile-time audit).
+const fn assert_send<T: Send>() {}
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = assert_send::<Simulator>();
+const _: () = assert_send_sync::<Counters>();
+const _: () = assert_send_sync::<DynInst>();
+
 /// Convenience: simulate a stream on a Table 2 preset.
 pub fn simulate(
     width: WidthClass,
@@ -140,7 +148,10 @@ mod tests {
         let mut cpu = RvInterp::new(prog).expect("valid");
         let c = Simulator::new(rv_cfg).run(&mut cpu);
         assert_eq!(c.committed, 401);
-        assert!(c.rmt_reads > 0 && c.dcl_comparisons > 0, "rename events counted");
+        assert!(
+            c.rmt_reads > 0 && c.dcl_comparisons > 0,
+            "rename events counted"
+        );
     }
 
     #[test]

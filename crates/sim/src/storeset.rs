@@ -18,7 +18,11 @@ impl StoreSet {
     /// Creates a predictor with `producers` SSIT entries and `ids`
     /// possible store-set IDs.
     pub fn new(producers: u32, ids: u32) -> Self {
-        StoreSet { ssit: vec![None; producers as usize], next_id: 0, ids }
+        StoreSet {
+            ssit: vec![None; producers as usize],
+            next_id: 0,
+            ids,
+        }
     }
 
     fn slot(&self, pc: u64) -> usize {
@@ -69,7 +73,10 @@ mod tests {
         let mut s = StoreSet::new(512, 4096);
         s.train_violation(0x100, 0x200);
         assert!(s.must_wait(0x100, 0x200));
-        assert!(!s.must_wait(0x100, 0x300), "unrelated store stays independent");
+        assert!(
+            !s.must_wait(0x100, 0x300),
+            "unrelated store stays independent"
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ struct FoldedHistory {
 
 impl FoldedHistory {
     fn new(orig_len: usize, comp_len: usize) -> Self {
-        FoldedHistory { comp: 0, orig_len, comp_len }
+        FoldedHistory {
+            comp: 0,
+            orig_len,
+            comp_len,
+        }
     }
 
     fn update(&mut self, new_bit: bool, evicted_bit: bool) {
@@ -79,7 +83,10 @@ impl Tage {
             tables: vec![vec![TageEntry::default(); TAGE_ENTRIES]; TAGE_TABLES],
             history: Vec::new(),
             folded_idx: HIST_LEN.iter().map(|&l| FoldedHistory::new(l, 9)).collect(),
-            folded_tag: HIST_LEN.iter().map(|&l| FoldedHistory::new(l, 11)).collect(),
+            folded_tag: HIST_LEN
+                .iter()
+                .map(|&l| FoldedHistory::new(l, 11))
+                .collect(),
         }
     }
 
@@ -136,8 +143,11 @@ impl Tage {
             for t in start..TAGE_TABLES {
                 let i = self.index(pc, t);
                 if self.tables[t][i].useful == 0 {
-                    self.tables[t][i] =
-                        TageEntry { tag: self.tag(pc, t), ctr: if taken { 0 } else { -1 }, useful: 0 };
+                    self.tables[t][i] = TageEntry {
+                        tag: self.tag(pc, t),
+                        ctr: if taken { 0 } else { -1 },
+                        useful: 0,
+                    };
                     allocated = true;
                     break;
                 }
@@ -155,8 +165,8 @@ impl Tage {
         if self.history.len() > 160 {
             self.history.pop();
         }
-        for t in 0..TAGE_TABLES {
-            let evicted = self.history.get(HIST_LEN[t]).copied().unwrap_or(false);
+        for (t, &hist_len) in HIST_LEN.iter().enumerate().take(TAGE_TABLES) {
+            let evicted = self.history.get(hist_len).copied().unwrap_or(false);
             self.folded_idx[t].update(taken, evicted);
             self.folded_tag[t].update(taken, evicted);
         }
@@ -173,7 +183,10 @@ pub struct Btb {
 impl Btb {
     /// Creates a BTB with `entries` total entries and `assoc` ways.
     pub fn new(entries: usize, assoc: usize) -> Self {
-        Btb { sets: vec![Vec::new(); entries / assoc], assoc }
+        Btb {
+            sets: vec![Vec::new(); entries / assoc],
+            assoc,
+        }
     }
 
     fn set_of(&self, pc: u64) -> usize {
@@ -216,7 +229,10 @@ pub struct Ras {
 impl Ras {
     /// Creates a RAS with the given capacity.
     pub fn new(capacity: usize) -> Self {
-        Ras { stack: Vec::new(), capacity }
+        Ras {
+            stack: Vec::new(),
+            capacity,
+        }
     }
 
     /// Pushes a return address (on a call).
@@ -248,7 +264,10 @@ mod tests {
             }
             t.update(0x1234, true, p);
         }
-        assert!(wrong < 10, "got {wrong} mispredicts on an always-taken branch");
+        assert!(
+            wrong < 10,
+            "got {wrong} mispredicts on an always-taken branch"
+        );
     }
 
     #[test]
@@ -282,7 +301,10 @@ mod tests {
             }
             t.update(0x2040, outcome, p);
         }
-        assert!(wrong_late < 100, "loop pattern should mostly be learned ({wrong_late})");
+        assert!(
+            wrong_late < 100,
+            "loop pattern should mostly be learned ({wrong_late})"
+        );
     }
 
     #[test]

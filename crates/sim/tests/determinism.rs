@@ -10,7 +10,11 @@ use clockhands::interp::Interpreter;
 
 fn trace_of(src: &str) -> Vec<ch_common::DynInst> {
     let prog = assemble(src).expect("assembles");
-    Interpreter::new(prog).expect("valid").trace(10_000_000).expect("runs").0
+    Interpreter::new(prog)
+        .expect("valid")
+        .trace(10_000_000)
+        .expect("runs")
+        .0
 }
 
 fn mixed_workload() -> Vec<ch_common::DynInst> {
@@ -48,10 +52,14 @@ fn cycle_count_monotone_in_machine_size() {
     let t = mixed_workload();
     let mut prev: Option<u64> = None;
     for w in [WidthClass::W4, WidthClass::W8, WidthClass::W16] {
-        let c = Simulator::new(MachineConfig::preset(w, IsaKind::Clockhands))
-            .run(t.iter().cloned());
+        let c =
+            Simulator::new(MachineConfig::preset(w, IsaKind::Clockhands)).run(t.iter().cloned());
         if let Some(p) = prev {
-            assert!(c.cycles <= p + p / 20, "{w:?} took {} cycles after {p}", c.cycles);
+            assert!(
+                c.cycles <= p + p / 20,
+                "{w:?} took {} cycles after {p}",
+                c.cycles
+            );
         }
         prev = Some(c.cycles);
     }
@@ -121,7 +129,6 @@ fn straight_ring_counts_every_instruction() {
     )
     .expect("assembles");
     let mut cpu = StInterp::new(prog).expect("valid");
-    let c = Simulator::new(MachineConfig::preset(WidthClass::W4, IsaKind::Straight))
-        .run(&mut cpu);
+    let c = Simulator::new(MachineConfig::preset(WidthClass::W4, IsaKind::Straight)).run(&mut cpu);
     assert_eq!(c.rp_updates, c.committed);
 }

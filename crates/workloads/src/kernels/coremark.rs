@@ -113,7 +113,10 @@ fn main() -> int {
 /// Kern source at the given scale.
 pub fn source(scale: Scale) -> String {
     let (n, m, iter) = params(scale);
-    fill(TEMPLATE, &[("N", n), ("MM", m * m), ("M", m), ("ITER", iter)])
+    fill(
+        TEMPLATE,
+        &[("N", n), ("MM", m * m), ("M", m), ("ITER", iter)],
+    )
 }
 
 /// Bit-exact reference checksum.

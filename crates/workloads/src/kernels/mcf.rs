@@ -87,7 +87,10 @@ fn main() -> int {
 /// Kern source at the given scale.
 pub fn source(scale: Scale) -> String {
     let (nodes, arcs, passes) = params(scale);
-    fill(TEMPLATE, &[("NODES", nodes), ("ARCS", arcs), ("PASSES", passes)])
+    fill(
+        TEMPLATE,
+        &[("NODES", nodes), ("ARCS", arcs), ("PASSES", passes)],
+    )
 }
 
 /// Bit-exact reference checksum.

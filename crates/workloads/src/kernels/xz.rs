@@ -170,6 +170,6 @@ pub fn reference(scale: Scale) -> u64 {
             pos += 1;
         }
     }
-    (((matched & 0xfff) * 262_144 + (literals & 0x3f) * 4096 + (best_total & 0xfff))
-        & 0x3fff_ffff) as u64
+    (((matched & 0xfff) * 262_144 + (literals & 0x3f) * 4096 + (best_total & 0xfff)) & 0x3fff_ffff)
+        as u64
 }

@@ -136,7 +136,9 @@ mod tests {
     fn all_kernels_agree_across_isas_and_reference() {
         for w in Workload::ALL {
             let expect = w.reference(Scale::Test);
-            let set = w.compile(Scale::Test).unwrap_or_else(|e| panic!("{w}: {e}"));
+            let set = w
+                .compile(Scale::Test)
+                .unwrap_or_else(|e| panic!("{w}: {e}"));
 
             let rv = riscv::interp::Interpreter::new(set.riscv)
                 .unwrap()

@@ -36,16 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     sim.run(&mut cpu)
                 }
                 IsaKind::Straight => {
-                    let mut cpu =
-                        clockhands_repro::baselines::straight::interp::Interpreter::new(
-                            set.straight.clone(),
-                        )?;
+                    let mut cpu = clockhands_repro::baselines::straight::interp::Interpreter::new(
+                        set.straight.clone(),
+                    )?;
                     sim.run(&mut cpu)
                 }
                 IsaKind::Clockhands => {
-                    let mut cpu = clockhands_repro::core::interp::Interpreter::new(
-                        set.clockhands.clone(),
-                    )?;
+                    let mut cpu =
+                        clockhands_repro::core::interp::Interpreter::new(set.clockhands.clone())?;
                     sim.run(&mut cpu)
                 }
             };

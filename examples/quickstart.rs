@@ -32,8 +32,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let mut cpu = Interpreter::new(prog)?;
     let result = cpu.run(10_000)?;
-    println!("hand-written loop ran {} instructions, exit = {}", result.committed, result.exit_value);
-    println!("memory[4096..4112] = {:?}", (0..4).map(|i| cpu.mem().read_u64(4096 + 8 * i)).collect::<Vec<_>>());
+    println!(
+        "hand-written loop ran {} instructions, exit = {}",
+        result.committed, result.exit_value
+    );
+    println!(
+        "memory[4096..4112] = {:?}",
+        (0..4)
+            .map(|i| cpu.mem().read_u64(4096 + 8 * i))
+            .collect::<Vec<_>>()
+    );
     // The hands after execution: v still holds the constants.
     println!(
         "v[0] = {}, v[1] = {} (constants never rotated away)",
@@ -49,12 +57,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              return arr[9];
          }",
     )?;
-    println!("\ncompiled sizes: riscv={} straight={} clockhands={}",
-        set.riscv.len(), set.straight.len(), set.clockhands.len());
+    println!(
+        "\ncompiled sizes: riscv={} straight={} clockhands={}",
+        set.riscv.len(),
+        set.straight.len(),
+        set.clockhands.len()
+    );
 
     let mut cpu = Interpreter::new(set.clockhands.clone())?;
     println!("clockhands exit value = {}", cpu.run(1_000_000)?.exit_value);
 
-    println!("\nClockhands code the compiler produced:\n{}", disassemble(&set.clockhands));
+    println!(
+        "\nClockhands code the compiler produced:\n{}",
+        disassemble(&set.clockhands)
+    );
     Ok(())
 }

@@ -1,0 +1,31 @@
+# Developer entry points (mirror of .github/workflows/ci.yml).
+
+# Full tier-1 verification: release build + workspace tests.
+verify: build test
+
+build:
+    cargo build --release --workspace
+
+test:
+    cargo test --workspace -q
+
+# Deterministic suites only (skips the randomized property suites).
+test-fast:
+    cargo test -q --no-default-features
+
+fmt:
+    cargo fmt --all -- --check
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Everything CI runs.
+ci: build test fmt clippy
+
+# Regenerate every table/figure at test scale with all cores.
+figures *ARGS:
+    cargo run --release -p ch-bench --bin figures -- --scale test {{ARGS}}
+
+# Harness microbenchmarks (compilation / emulation / simulation speed).
+bench:
+    cargo bench -p ch-bench

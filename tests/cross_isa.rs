@@ -14,7 +14,11 @@ fn arb_program() -> impl Strategy<Value = String> {
         (0i64..100).prop_map(|v| v.to_string()),
         var.clone().prop_map(|v| v.to_string()),
     ];
-    let expr = (atom.clone(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("&")], atom)
+    let expr = (
+        atom.clone(),
+        prop_oneof![Just("+"), Just("-"), Just("*"), Just("&")],
+        atom,
+    )
         .prop_map(|(a, op, b)| format!("({a} {op} {b})"));
     let assign = (var.clone(), expr.clone()).prop_map(|(v, e)| format!("{v} = {e};"));
     let ifstmt = (var.clone(), expr.clone(), assign.clone(), assign.clone())
@@ -79,9 +83,18 @@ fn nested_calls_and_loops_agree() {
             return acc & 0xffffff;
         }";
     let set = compile(src).expect("compiles");
-    let r = riscv::interp::Interpreter::new(set.riscv).unwrap().run(80_000_000).unwrap();
-    let s = straight::interp::Interpreter::new(set.straight).unwrap().run(80_000_000).unwrap();
-    let c = ChInterp::new(set.clockhands).unwrap().run(80_000_000).unwrap();
+    let r = riscv::interp::Interpreter::new(set.riscv)
+        .unwrap()
+        .run(80_000_000)
+        .unwrap();
+    let s = straight::interp::Interpreter::new(set.straight)
+        .unwrap()
+        .run(80_000_000)
+        .unwrap();
+    let c = ChInterp::new(set.clockhands)
+        .unwrap()
+        .run(80_000_000)
+        .unwrap();
     assert_eq!(r.exit_value, s.exit_value);
     assert_eq!(r.exit_value, c.exit_value);
 }

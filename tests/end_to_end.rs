@@ -15,8 +15,7 @@ fn sim_one(w: Workload, isa: IsaKind, width: WidthClass) -> ch_common::Counters 
     let mut sim = Simulator::new(cfg);
     match isa {
         IsaKind::Riscv => {
-            let mut cpu =
-                ch_baselines::riscv::interp::Interpreter::new(set.riscv).expect("valid");
+            let mut cpu = ch_baselines::riscv::interp::Interpreter::new(set.riscv).expect("valid");
             let c = sim.run(&mut cpu);
             assert!(cpu.error().is_none());
             assert_eq!(cpu.exit_value(), Some(w.reference(Scale::Test)));

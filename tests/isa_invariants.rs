@@ -1,12 +1,12 @@
 //! Property-based tests on the core ISA data structures: the hand file,
 //! the register-pointer ring allocation, and the binary encoding.
 
+use ch_common::exec::{AluOp, BrCond, LoadOp, StoreOp};
 use clockhands::encode::{decode, encode};
 use clockhands::hand::Hand;
 use clockhands::inst::{Inst, Src};
 use clockhands::rp::RingFile;
 use clockhands::state::HandFile;
-use ch_common::exec::{AluOp, BrCond, LoadOp, StoreOp};
 use proptest::prelude::*;
 
 fn arb_hand() -> impl Strategy<Value = Hand> {
@@ -30,13 +30,25 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         Just(AluOp::Fdiv),
     ];
     prop_oneof![
-        (alu_op, arb_hand(), arb_src(), arb_src())
-            .prop_map(|(op, dst, src1, src2)| Inst::Alu { op, dst, src1, src2 }),
-        (arb_hand(), arb_src(), -8000i32..8000)
-            .prop_map(|(dst, src1, imm)| Inst::AluImm { op: AluOp::Add, dst, src1, imm }),
+        (alu_op, arb_hand(), arb_src(), arb_src()).prop_map(|(op, dst, src1, src2)| Inst::Alu {
+            op,
+            dst,
+            src1,
+            src2
+        }),
+        (arb_hand(), arb_src(), -8000i32..8000).prop_map(|(dst, src1, imm)| Inst::AluImm {
+            op: AluOp::Add,
+            dst,
+            src1,
+            imm
+        }),
         (arb_hand(), -4_000_000i64..4_000_000).prop_map(|(dst, imm)| Inst::Li { dst, imm }),
-        (arb_hand(), arb_src(), -8000i32..8000)
-            .prop_map(|(dst, base, offset)| Inst::Load { op: LoadOp::Ld, dst, base, offset }),
+        (arb_hand(), arb_src(), -8000i32..8000).prop_map(|(dst, base, offset)| Inst::Load {
+            op: LoadOp::Ld,
+            dst,
+            base,
+            offset
+        }),
         (arb_src(), arb_src(), -500i32..500).prop_map(|(value, base, offset)| Inst::Store {
             op: StoreOp::Sd,
             value,
@@ -139,8 +151,8 @@ proptest! {
             rp.alloc(g);
         }
         rp.restore(&snap);
-        for g in 0..4 {
-            prop_assert_eq!(rp.writes(g), before[g]);
+        for (g, &w) in before.iter().enumerate() {
+            prop_assert_eq!(rp.writes(g), w);
         }
     }
 }
