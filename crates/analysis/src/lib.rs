@@ -3,9 +3,9 @@
 //! # ch-analysis — trace analyses behind the paper's studies
 //!
 //! * [`lifetime`] — register lifetime distributions (Fig. 4, 17, 18),
-//! * [`straight_increase`] — the inevitable STRAIGHT instruction-count
+//! * [`mod@straight_increase`] — the inevitable STRAIGHT instruction-count
 //!   increase, split into nop / mv-MaxDistance / mv-LoopConstant (Fig. 3),
-//! * [`hands_sweep`] — remaining relay moves versus hand count (Fig. 7),
+//! * [`mod@hands_sweep`] — remaining relay moves versus hand count (Fig. 7),
 //! * [`breakdown`] — executed-instruction class mix (Fig. 15) and
 //!   per-hand read/write usage (Fig. 16).
 //!

@@ -3,7 +3,7 @@
 //! ```text
 //! figures [--scale test|small|full] [--jobs N] [ids...]
 //! ids: table1 table2 table3 fig3 fig4 fig7 fig13 fig14 fig15 fig16 fig17
-//!      fig18 ablation
+//!      fig18 ablation stalls trace
 //! ```
 //!
 //! With no ids, everything runs (in paper order). Independent
@@ -55,7 +55,7 @@ fn main() {
     }
     let all = [
         "table1", "table2", "table3", "fig3", "fig4", "fig7", "fig13", "fig14", "fig15", "fig16",
-        "fig17", "fig18", "ablation",
+        "fig17", "fig18", "ablation", "stalls", "trace",
     ];
     if ids.is_empty() {
         ids = all.iter().map(|s| s.to_string()).collect();
@@ -77,6 +77,8 @@ fn main() {
                 "fig17" => bench::fig17(scale),
                 "fig18" => bench::fig18(scale),
                 "ablation" => bench::ablation(scale),
+                "stalls" => bench::stalls(scale),
+                "trace" => bench::traces(scale),
                 other => {
                     eprintln!("unknown experiment `{other}` (known: {all:?})");
                     std::process::exit(2);

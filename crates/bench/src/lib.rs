@@ -660,6 +660,138 @@ costs cycles through slower misprediction recovery, Section 5.2)"
     s
 }
 
+/// Short column header for a [`ch_common::StallBreakdown`] row label.
+fn stall_col(label: &str) -> &str {
+    match label {
+        "frontend" => "front",
+        "branch-recovery" => "br-rec",
+        "alloc-rename" => "rename",
+        "alloc-rp" => "rp-wrap",
+        "rob-full" => "rob",
+        "sched-full" => "sched",
+        "lsq-full" => "lsq",
+        "exec-dep" => "dep",
+        other => other, // "memory", "drain"
+    }
+}
+
+/// Top-down stall attribution: where every commit slot of every
+/// `(workload, ISA, width)` run went. Each row is exhaustive — the
+/// commit column plus the ten stall columns sum to 100% of
+/// `commit_width x cycles` (asserted here, tested in `crates/sim`).
+pub fn stalls(scale: Scale) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Stall attribution: share of commit slots (commit width x cycles)"
+    );
+    let _ = write!(
+        s,
+        "{:<12} {:<6} {:<4} {:>7}",
+        "workload", "width", "ISA", "commit"
+    );
+    for (label, _) in ch_common::StallBreakdown::default().rows() {
+        let _ = write!(s, " {:>7}", stall_col(label));
+    }
+    let _ = writeln!(s);
+    warm_sims(scale, &full_sweep());
+    for w in Workload::ALL {
+        for width in WidthClass::ALL {
+            for isa in IsaKind::ALL {
+                let c = simulate(w, isa, width, scale);
+                let cw = MachineConfig::preset(width, isa).commit_width;
+                assert!(
+                    c.slots_conserved(cw),
+                    "{w}/{isa}/{}: stall account does not close",
+                    width.label()
+                );
+                let slots = (cw as u64 * c.cycles) as f64;
+                let _ = write!(
+                    s,
+                    "{:<12} {:<6} {:<4} {:>6.1}%",
+                    w.name(),
+                    width.label(),
+                    isa.tag(),
+                    100.0 * c.committed as f64 / slots
+                );
+                for (_, v) in c.stalls.rows() {
+                    let _ = write!(s, " {:>6.1}%", 100.0 * v as f64 / slots);
+                }
+                let _ = writeln!(s);
+            }
+        }
+    }
+    let _ = writeln!(
+        s,
+        "(columns left to right: slots filled by committing instructions, then\n\
+idle slots blamed on: front-end fetch, branch-misprediction recovery,\n\
+renamer free-list (RISC only), register-pointer wrap (STRAIGHT/Clockhands\n\
+only), ROB full, scheduler full, load/store queue full, memory (own miss\n\
+or load-to-use), pure data/execution dependence, end-of-run drain)"
+    );
+    s
+}
+
+/// Per-instruction pipeline traces: writes Konata `.kanata` and JSONL
+/// files under `target/traces/` for every workload on the 8-fetch
+/// machines, and returns a summary table of what was written.
+pub fn traces(scale: Scale) -> String {
+    /// How many committed instructions each trace file covers.
+    const INSTS: usize = 3_000;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Pipeline traces: first {INSTS} committed instructions, 8-fetch machines"
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:<4} {:>8} {:>12} {:>26}",
+        "workload", "ISA", "records", "last commit", "file (target/traces/)"
+    );
+    let combos: Vec<(Workload, IsaKind)> = Workload::ALL
+        .iter()
+        .flat_map(|&w| IsaKind::ALL.map(|isa| (w, isa)))
+        .collect();
+    warm_traces(scale, combos.iter().copied());
+    let outputs = par_map(&combos, |&(w, isa)| {
+        let t = trace(w, isa, scale);
+        BUSY.time(|| {
+            let mut sim = Simulator::with_tracer(
+                MachineConfig::preset(WidthClass::W8, isa),
+                ch_sim::TraceBuffer::with_limit(INSTS),
+            );
+            for i in t.iter() {
+                sim.step(i);
+            }
+            sim.finish();
+            let buf = sim.into_tracer();
+            let last = buf.records().last().map(|r| r.stamps.commit).unwrap_or(0);
+            (buf.to_kanata(), buf.to_jsonl(), buf.records().len(), last)
+        })
+    });
+    let dir = std::path::Path::new("target/traces");
+    std::fs::create_dir_all(dir).expect("create target/traces");
+    for (&(w, isa), (kanata, jsonl, records, last)) in combos.iter().zip(outputs) {
+        let stem = format!("{}-{}-8f", w.name(), isa.tag());
+        std::fs::write(dir.join(format!("{stem}.kanata")), &kanata).expect("write .kanata");
+        std::fs::write(dir.join(format!("{stem}.jsonl")), &jsonl).expect("write .jsonl");
+        let _ = writeln!(
+            s,
+            "{:<12} {:<4} {:>8} {:>12} {:>26}",
+            w.name(),
+            isa.tag(),
+            records,
+            last,
+            format!("{stem}.kanata/.jsonl")
+        );
+    }
+    let _ = writeln!(
+        s,
+        "(open the .kanata files in Konata: https://github.com/shioyadan/Konata)"
+    );
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,11 +21,17 @@ fn figures(args: &[&str]) -> String {
 
 #[test]
 fn figures_output_is_byte_identical_across_jobs() {
-    // One table and one figure; fig13 exercises the full trace + sim
-    // fan-out (5 workloads x 3 ISAs x 5 widths in one process).
-    let serial = figures(&["--scale", "test", "--jobs", "1", "table1", "fig13"]);
-    let parallel = figures(&["--scale", "test", "--jobs", "4", "table1", "fig13"]);
+    // One table and two figures; fig13 exercises the full trace + sim
+    // fan-out (5 workloads x 3 ISAs x 5 widths in one process), and the
+    // stall-attribution table rides the same 75 cached simulations.
+    let serial = figures(&[
+        "--scale", "test", "--jobs", "1", "table1", "fig13", "stalls",
+    ]);
+    let parallel = figures(&[
+        "--scale", "test", "--jobs", "4", "table1", "fig13", "stalls",
+    ]);
     assert!(serial.contains("Table 1") && serial.contains("Fig. 13"));
+    assert!(serial.contains("Stall attribution"));
     assert_eq!(serial, parallel, "--jobs must not change rendered output");
 }
 

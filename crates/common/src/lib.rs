@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Shared machine model for the Clockhands reproduction.
 //!
@@ -38,7 +38,7 @@ pub use config::{MachineConfig, WidthClass};
 pub use inst::{CtrlInfo, CtrlKind, DynInst, MemAccess};
 pub use mem::Memory;
 pub use op::{FuKind, OpClass};
-pub use stats::{BusyClock, Counters, ExperimentTiming};
+pub use stats::{BusyClock, Counters, ExperimentTiming, StallBreakdown, StallReason};
 
 /// Which of the three evaluated instruction set architectures a program,
 /// trace, or machine configuration belongs to.

@@ -6,6 +6,14 @@
 //! Fig. 14 stacks. [`Counters`] is a passive data structure, so its
 //! fields are public.
 //!
+//! [`StallBreakdown`] is the observability layer's top-down stall
+//! account: every commit slot a simulation offers is either consumed by
+//! a committed instruction or blamed on exactly one [`StallReason`], so
+//! the lost-cycle mechanisms behind the paper's Figs. 13–14 (renamer
+//! pressure on RISC, relay-`mv` dataflow on STRAIGHT, RP wrap stalls on
+//! Clockhands) become directly measurable. The `figures stalls`
+//! experiment renders it per `(workload, ISA, width)`.
+//!
 //! [`BusyClock`] and [`ExperimentTiming`] let a driver that fans
 //! independent simulations out over worker threads report, per
 //! experiment, the elapsed wall time, the total busy (CPU) time summed
@@ -86,6 +94,183 @@ impl std::fmt::Display for ExperimentTiming {
     }
 }
 
+/// Why a commit slot went unused — the single (hierarchical) cause the
+/// simulator blames for each bubble at the retirement end of the pipe.
+///
+/// The timing core performs top-down-style accounting over **commit
+/// slots**: every cycle offers `commit_width` slots, each committed
+/// instruction consumes exactly one, and every slot that goes unused is
+/// attributed to exactly one of these reasons — the binding constraint
+/// of the instruction whose late arrival left the slot empty. The
+/// attributed counts land in [`StallBreakdown`]; by construction
+///
+/// ```text
+/// committed + StallBreakdown::attributed() == commit_width × cycles
+/// ```
+///
+/// holds exactly (asserted by the `figures stalls` experiment and the
+/// simulator test-suite). Blame is resolved **latest stage first**: a
+/// cache miss on the instruction itself beats a slow producer, which
+/// beats an execution-resource conflict, which beats whatever bound the
+/// allocation stage. See DESIGN.md § "Pipeline model" for the stage each
+/// reason maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallReason {
+    /// Fetch/decode could not deliver sooner: I-cache miss, taken-branch
+    /// fetch-group break, front-end pipeline depth, or allocation
+    /// bandwidth behind an older instruction.
+    Frontend,
+    /// The instruction is the first on the corrected path after a
+    /// squash (branch misprediction or memory-order violation): the
+    /// bubble is the recovery penalty, including the refilled front end.
+    BranchRecovery,
+    /// RISC only: the renamer's free list had no physical register — an
+    /// older mapping had not yet committed and released one.
+    AllocRename,
+    /// STRAIGHT/Clockhands only: the register-pointer ring (or the
+    /// destination hand's quota) wrapped into a live region, stalling
+    /// RP-calculation until the blocking writer committed (the
+    /// Section 5.1 wrap rule).
+    AllocRp,
+    /// The reorder buffer was full at allocation.
+    RobFull,
+    /// The scheduler (issue window) was full at allocation.
+    SchedulerFull,
+    /// The load queue or store queue was full at allocation.
+    LsqFull,
+    /// The data-cache hierarchy delayed the instruction: an L1/L2 miss,
+    /// a wait on an in-flight store's data (forwarding), a memory-order
+    /// violation penalty — or a wait on a *producer* that was itself
+    /// memory-delayed (a load-to-use chain).
+    Memory,
+    /// Execution dataflow: waiting on a non-memory producer's result,
+    /// a functional-unit conflict, or issue bandwidth.
+    ExecDep,
+}
+
+impl StallReason {
+    /// Every reason, in pipeline order (front end → commit).
+    pub const ALL: [StallReason; 9] = [
+        StallReason::Frontend,
+        StallReason::BranchRecovery,
+        StallReason::AllocRename,
+        StallReason::AllocRp,
+        StallReason::RobFull,
+        StallReason::SchedulerFull,
+        StallReason::LsqFull,
+        StallReason::Memory,
+        StallReason::ExecDep,
+    ];
+
+    /// Short kebab-case label used in tables and JSONL traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallReason::Frontend => "frontend",
+            StallReason::BranchRecovery => "branch-recovery",
+            StallReason::AllocRename => "alloc-rename",
+            StallReason::AllocRp => "alloc-rp",
+            StallReason::RobFull => "rob-full",
+            StallReason::SchedulerFull => "sched-full",
+            StallReason::LsqFull => "lsq-full",
+            StallReason::Memory => "memory",
+            StallReason::ExecDep => "exec-dep",
+        }
+    }
+}
+
+/// Idle commit slots, attributed per [`StallReason`], for one simulation.
+///
+/// Lives inside [`Counters`]; the simulator adds the idle slots observed
+/// in front of every committing instruction via [`StallBreakdown::add`]
+/// and fills [`drain`](Self::drain) when the run finishes. The
+/// conservation identity documented on [`StallReason`] ties these fields
+/// to `cycles` and `committed`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Slots lost to [`StallReason::Frontend`].
+    pub frontend: u64,
+    /// Slots lost to [`StallReason::BranchRecovery`].
+    pub branch_recovery: u64,
+    /// Slots lost to [`StallReason::AllocRename`] (RISC only).
+    pub alloc_rename: u64,
+    /// Slots lost to [`StallReason::AllocRp`] (STRAIGHT/Clockhands only).
+    pub alloc_rp: u64,
+    /// Slots lost to [`StallReason::RobFull`].
+    pub rob_full: u64,
+    /// Slots lost to [`StallReason::SchedulerFull`].
+    pub scheduler_full: u64,
+    /// Slots lost to [`StallReason::LsqFull`].
+    pub lsq_full: u64,
+    /// Slots lost to [`StallReason::Memory`].
+    pub memory: u64,
+    /// Slots lost to [`StallReason::ExecDep`].
+    pub exec_dep: u64,
+    /// Remainder slots of the final cycle, after the last instruction
+    /// committed (program end — always `< commit_width`).
+    pub drain: u64,
+}
+
+impl StallBreakdown {
+    /// Adds `slots` idle commit slots blamed on `reason`.
+    pub fn add(&mut self, reason: StallReason, slots: u64) {
+        *self.field_mut(reason) += slots;
+    }
+
+    /// The counter behind one reason (read access for tables).
+    pub fn get(&self, reason: StallReason) -> u64 {
+        match reason {
+            StallReason::Frontend => self.frontend,
+            StallReason::BranchRecovery => self.branch_recovery,
+            StallReason::AllocRename => self.alloc_rename,
+            StallReason::AllocRp => self.alloc_rp,
+            StallReason::RobFull => self.rob_full,
+            StallReason::SchedulerFull => self.scheduler_full,
+            StallReason::LsqFull => self.lsq_full,
+            StallReason::Memory => self.memory,
+            StallReason::ExecDep => self.exec_dep,
+        }
+    }
+
+    fn field_mut(&mut self, reason: StallReason) -> &mut u64 {
+        match reason {
+            StallReason::Frontend => &mut self.frontend,
+            StallReason::BranchRecovery => &mut self.branch_recovery,
+            StallReason::AllocRename => &mut self.alloc_rename,
+            StallReason::AllocRp => &mut self.alloc_rp,
+            StallReason::RobFull => &mut self.rob_full,
+            StallReason::SchedulerFull => &mut self.scheduler_full,
+            StallReason::LsqFull => &mut self.lsq_full,
+            StallReason::Memory => &mut self.memory,
+            StallReason::ExecDep => &mut self.exec_dep,
+        }
+    }
+
+    /// Total idle slots attributed, including the end-of-run
+    /// [`drain`](Self::drain) remainder.
+    pub fn attributed(&self) -> u64 {
+        StallReason::ALL.iter().map(|&r| self.get(r)).sum::<u64>() + self.drain
+    }
+
+    /// `(label, slots)` rows in pipeline order, ending with `"drain"` —
+    /// the exact column order of the `figures stalls` table.
+    pub fn rows(&self) -> [(&'static str, u64); 10] {
+        let mut rows = [("", 0u64); 10];
+        for (slot, &r) in rows.iter_mut().zip(StallReason::ALL.iter()) {
+            *slot = (r.label(), self.get(r));
+        }
+        rows[9] = ("drain", self.drain);
+        rows
+    }
+
+    /// Adds every field of `other` into `self`.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        for &r in &StallReason::ALL {
+            self.add(r, other.get(r));
+        }
+        self.drain += other.drain;
+    }
+}
+
 /// Event counts accumulated over one simulation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counters {
@@ -162,6 +347,9 @@ pub struct Counters {
     pub rob_reads: u64,
     /// Instructions committed.
     pub committed: u64,
+    /// Idle commit slots attributed per stall reason (top-down commit-slot
+    /// accounting; see [`StallReason`] for the conservation identity).
+    pub stalls: StallBreakdown,
 }
 
 impl Counters {
@@ -186,6 +374,26 @@ impl Counters {
         } else {
             self.branch_mispredicts as f64 / self.branch_preds as f64
         }
+    }
+
+    /// Checks the commit-slot conservation identity for a machine with
+    /// the given commit width: every one of the `commit_width × cycles`
+    /// slots is either a committed instruction or an attributed stall.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ch_common::stats::{Counters, StallReason};
+    ///
+    /// let mut c = Counters::new();
+    /// c.cycles = 10;
+    /// c.committed = 35;
+    /// c.stalls.add(StallReason::Memory, 4);
+    /// c.stalls.drain = 1;
+    /// assert!(c.slots_conserved(4)); // 35 + 4 + 1 == 4 × 10
+    /// ```
+    pub fn slots_conserved(&self, commit_width: u32) -> bool {
+        self.committed + self.stalls.attributed() == commit_width as u64 * self.cycles
     }
 
     /// Adds every field of `other` into `self` (for aggregating runs).
@@ -232,6 +440,7 @@ impl Counters {
             rob_reads,
             committed,
         );
+        dst.stalls.merge(&other.stalls);
     }
 }
 
@@ -285,6 +494,53 @@ mod tests {
             busy: Duration::ZERO,
         };
         assert_eq!(zero.speedup(), 0.0);
+    }
+
+    #[test]
+    fn stall_breakdown_add_get_rows() {
+        let mut b = StallBreakdown::default();
+        for (i, &r) in StallReason::ALL.iter().enumerate() {
+            b.add(r, (i + 1) as u64);
+            assert_eq!(b.get(r), (i + 1) as u64, "{}", r.label());
+        }
+        b.drain = 3;
+        let expected: u64 = (1..=9).sum::<u64>() + 3;
+        assert_eq!(b.attributed(), expected);
+        let rows = b.rows();
+        assert_eq!(rows[0], ("frontend", 1));
+        assert_eq!(rows[9], ("drain", 3));
+        // Rows cover every reason exactly once.
+        assert_eq!(rows.iter().map(|&(_, v)| v).sum::<u64>(), expected);
+    }
+
+    #[test]
+    fn stall_breakdown_merges_fieldwise() {
+        let mut a = StallBreakdown {
+            memory: 5,
+            drain: 1,
+            ..StallBreakdown::default()
+        };
+        let b = StallBreakdown {
+            memory: 2,
+            frontend: 7,
+            ..StallBreakdown::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.memory, 7);
+        assert_eq!(a.frontend, 7);
+        assert_eq!(a.drain, 1);
+    }
+
+    #[test]
+    fn slot_conservation_identity() {
+        let mut c = Counters::new();
+        c.cycles = 100;
+        c.committed = 250;
+        c.stalls.add(StallReason::ExecDep, 500);
+        c.stalls.add(StallReason::RobFull, 49);
+        c.stalls.drain = 1;
+        assert!(c.slots_conserved(8));
+        assert!(!c.slots_conserved(4));
     }
 
     #[test]

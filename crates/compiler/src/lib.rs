@@ -10,7 +10,7 @@
 //! * [`lexer`] / [`parser`] / [`ast`] — the shared front end,
 //! * [`lower`] — typed lowering to a CFG IR ([`ir`]),
 //! * [`passes`] — target-independent clean-up,
-//! * [`cfg`] — liveness and loop analyses used by all backends,
+//! * [`mod@cfg`] — liveness and loop analyses used by all backends,
 //! * [`backend`] — the three register-assignment strategies:
 //!   * `riscv`: linear-scan allocation onto 31+32 logical registers,
 //!   * `straight`: edge-relay distance fixing with a single ring and the

@@ -14,14 +14,29 @@
 //! Wrong-path instructions are not replayed through the cache model
 //! (their first-order energy cost is accounted as wasted fetch slots);
 //! see DESIGN.md for the substitution argument.
+//!
+//! ## Observability
+//!
+//! Two layers make the timing explainable (DESIGN.md § "Pipeline
+//! model"):
+//!
+//! * **Stall attribution** — every commit slot (`commit_width` per
+//!   cycle) is either consumed by a committing instruction or blamed on
+//!   one [`StallReason`]; the per-reason totals accumulate in
+//!   [`Counters::stalls`] and satisfy
+//!   `committed + attributed == commit_width × cycles` exactly.
+//! * **Pipeline tracing** — a [`PipelineTracer`] type parameter
+//!   receives per-instruction [`StageStamps`]; the default
+//!   [`NullTracer`] monomorphises to nothing, so tracing off is free.
 
 use crate::cache::{Cache, MemHierarchy};
 use crate::storeset::StoreSet;
 use crate::tage::{Btb, Ras, Tage};
+use crate::trace::{NullTracer, PipelineTracer, StageStamps};
 use ch_common::config::MachineConfig;
 use ch_common::inst::{CtrlKind, DstTag, DynInst, NO_PRODUCER};
 use ch_common::op::{FuKind, OpClass};
-use ch_common::stats::Counters;
+use ch_common::stats::{Counters, StallReason};
 use ch_common::IsaKind;
 use std::collections::VecDeque;
 
@@ -54,12 +69,20 @@ const VIOLATION_PENALTY: u64 = 10;
 /// let mut cpu = Interpreter::new(prog)?;
 /// let counters = sim.run(&mut cpu);
 /// assert!(counters.committed > 0 && counters.cycles > 0);
+/// // Top-down stall accounting is always on and conserves slots:
+/// assert!(counters.slots_conserved(sim.config().commit_width));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+///
+/// To additionally capture a per-instruction pipeline trace, construct
+/// with [`Simulator::with_tracer`] and a
+/// [`TraceBuffer`](crate::TraceBuffer); the default `T = NullTracer`
+/// compiles the tracing hook away entirely.
 #[derive(Debug)]
-pub struct Simulator {
+pub struct Simulator<T: PipelineTracer = NullTracer> {
     cfg: MachineConfig,
     counters: Counters,
+    tracer: T,
 
     // Front end.
     icache: Cache,
@@ -102,15 +125,33 @@ pub struct Simulator {
     last_alloc: u64,
     last_commit: u64,
     last_fetch_time: u64,
+    /// Next unconsumed commit slot (global index `cycle-1 × width + lane`);
+    /// the gap to each instruction's actual slot is the stall it explains.
+    next_commit_slot: u64,
+    /// Whether the instruction at each recent sequence number completed
+    /// late because of the memory hierarchy (load-to-use attribution).
+    mem_late: Vec<bool>,
     /// Per-instruction stage log on stderr (set `CH_SIM_TRACE=1`).
     trace_log: bool,
 }
 
-impl Simulator {
-    /// Creates a simulator for one machine configuration.
+impl Simulator<NullTracer> {
+    /// Creates a simulator for one machine configuration (no tracing).
     pub fn new(cfg: MachineConfig) -> Self {
+        Simulator::with_tracer(cfg, NullTracer)
+    }
+}
+
+impl<T: PipelineTracer> Simulator<T> {
+    /// Creates a simulator that feeds every committed instruction's
+    /// stage timestamps to `tracer`.
+    ///
+    /// Tracing is observational only: counters and cycle counts are
+    /// byte-identical to an untraced run (asserted by the test-suite).
+    pub fn with_tracer(cfg: MachineConfig, tracer: T) -> Self {
         let fu_free = std::array::from_fn(|k| vec![0u64; cfg.fu_counts[k].max(1) as usize]);
         Simulator {
+            tracer,
             icache: Cache::new(&cfg.l1i),
             tage: Tage::new(),
             btb: Btb::new(cfg.btb_entries as usize, cfg.btb_assoc as usize),
@@ -141,6 +182,8 @@ impl Simulator {
             last_alloc: 0,
             last_commit: 0,
             last_fetch_time: 0,
+            next_commit_slot: 0,
+            mem_late: vec![false; READY_RING],
             trace_log: std::env::var_os("CH_SIM_TRACE").is_some(),
             counters: Counters::new(),
             cfg,
@@ -152,6 +195,19 @@ impl Simulator {
         &self.cfg
     }
 
+    /// The attached tracer (e.g. to inspect a
+    /// [`TraceBuffer`](crate::TraceBuffer) mid-run).
+    pub fn tracer(&self) -> &T {
+        &self.tracer
+    }
+
+    /// Consumes the simulator, returning the tracer and its collected
+    /// trace. Call [`finish`](Self::finish) first if the counters are
+    /// also needed.
+    pub fn into_tracer(self) -> T {
+        self.tracer
+    }
+
     /// Runs the whole stream to completion, returning the counters.
     pub fn run(&mut self, stream: impl Iterator<Item = DynInst>) -> Counters {
         for inst in stream {
@@ -161,10 +217,16 @@ impl Simulator {
     }
 
     /// Final counters (cycle count = commit time of the last instruction).
+    ///
+    /// Also closes the commit-slot account: the slots of the final cycle
+    /// left after the last commit land in
+    /// [`stalls.drain`](ch_common::stats::StallBreakdown::drain), making
+    /// `committed + stalls.attributed() == commit_width × cycles` exact.
     pub fn finish(&self) -> Counters {
         let mut c = self.counters.clone();
         c.cycles = self.last_commit.max(1);
         c.checkpoint_bits = self.cfg.checkpoint_bits() as u64;
+        c.stalls.drain = self.cfg.commit_width as u64 * c.cycles - self.next_commit_slot;
         c
     }
 
@@ -198,6 +260,9 @@ impl Simulator {
         let c = &mut self.counters;
 
         // ---------- Fetch ----------
+        // First instruction on a corrected path: its bubble (if any) is
+        // the squash-recovery penalty, not an ordinary front-end stall.
+        let recovering = self.redirect_at > 0;
         if self.redirect_at > 0 {
             // Squashed wrong-path work: charge the lost fetch slots.
             c.fetched += cfg.front_width as u64;
@@ -279,29 +344,55 @@ impl Simulator {
         }
 
         // ---------- Allocation (rename / RP-calculation) ----------
+        // Each constraint below may push `alloc` later; the *last*
+        // constraint to move it is remembered as the stage to blame if
+        // this instruction ends up delaying commit (strictly-greater
+        // updates, so ties keep the earlier pipeline stage's reason).
         let mut alloc = fetch_time + cfg.front_latency as u64;
+        let mut alloc_reason = if recovering {
+            StallReason::BranchRecovery
+        } else {
+            StallReason::Frontend
+        };
+        // In-order allocation behind the previous instruction (front-end
+        // bandwidth): still the front end's fault.
         alloc = alloc.max(self.last_alloc);
         // ROB occupancy.
         if seq >= cfg.rob as u64 {
-            alloc = alloc.max(self.commit_ring[((seq - cfg.rob as u64) as usize) % BW_RING]);
+            let free_at = self.commit_ring[((seq - cfg.rob as u64) as usize) % BW_RING];
+            if free_at > alloc {
+                alloc = free_at;
+                alloc_reason = StallReason::RobFull;
+            }
         }
         // Scheduler occupancy (entries freed at select, FIFO approx).
         if seq >= cfg.scheduler as u64 {
-            alloc =
-                alloc.max(self.select_ring[((seq - cfg.scheduler as u64) as usize) % BW_RING] + 1);
+            let free_at = self.select_ring[((seq - cfg.scheduler as u64) as usize) % BW_RING] + 1;
+            if free_at > alloc {
+                alloc = free_at;
+                alloc_reason = StallReason::SchedulerFull;
+            }
         }
         // Load/store queue occupancy (entries freed at commit).
         if inst.class == OpClass::Load {
             if self.loads_fifo.len() >= cfg.load_queue as usize {
                 let old = self.loads_fifo.pop_front().expect("nonempty");
-                alloc = alloc.max(self.commit_ring[(old as usize) % BW_RING]);
+                let free_at = self.commit_ring[(old as usize) % BW_RING];
+                if free_at > alloc {
+                    alloc = free_at;
+                    alloc_reason = StallReason::LsqFull;
+                }
             }
             self.loads_fifo.push_back(seq);
         }
         if inst.class == OpClass::Store {
             if self.stores_fifo.len() >= cfg.store_queue as usize {
                 let old = self.stores_fifo.pop_front().expect("nonempty");
-                alloc = alloc.max(self.commit_ring[(old as usize) % BW_RING]);
+                let free_at = self.commit_ring[(old as usize) % BW_RING];
+                if free_at > alloc {
+                    alloc = free_at;
+                    alloc_reason = StallReason::LsqFull;
+                }
             }
             self.stores_fifo.push_back(seq);
         }
@@ -328,7 +419,11 @@ impl Simulator {
                     let free = (cfg.phys_regs - 64) as usize;
                     if self.dst_fifo.len() >= free {
                         let old = self.dst_fifo.pop_front().expect("nonempty");
-                        alloc = alloc.max(self.commit_ring[(old as usize) % BW_RING]);
+                        let free_at = self.commit_ring[(old as usize) % BW_RING];
+                        if free_at > alloc {
+                            alloc = free_at;
+                            alloc_reason = StallReason::AllocRename;
+                        }
                     }
                     self.dst_fifo.push_back(seq);
                 }
@@ -339,7 +434,11 @@ impl Simulator {
                 let limit = (cfg.phys_regs - cfg.max_ref_distance) as usize;
                 if self.dst_fifo.len() >= limit {
                     let old = self.dst_fifo.pop_front().expect("nonempty");
-                    alloc = alloc.max(self.commit_ring[(old as usize) % BW_RING]);
+                    let free_at = self.commit_ring[(old as usize) % BW_RING];
+                    if free_at > alloc {
+                        alloc = free_at;
+                        alloc_reason = StallReason::AllocRp;
+                    }
                 }
                 self.dst_fifo.push_back(seq);
             }
@@ -351,7 +450,11 @@ impl Simulator {
                     let fifo = &mut self.hand_fifos[h as usize];
                     if fifo.len() >= q.max(1) {
                         let old = fifo.pop_front().expect("nonempty");
-                        alloc = alloc.max(self.commit_ring[(old as usize) % BW_RING]);
+                        let free_at = self.commit_ring[(old as usize) % BW_RING];
+                        if free_at > alloc {
+                            alloc = free_at;
+                            alloc_reason = StallReason::AllocRp;
+                        }
                     }
                     fifo.push_back(seq);
                 }
@@ -373,16 +476,26 @@ impl Simulator {
             .max(alloc.saturating_sub(cfg.front_latency as u64 + 8));
 
         // ---------- Select / issue / execute ----------
-        let ready = inst
-            .sources()
-            .map(|p| self.ready_of(seq, p))
-            .max()
-            .unwrap_or(0);
+        // Last-arriving producer (remembered for load-to-use stall
+        // attribution: waiting on a miss-delayed producer is a memory
+        // stall, not a scheduling one).
+        let mut ready = 0u64;
+        let mut ready_src = NO_PRODUCER;
+        for p in inst.sources() {
+            let t = self.ready_of(seq, p);
+            if t > ready {
+                ready = t;
+                ready_src = p;
+            }
+        }
         self.counters.regfile_reads += nsrc;
         self.counters.sched_wakeups += nsrc;
         let issue_lat = cfg.issue_latency as u64;
         // Speculative wakeup: select so execution begins when data arrives.
-        let mut select = (alloc + 1).max(ready.saturating_sub(issue_lat));
+        let data_wait = ready.saturating_sub(issue_lat);
+        let data_bound = data_wait > alloc + 1;
+        let mut select = (alloc + 1).max(data_wait);
+        let select_floor = select;
         // Functional unit.
         let fu = inst.class.fu_kind();
         let exec_latency = inst.class.exec_latency() as u64;
@@ -408,6 +521,9 @@ impl Simulator {
             select = (*best).saturating_sub(issue_lat).max(select_c + 1);
         }
         self.select_ring[(seq as usize) % BW_RING] = select;
+        // Issue bandwidth or a busy functional unit pushed past the
+        // dataflow-earliest cycle.
+        let exec_resource_bound = select > select_floor;
         self.counters.issued += 1;
         let exec_start = select + issue_lat;
         match fu {
@@ -417,6 +533,9 @@ impl Simulator {
 
         // ---------- Memory ----------
         let mut complete = exec_start + exec_latency;
+        // Set when the memory hierarchy (miss, store-data wait, or a
+        // violation penalty) delays this instruction's completion.
+        let mut mem_stall = false;
         if let Some(mem) = inst.mem {
             self.counters.lsq_searches += 1;
             if inst.class == OpClass::Load {
@@ -439,6 +558,7 @@ impl Simulator {
                         complete = exec_start.max(sdata) + 1;
                         if sdata > exec_start {
                             complete = sdata + 1;
+                            mem_stall = true;
                         }
                         self.counters.stl_forwards += 1;
                     } else {
@@ -448,6 +568,7 @@ impl Simulator {
                         self.counters.squashes += 1;
                         self.store_set.train_violation(inst.pc, spc);
                         must_wait_until = sdata + VIOLATION_PENALTY;
+                        mem_stall = true;
                     }
                     break; // youngest older overlapping store decides
                 }
@@ -457,6 +578,7 @@ impl Simulator {
                     if r.l1_miss {
                         self.counters.dcache_misses += 1;
                         self.counters.l2_accesses += 1;
+                        mem_stall = true;
                     }
                     if r.l2_miss {
                         self.counters.l2_misses += 1;
@@ -484,6 +606,7 @@ impl Simulator {
             self.counters.regfile_writes += 1;
         }
         self.ready_ring[(seq as usize) % READY_RING] = complete;
+        self.mem_late[(seq as usize) % READY_RING] = mem_stall;
 
         // Branch resolution → redirect on mispredict.
         if mispredicted {
@@ -502,6 +625,50 @@ impl Simulator {
         self.commit_ring[(seq as usize) % BW_RING] = commit;
         self.counters.committed += 1;
         self.counters.rob_reads += 1;
+
+        // ---------- Stall attribution (top-down commit-slot account) ----------
+        // This instruction occupies one commit slot; every slot skipped
+        // since the previous commit was idle *because this instruction
+        // arrived late*, so the whole gap is blamed on the latest stage
+        // that delayed it: its own memory access, then a memory-late
+        // producer, then execution dataflow/resources, then whatever
+        // bound allocation.
+        let dep_mem = ready_src != NO_PRODUCER
+            && (seq.saturating_sub(ready_src) as usize) < READY_RING
+            && self.mem_late[(ready_src as usize) % READY_RING];
+        let stall = if mem_stall {
+            StallReason::Memory
+        } else if data_bound {
+            if dep_mem {
+                StallReason::Memory
+            } else {
+                StallReason::ExecDep
+            }
+        } else if exec_resource_bound {
+            StallReason::ExecDep
+        } else {
+            alloc_reason
+        };
+        let lane = self.commit_bw[(commit as usize) % BW_RING].1 as u64 - 1;
+        let slot = (commit - 1) * self.cfg.commit_width as u64 + lane;
+        let idle = slot - self.next_commit_slot;
+        self.counters.stalls.add(stall, idle);
+        self.next_commit_slot = slot + 1;
+
+        self.tracer.record(
+            inst,
+            &StageStamps {
+                fetch: fetch_time,
+                alloc,
+                dispatch: alloc,
+                issue: select,
+                exec: exec_start,
+                complete,
+                commit,
+                stall,
+                idle_slots: idle,
+            },
+        );
 
         if self.trace_log {
             eprintln!(

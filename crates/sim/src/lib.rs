@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # ch-sim — cycle-level out-of-order processor simulator
 //!
@@ -12,19 +12,32 @@
 //! * [`tage`] — TAGE conditional predictor, BTB, return address stack,
 //! * [`cache`] — set-associative caches + stream prefetcher hierarchy,
 //! * [`storeset`] — store-set memory dependence predictor,
-//! * [`core`] — the pipeline scoreboard itself.
+//! * [`core`] — the pipeline scoreboard itself,
+//! * [`trace`] — the observability layer: per-instruction pipeline
+//!   tracing ([Konata](https://github.com/shioyadan/Konata) `.kanata`
+//!   logs + JSONL) behind the zero-cost [`PipelineTracer`] hook.
 //!
 //! The per-ISA difference is exactly where the paper puts it: the
 //! physical-register allocation stage (rename with RMT/free-list/DCL
 //! events for RISC; register-pointer updates with ring wrap stalls for
 //! STRAIGHT and Clockhands) and the front-end depth (7 vs 5 cycles).
+//!
+//! Alongside the event counters, every simulation produces a top-down
+//! stall-attribution account ([`ch_common::stats::StallBreakdown`]):
+//! each commit slot is either used by a committed instruction or blamed
+//! on exactly one pipeline mechanism, so
+//! `committed + stalls.attributed() == commit_width × cycles` holds
+//! exactly. DESIGN.md § "Pipeline model" maps each counter to the stage
+//! that raises it.
 
 pub mod cache;
 pub mod core;
 pub mod storeset;
 pub mod tage;
+pub mod trace;
 
 pub use crate::core::Simulator;
+pub use crate::trace::{NullTracer, PipelineTracer, StageStamps, TraceBuffer, TraceRecord};
 pub use ch_common::stats::Counters;
 
 use ch_common::config::{MachineConfig, WidthClass};

@@ -19,8 +19,13 @@ fmt:
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
+# API docs with warnings promoted to errors, plus the executable doctests.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+    cargo test --workspace --doc -q
+
 # Everything CI runs.
-ci: build test fmt clippy
+ci: build test fmt clippy doc
 
 # Regenerate every table/figure at test scale with all cores.
 figures *ARGS:

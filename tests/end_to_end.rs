@@ -51,6 +51,17 @@ fn counters_are_internally_consistent() {
             assert!(c.ipc() > 0.1 && c.ipc() < 8.0, "{w}/{isa} IPC {}", c.ipc());
             assert!(c.branch_mispredicts <= c.branch_preds);
             assert!(c.dcache_misses <= c.dcache_accesses);
+            // Top-down accounting closes exactly: every commit slot is a
+            // committed instruction or an attributed stall.
+            let commit_width = MachineConfig::preset(WidthClass::W8, isa).commit_width;
+            assert!(
+                c.slots_conserved(commit_width),
+                "{w}/{isa}: {} + {} != {} x {}",
+                c.committed,
+                c.stalls.attributed(),
+                commit_width,
+                c.cycles
+            );
             // ISA-specific event classes are mutually exclusive.
             if isa == IsaKind::Riscv {
                 assert!(c.rmt_reads > 0 && c.rp_updates == 0);
