@@ -550,4 +550,18 @@ mod tests {
         let e = assemble("nop\nfoo a0").unwrap_err();
         assert_eq!(e.line, 2);
     }
+
+    #[test]
+    fn rejects_malformed_operands() {
+        for bad in [
+            "add q9, a0, a1\nhalt a0",  // unknown destination register
+            "add a0, a9x, a1\nhalt a0", // unknown source register
+            "add a0, a1\nhalt a0",      // wrong operand count
+            "li a0, zz\nhalt a0",       // bad immediate
+            "lw a0, 8[sp]\nhalt a0",    // memory operand must be off(base)
+            "frob a0, a1, a2\nhalt a0", // unknown mnemonic
+        ] {
+            assert!(assemble(bad).is_err(), "assembler accepted: {bad}");
+        }
+    }
 }

@@ -3,7 +3,7 @@
 //! Destinations are implicit, so instructions simply omit them:
 //! `addi [2], 1`, `sd [4], 0(sp)`, `mv [6]`, `spaddi -8`, `ret [2]`.
 
-use super::{StInst, StProgram, StSrc};
+use super::{StInst, StProgram, StSrc, MAX_DISTANCE};
 use ch_common::exec::{AluOp, BrCond, LoadOp, StoreOp};
 use std::collections::BTreeMap;
 
@@ -38,8 +38,17 @@ fn parse_src(tok: &str, line: usize) -> Result<StSrc, AsmError> {
         _ => {}
     }
     if tok.starts_with('[') && tok.ends_with(']') {
-        if let Ok(d) = tok[1..tok.len() - 1].parse::<u8>() {
-            return Ok(StSrc::Dist(d));
+        // Parse wider than u8 so `[256]` reports a range problem rather
+        // than a generic parse failure, then enforce the architectural
+        // 1..=127 reach here instead of deferring to validate().
+        if let Ok(d) = tok[1..tok.len() - 1].parse::<u32>() {
+            if d == 0 || d > MAX_DISTANCE as u32 {
+                return err(
+                    line,
+                    format!("distance {d} in `{tok}` out of range (1..={MAX_DISTANCE})"),
+                );
+            }
+            return Ok(StSrc::Dist(d as u8));
         }
     }
     err(line, format!("bad source operand `{tok}`"))
@@ -468,6 +477,20 @@ mod tests {
     }
 
     #[test]
+    fn rejects_malformed_operands() {
+        for bad in [
+            "li 1\nadd [0], [1]\nhalt [1]", // distance 0: the producing slot itself
+            "li 1\nadd [128], [1]\nhalt [1]", // distance past the ring horizon
+            "li 1\nadd [x], [1]\nhalt [1]", // non-numeric distance
+            "li 1\nadd 1, [1]\nhalt [1]",   // bare number is not an operand
+            "li 1\nadd [1]\nhalt [1]",      // wrong operand count
+            "li 1\nfrob [1], [1]\nhalt [1]", // unknown mnemonic
+        ] {
+            assert!(assemble(bad).is_err(), "assembler accepted: {bad}");
+        }
+    }
+
+    #[test]
     fn roundtrip() {
         let src = "start:
     li 5
@@ -489,5 +512,18 @@ mod tests {
         // `[1]:` must not be treated as a label.
         let p = assemble("li 1\nmv [1]\nhalt [1]").unwrap();
         assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn distance_boundary_at_exactly_127() {
+        // 127 is the architectural maximum reach and must assemble...
+        assert!(assemble("li 1\nhalt [127]").is_ok());
+        // ...while 128 (formerly accepted and deferred to validate()) and
+        // 256 (formerly a generic parse error) both name the range.
+        for bad in ["[128]", "[256]", "[0]"] {
+            let e = assemble(&format!("li 1\nhalt {bad}")).unwrap_err();
+            assert_eq!(e.line, 2, "{bad}");
+            assert!(e.message.contains("out of range"), "{bad}: {}", e.message);
+        }
     }
 }

@@ -298,13 +298,19 @@ impl Interpreter {
     pub fn run(&mut self, limit: u64) -> Result<RunResult, StError> {
         for _ in 0..limit {
             if self.step()?.is_none() {
-                return Ok(RunResult {
-                    exit_value: self.halted.expect("halted"),
-                    committed: self.seq,
-                });
+                break;
             }
         }
-        Err(StError::LimitReached)
+        // Uniform limit-boundary rule across all three ISA interpreters:
+        // once the step budget is spent, the outcome depends only on
+        // whether the machine has halted — not on which loop exit we took.
+        match self.halted {
+            Some(exit_value) => Ok(RunResult {
+                exit_value,
+                committed: self.seq,
+            }),
+            None => Err(StError::LimitReached),
+        }
     }
 
     /// Runs to completion, collecting the full trace.
@@ -317,16 +323,19 @@ impl Interpreter {
         for _ in 0..limit {
             match self.step()? {
                 Some(rec) => out.push(rec),
-                None => {
-                    let res = RunResult {
-                        exit_value: self.halted.expect("halted"),
-                        committed: self.seq,
-                    };
-                    return Ok((out, res));
-                }
+                None => break,
             }
         }
-        Err(StError::LimitReached)
+        match self.halted {
+            Some(exit_value) => Ok((
+                out,
+                RunResult {
+                    exit_value,
+                    committed: self.seq,
+                },
+            )),
+            None => Err(StError::LimitReached),
+        }
     }
 }
 
@@ -362,6 +371,25 @@ mod tests {
             .expect("valid")
             .run(1_000_000)
             .expect("runs")
+    }
+
+    #[test]
+    fn limit_boundary_is_uniform() {
+        // Regression (cross-ISA fuzz finding): the three interpreters must
+        // agree on limit-boundary behaviour — Ok iff halted once the step
+        // budget is spent, LimitReached otherwise.
+        let prog = assemble("li 7\nhalt [1]").expect("assembles");
+        let mut it = Interpreter::new(prog.clone()).expect("valid");
+        assert!(matches!(it.run(0), Err(StError::LimitReached)));
+        assert_eq!(it.run(100).expect("halts").exit_value, 7);
+        assert_eq!(it.run(0).expect("still halted").exit_value, 7);
+        let mut it = Interpreter::new(prog).expect("valid");
+        assert!(matches!(it.trace(1), Err(StError::LimitReached)));
+        // Resuming after the budget ran out only replays what's left —
+        // here just the (record-free) halt step.
+        let (rest, res) = it.trace(100).expect("halts");
+        assert_eq!(res.exit_value, 7);
+        assert!(rest.is_empty());
     }
 
     #[test]

@@ -83,27 +83,12 @@ pub fn trace(w: Workload, isa: IsaKind, scale: Scale) -> Arc<[DynInst]> {
 }
 
 fn compute_trace(w: Workload, isa: IsaKind, scale: Scale) -> Arc<[DynInst]> {
-    let set = w.compile(scale).expect("workload compiles");
-    let expect = w.reference(scale);
-    let (t, exit) = match isa {
-        IsaKind::Riscv => {
-            let mut cpu = ch_baselines::riscv::interp::Interpreter::new(set.riscv).expect("valid");
-            let (t, r) = cpu.trace(LIMIT).expect("runs");
-            (t, r.exit_value)
-        }
-        IsaKind::Straight => {
-            let mut cpu =
-                ch_baselines::straight::interp::Interpreter::new(set.straight).expect("valid");
-            let (t, r) = cpu.trace(LIMIT).expect("runs");
-            (t, r.exit_value)
-        }
-        IsaKind::Clockhands => {
-            let mut cpu = clockhands::interp::Interpreter::new(set.clockhands).expect("valid");
-            let (t, r) = cpu.trace(LIMIT).expect("runs");
-            (t, r.exit_value)
-        }
-    };
-    assert_eq!(exit, expect, "{w}/{isa}: checksum mismatch");
+    // trace_on validates the checksum against the Rust reference and, on
+    // any failure, names the workload/scale/ISA and pipeline stage — so a
+    // bad kernel aborts the figures run with a diagnosable message.
+    let (t, _outcome) = w
+        .trace_on(scale, isa, LIMIT)
+        .unwrap_or_else(|e| panic!("{e}"));
     Arc::from(t)
 }
 

@@ -1,0 +1,110 @@
+//! Shared harness-level error type.
+//!
+//! The figure pipeline runs every workload through a compile → validate →
+//! execute chain per ISA; the fuzzing harness runs generated programs
+//! through the same chain and then compares the three results. Both need
+//! to report *which* program, on *which* ISA, failed at *which* stage —
+//! a bare `unwrap()` loses all of that. [`HarnessError`] carries that
+//! context so a failure reads e.g.
+//! `coremark/test [clockhands] failed at execute: limit reached`.
+
+use std::fmt;
+
+/// Which stage of the compile → validate → execute → compare chain failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Kern source failed to compile for a backend.
+    Compile,
+    /// The compiled program failed static validation.
+    Validate,
+    /// The functional interpreter returned an error.
+    Execute,
+    /// Two ISAs (or interpreter vs. simulator) disagreed on an observable.
+    Mismatch,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Compile => "compile",
+            Stage::Validate => "validate",
+            Stage::Execute => "execute",
+            Stage::Mismatch => "mismatch",
+        })
+    }
+}
+
+/// An error from running a program through the harness, carrying enough
+/// context to name the failing workload/scale/ISA without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessError {
+    /// What was being run, e.g. `"coremark/test"` or `"fuzz case 17"`.
+    pub context: String,
+    /// The ISA tag (`"riscv"`, `"straight"`, `"clockhands"`) if the
+    /// failure is specific to one backend; `None` for cross-ISA failures.
+    pub isa: Option<&'static str>,
+    /// Which stage of the chain failed.
+    pub stage: Stage,
+    /// The underlying error message.
+    pub detail: String,
+}
+
+impl HarnessError {
+    /// Build an error for `context` failing at `stage` with `detail`.
+    pub fn new(context: impl Into<String>, stage: Stage, detail: impl Into<String>) -> Self {
+        Self {
+            context: context.into(),
+            isa: None,
+            stage,
+            detail: detail.into(),
+        }
+    }
+
+    /// Attach the ISA tag the failure occurred on.
+    #[must_use]
+    pub fn on_isa(mut self, isa: &'static str) -> Self {
+        self.isa = Some(isa);
+        self
+    }
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.isa {
+            Some(isa) => {
+                write!(
+                    f,
+                    "{} [{}] failed at {}: {}",
+                    self.context, isa, self.stage, self.detail
+                )
+            }
+            None => write!(
+                f,
+                "{} failed at {}: {}",
+                self.context, self.stage, self.detail
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_piece() {
+        let e = HarnessError::new("coremark/test", Stage::Execute, "limit reached")
+            .on_isa("clockhands");
+        assert_eq!(
+            e.to_string(),
+            "coremark/test [clockhands] failed at execute: limit reached"
+        );
+        let e = HarnessError::new("fuzz case 3", Stage::Mismatch, "checksum 1 != 2");
+        assert_eq!(
+            e.to_string(),
+            "fuzz case 3 failed at mismatch: checksum 1 != 2"
+        );
+    }
+}

@@ -373,9 +373,233 @@ impl BrCond {
     }
 }
 
+/// The shared arithmetic-edge-case conformance table.
+///
+/// Every entry pins the documented RV64G-subset behaviour for an input
+/// the hardware folklore gets wrong: division/remainder by zero,
+/// `i64::MIN / -1` (and the 32-bit analogue), and shift amounts at or
+/// past the operand width. [`AluOp::eval`] is the single implementation
+/// all three interpreters call, and `ch-fuzz` additionally replays this
+/// table through each interpreter's front door (assembled `li`/ALU
+/// snippets), so none of the three can drift from these rows without a
+/// test failing.
+pub mod conformance {
+    use super::AluOp;
+
+    /// One pinned edge case: `op.eval(a, b)` must equal `expect`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Case {
+        /// Operation under test.
+        pub op: AluOp,
+        /// First operand.
+        pub a: u64,
+        /// Second operand.
+        pub b: u64,
+        /// Required result.
+        pub expect: u64,
+        /// Why this row exists.
+        pub why: &'static str,
+    }
+
+    const NEG1: u64 = u64::MAX;
+    const I64_MIN: u64 = i64::MIN as u64;
+    const I32_MIN_SX: u64 = i32::MIN as i64 as u64;
+
+    /// The canonical table (RV64G M-extension + shift semantics).
+    pub const TABLE: &[Case] = &[
+        // --- division by zero: quotient is all ones, remainder is the dividend ---
+        Case {
+            op: AluOp::Div,
+            a: 42,
+            b: 0,
+            expect: NEG1,
+            why: "div by zero -> -1",
+        },
+        Case {
+            op: AluOp::Div,
+            a: NEG1,
+            b: 0,
+            expect: NEG1,
+            why: "-1 div 0 -> -1",
+        },
+        Case {
+            op: AluOp::Divu,
+            a: 42,
+            b: 0,
+            expect: u64::MAX,
+            why: "divu by zero -> 2^64-1",
+        },
+        Case {
+            op: AluOp::Rem,
+            a: 42,
+            b: 0,
+            expect: 42,
+            why: "rem by zero -> dividend",
+        },
+        Case {
+            op: AluOp::Rem,
+            a: I64_MIN,
+            b: 0,
+            expect: I64_MIN,
+            why: "rem by zero keeps sign",
+        },
+        Case {
+            op: AluOp::Remu,
+            a: 42,
+            b: 0,
+            expect: 42,
+            why: "remu by zero -> dividend",
+        },
+        Case {
+            op: AluOp::Divw,
+            a: 7,
+            b: 0,
+            expect: NEG1,
+            why: "divw by zero -> -1 (sign-extended)",
+        },
+        Case {
+            op: AluOp::Remw,
+            a: 0x8000_0007,
+            b: 0,
+            expect: 0xffff_ffff_8000_0007,
+            why: "remw by zero -> sign-extended 32-bit dividend",
+        },
+        // --- signed overflow: MIN / -1 wraps to MIN, remainder is zero ---
+        Case {
+            op: AluOp::Div,
+            a: I64_MIN,
+            b: NEG1,
+            expect: I64_MIN,
+            why: "i64::MIN / -1 wraps",
+        },
+        Case {
+            op: AluOp::Rem,
+            a: I64_MIN,
+            b: NEG1,
+            expect: 0,
+            why: "i64::MIN % -1 == 0",
+        },
+        Case {
+            op: AluOp::Divw,
+            a: I32_MIN_SX,
+            b: NEG1,
+            expect: I32_MIN_SX,
+            why: "i32::MIN / -1 wraps (sign-extended)",
+        },
+        Case {
+            op: AluOp::Remw,
+            a: I32_MIN_SX,
+            b: NEG1,
+            expect: 0,
+            why: "i32::MIN % -1 == 0",
+        },
+        // --- shift amounts are masked, not saturated: 64-bit ops use b & 63 ---
+        Case {
+            op: AluOp::Sll,
+            a: 1,
+            b: 64,
+            expect: 1,
+            why: "sll by 64 == sll by 0",
+        },
+        Case {
+            op: AluOp::Sll,
+            a: 1,
+            b: 65,
+            expect: 2,
+            why: "sll by 65 == sll by 1",
+        },
+        Case {
+            op: AluOp::Sll,
+            a: 1,
+            b: 63,
+            expect: 1 << 63,
+            why: "sll by 63 reaches the top bit",
+        },
+        Case {
+            op: AluOp::Srl,
+            a: I64_MIN,
+            b: 64,
+            expect: I64_MIN,
+            why: "srl by 64 == srl by 0",
+        },
+        Case {
+            op: AluOp::Srl,
+            a: I64_MIN,
+            b: 63,
+            expect: 1,
+            why: "srl by 63",
+        },
+        Case {
+            op: AluOp::Sra,
+            a: I64_MIN,
+            b: 64,
+            expect: I64_MIN,
+            why: "sra by 64 == sra by 0",
+        },
+        Case {
+            op: AluOp::Sra,
+            a: I64_MIN,
+            b: 63,
+            expect: NEG1,
+            why: "sra by 63 smears the sign",
+        },
+        // --- 32-bit shifts mask to b & 31 and sign-extend the 32-bit result ---
+        Case {
+            op: AluOp::Sllw,
+            a: 1,
+            b: 32,
+            expect: 1,
+            why: "sllw by 32 == sllw by 0",
+        },
+        Case {
+            op: AluOp::Sllw,
+            a: 1,
+            b: 31,
+            expect: I32_MIN_SX,
+            why: "sllw by 31 sets bit 31, sign-extends",
+        },
+        Case {
+            op: AluOp::Srlw,
+            a: 0x8000_0000,
+            b: 31,
+            expect: 1,
+            why: "srlw by 31",
+        },
+        Case {
+            op: AluOp::Srlw,
+            a: 0x8000_0000,
+            b: 32,
+            expect: I32_MIN_SX,
+            why: "srlw by 32 == srlw by 0 (then sign-extend)",
+        },
+        Case {
+            op: AluOp::Sraw,
+            a: 0x8000_0000,
+            b: 31,
+            expect: NEG1,
+            why: "sraw by 31 smears the 32-bit sign",
+        },
+    ];
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn conformance_table_matches_eval() {
+        for case in conformance::TABLE {
+            assert_eq!(
+                case.op.eval(case.a, case.b),
+                case.expect,
+                "{:?}({:#x}, {:#x}): {}",
+                case.op,
+                case.a,
+                case.b,
+                case.why
+            );
+        }
+    }
 
     #[test]
     fn integer_arithmetic() {

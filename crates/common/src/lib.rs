@@ -28,6 +28,7 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod exec;
 pub mod inst;
 pub mod mem;
@@ -35,6 +36,7 @@ pub mod op;
 pub mod stats;
 
 pub use config::{MachineConfig, WidthClass};
+pub use error::{HarnessError, Stage};
 pub use inst::{CtrlInfo, CtrlKind, DynInst, MemAccess};
 pub use mem::Memory;
 pub use op::{FuKind, OpClass};

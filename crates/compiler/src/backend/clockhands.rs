@@ -698,27 +698,43 @@ impl<'a> FnCg<'a> {
         }
 
         let blk = &self.f.blocks[b];
-        let mut last_use: HashMap<VReg, usize> = HashMap::new();
-        for (i, ins) in blk.insts.iter().enumerate() {
-            for s in ins.srcs() {
-                last_use.insert(s, i);
-            }
-        }
+        // Per-point liveness within the block: needed_at[i] is the set of
+        // vregs whose value at point i (before instruction i) is still
+        // read later with no intervening redefinition, or escapes the
+        // block. A mere "used later" test is not enough — a stale value
+        // that is *redefined* before its next use must not be relayed or
+        // spilled (its inherited distance may already be unencodable).
         let nins = blk.insts.len();
-        for s in blk.term.srcs() {
-            last_use.insert(s, nins);
+        let mut needed_at: Vec<std::collections::HashSet<VReg>> =
+            vec![Default::default(); nins + 1];
+        let mut live: std::collections::HashSet<VReg> = self.live_out[b].iter().collect();
+        live.extend(blk.term.srcs());
+        needed_at[nins] = live.clone();
+        for i in (0..nins).rev() {
+            if let Some(d) = blk.insts[i].dst() {
+                live.remove(&d);
+            }
+            live.extend(blk.insts[i].srcs());
+            needed_at[i] = live.clone();
         }
-        let live_out = self.live_out[b].clone();
 
         let insts = blk.insts.clone();
         for (i, ins) in insts.iter().enumerate() {
-            let lu = &last_use;
-            let lo = &live_out;
-            let keep = move |v: VReg| lo.contains(v) || lu.get(&v).map(|&l| l > i).unwrap_or(false);
+            // The current value of v must survive past this instruction:
+            // needed afterwards, and not about to be redefined here.
+            let na = &needed_at[i + 1];
+            let dst = ins.dst();
+            let keep = move |v: VReg| na.contains(&v) && dst != Some(v);
             self.relay_over(RELAY_AT, &keep)?;
-            self.gen_ins(ins, i, &last_use, &live_out)?;
+            self.gen_ins(ins, &needed_at[i + 1])?;
         }
         let term = blk.term.clone();
+        // The terminator's reads and edge-fix writes (branch-operand
+        // reloads, join-layout fixes, epilogue) run after the last
+        // instruction's relay pass; relay once more so they start in
+        // reach.
+        let na = &needed_at[nins];
+        self.relay_over(RELAY_AT, &move |v: VReg| na.contains(&v))?;
         self.gen_term(b, &term, next)?;
         Ok(())
     }
@@ -793,16 +809,14 @@ impl<'a> FnCg<'a> {
     fn gen_ins(
         &mut self,
         ins: &Ins,
-        i: usize,
-        last_use: &HashMap<VReg, usize>,
-        live_out: &BitSet,
+        needed_after: &std::collections::HashSet<VReg>,
     ) -> Result<(), String> {
         // Reload every stack-resident source before computing any
         // distance (a reload is a write and would shift them).
         for src in ins.srcs() {
             self.ensure_loaded(src)?;
         }
-        self.gen_ins_inner(ins, i, last_use, live_out)?;
+        self.gen_ins_inner(ins, needed_after)?;
         if let Some(d) = ins.dst() {
             self.write_through(d)?;
         }
@@ -812,9 +826,7 @@ impl<'a> FnCg<'a> {
     fn gen_ins_inner(
         &mut self,
         ins: &Ins,
-        i: usize,
-        last_use: &HashMap<VReg, usize>,
-        live_out: &BitSet,
+        needed_after: &std::collections::HashSet<VReg>,
     ) -> Result<(), String> {
         match ins {
             Ins::Const { dst, val } => {
@@ -909,7 +921,7 @@ impl<'a> FnCg<'a> {
                     .keys()
                     .copied()
                     .filter(|&v| {
-                        (live_out.contains(v) || last_use.get(&v).map(|&l| l > i).unwrap_or(false))
+                        needed_after.contains(&v)
                             && Some(v) != *dst
                             && !self.zero_vregs.contains(v)
                             && !self.stack_set.contains(v)
@@ -1035,23 +1047,31 @@ impl<'a> FnCg<'a> {
         for (hi, hand) in [(0, Hand::T), (1, Hand::U)] {
             let targets = self.layouts[t][hi].clone();
             let mut c = self.min_fix_writes(&targets);
-            // Pre-relay (deepest first) any to-be-emitted value whose
-            // read would overflow by the time its slot comes up. Distinct
-            // distances guarantee deepest-first never overflows itself.
+            // Pre-relay any to-be-emitted value whose read would
+            // overflow by the time its slot comes up. When a relay is
+            // needed, the victim is the deepest emitted value — not the
+            // deepest *flagged* one: every relay pushes the others one
+            // deeper in this hand, so relaying around a value sitting at
+            // MAX_DIST would push it out of reach before the recomputed
+            // fix count flags it. Relaying max-first keeps the maximum
+            // distance from ever growing.
             for _round in 0..64 {
-                let mut victim: Option<(VReg, i64)> = None;
+                let mut need = false;
+                let mut deepest: Option<(VReg, i64)> = None;
                 for &(v, d) in &targets {
                     if d < c {
                         if let Some(&l) = self.loc.get(&v) {
                             let cur = self.dist_of(l);
-                            if cur + (c - 1 - d) > MAX_DIST
-                                && victim.map(|(_, bd)| cur > bd).unwrap_or(true)
-                            {
-                                victim = Some((v, cur));
+                            if cur + (c - 1 - d) > MAX_DIST {
+                                need = true;
+                            }
+                            if deepest.map(|(_, bd)| cur > bd).unwrap_or(true) {
+                                deepest = Some((v, cur));
                             }
                         }
                     }
                 }
+                let victim = if need { deepest } else { None };
                 match victim {
                     Some((v, _)) => {
                         let sop = self.src(v)?;
@@ -1154,6 +1174,18 @@ impl<'a> FnCg<'a> {
                     base: sp,
                     offset: self.ra_off,
                 });
+                // Write the return value to s BEFORE restoring the
+                // caller's v registers: if the value itself lives in v,
+                // the 8 restore writes would push it past the encodable
+                // distance. The s write order the caller depends on
+                // (retval, then SP) is unaffected — restores write only v.
+                if let Some(rv) = v {
+                    let s = self.src(*rv)?;
+                    self.push(ChInst::Mv {
+                        dst: Hand::S,
+                        src: s,
+                    });
+                }
                 // Restore the caller's v[0..7]: write X_7 first so X_0
                 // ends at v[0].
                 for j in (0..self.v_save_count).rev() {
@@ -1163,13 +1195,6 @@ impl<'a> FnCg<'a> {
                         dst: Hand::V,
                         base: sp,
                         offset: self.vsave_off + 8 * j as i32,
-                    });
-                }
-                if let Some(rv) = v {
-                    let s = self.src(*rv)?;
-                    self.push(ChInst::Mv {
-                        dst: Hand::S,
-                        src: s,
                     });
                 }
                 let spsrc = self.sp_src()?;
@@ -1205,6 +1230,62 @@ mod tests {
     fn run(src: &str) -> u64 {
         let mut cpu = Interpreter::new(compile_src(src)).expect("interp");
         cpu.run(100_000_000).expect("runs").exit_value
+    }
+
+    /// Fuzzer-found: a value defined in an early block, dead on the
+    /// taken path, and redefined before its next use must not be
+    /// relayed or spilled — its inherited distance through a
+    /// single-predecessor chain may already be unencodable. Keeping it
+    /// "live" by a mere used-later test made codegen fail with a
+    /// t-distance overflow.
+    #[test]
+    fn stale_dead_value_is_not_relayed() {
+        let src = "global g0: int;
+            global buf: int[16];
+            fn h0(p0: int, p1: int) -> int {
+                var v0: int = 1;
+                var v1: int = 2;
+                if (((buf[(v0) & 15] * (65 % g0))) != 0) {
+                    g0 = ((p1 << g0) << (v0 - p0));
+                    if ((1023) != 0) {
+                        v1 = 1;
+                        v0 = (v1 << p1);
+                    }
+                }
+                return ((p0 | 9223372036854775807) / (1 >> v0));
+            }
+            fn main() -> int {
+                var v0: int = 3;
+                return v0;
+            }";
+        compile_src(src);
+    }
+
+    /// Fuzzer-found: a v-resident return value (here the loop-invariant
+    /// parameter `p0`) was read *after* the epilogue's eight caller-v
+    /// restores, pushing it past the encodable v-distance. The retval
+    /// mv must precede the restores (the caller-visible s order —
+    /// retval, then SP — is unaffected).
+    #[test]
+    fn v_resident_return_value_survives_epilogue() {
+        let src = "global buf: int[16];
+            fn h0(p0: int) -> int {
+                var v0: int = 1;
+                var v1: int = 2;
+                var v3: int = 4;
+                v1 = v3;
+                for (var i0: int = 0; i0 < 8; i0 += 1) {
+                    v3 = ((buf[(v1) & 15] ^ 10) & (buf[(v0) & 15] % (0 - 128)));
+                    v0 = (buf[(v1) & 15] * ((64 & i0) % (52 << p0)));
+                    v1 = ((v1 % (buf[(v1) & 15] & (0 - 22)))
+                        >> ((0 - 1) * (buf[(v1) & 15] ^ 15)));
+                }
+                for (var i1: int = 0; i1 < 5; i1 += 1) {
+                }
+                return p0;
+            }
+            fn main() -> int { return h0(7); }";
+        assert_eq!(run(src), 7);
     }
 
     #[test]

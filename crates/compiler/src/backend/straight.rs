@@ -398,17 +398,25 @@ impl<'a> FnCg<'a> {
         }
 
         let blk = &self.f.blocks[b];
-        let mut last_use: HashMap<VReg, usize> = HashMap::new();
-        for (i, ins) in blk.insts.iter().enumerate() {
-            for s in ins.srcs() {
-                last_use.insert(s, i);
-            }
-        }
+        // Per-point liveness within the block: needed_at[i] holds the
+        // vregs whose value at point i is still read later with no
+        // intervening redefinition, or escapes the block. A plain
+        // "used later" test would relay/spill stale values that are
+        // redefined before their next use — and a stale distance may
+        // already be unencodable.
         let nins = blk.insts.len();
-        for s in blk.term.srcs() {
-            last_use.insert(s, nins);
+        let mut needed_at: Vec<std::collections::HashSet<VReg>> =
+            vec![Default::default(); nins + 1];
+        let mut live: std::collections::HashSet<VReg> = self.live_out[b].iter().collect();
+        live.extend(blk.term.srcs());
+        needed_at[nins] = live.clone();
+        for i in (0..nins).rev() {
+            if let Some(d) = blk.insts[i].dst() {
+                live.remove(&d);
+            }
+            live.extend(blk.insts[i].srcs());
+            needed_at[i] = live.clone();
         }
-        let live_out = self.live_out[b].clone();
 
         if is_entry {
             // Prologue: allocate the frame, then spill the return address
@@ -426,15 +434,36 @@ impl<'a> FnCg<'a> {
 
         let insts = blk.insts.clone();
         for (i, ins) in insts.iter().enumerate() {
-            let lu = &last_use;
-            let lo = &live_out;
-            let keep = move |v: VReg| -> bool {
-                lo.contains(v) || lu.get(&v).map(|&l| l > i).unwrap_or(false)
+            // The current value of v must survive past this instruction:
+            // needed afterwards, and not about to be redefined here.
+            let na = &needed_at[i + 1];
+            let dst = ins.dst();
+            // A call's lowering emits one ring slot per spill store and
+            // per argument push before its last pre-call read, so every
+            // distance drifts by that many. Tighten the relay threshold
+            // to leave that headroom, and keep the arguments themselves
+            // in reach — they may be dead after the call.
+            let (threshold, call_args): (i64, &[VReg]) = if let Ins::Call { args, .. } = ins {
+                let spills = self
+                    .loc
+                    .keys()
+                    .filter(|&&v| na.contains(&v) && dst != Some(v) && !self.zero_vregs.contains(v))
+                    .count() as i64;
+                let t = (MAX_DIST - spills - args.len() as i64).clamp(1, RELAY_AT);
+                (t, args)
+            } else {
+                (RELAY_AT, &[])
             };
-            self.relay_over(RELAY_AT, &keep)?;
-            self.gen_ins(ins, i, &last_use, &live_out)?;
+            let keep = move |v: VReg| (na.contains(&v) && dst != Some(v)) || call_args.contains(&v);
+            self.relay_over(threshold, &keep)?;
+            self.gen_ins(ins, &needed_at[i + 1])?;
         }
         let term = blk.term.clone();
+        // The terminator's reads and edge-fix writes run after the last
+        // instruction's relay pass; relay once more so they start in
+        // reach.
+        let na = &needed_at[nins];
+        self.relay_over(RELAY_AT, &move |v: VReg| na.contains(&v))?;
         self.gen_term(b, &term, next)?;
         Ok(())
     }
@@ -442,9 +471,7 @@ impl<'a> FnCg<'a> {
     fn gen_ins(
         &mut self,
         ins: &Ins,
-        i: usize,
-        last_use: &HashMap<VReg, usize>,
-        live_out: &BitSet,
+        needed_after: &std::collections::HashSet<VReg>,
     ) -> Result<(), String> {
         match ins {
             Ins::Const { dst, val } => {
@@ -525,9 +552,7 @@ impl<'a> FnCg<'a> {
                     .keys()
                     .copied()
                     .filter(|&v| {
-                        (live_out.contains(v) || last_use.get(&v).map(|&l| l > i).unwrap_or(false))
-                            && Some(v) != *dst
-                            && !self.zero_vregs.contains(v)
+                        needed_after.contains(&v) && Some(v) != *dst && !self.zero_vregs.contains(v)
                     })
                     .collect();
                 after.sort_unstable();
@@ -627,22 +652,30 @@ impl<'a> FnCg<'a> {
             self.deliveries[t] = Some((d_from, nat));
         }
         let mut c = self.min_fix_writes(&targets, jj);
-        // Pre-relay (deepest first) any to-be-emitted value whose read
-        // would overflow by the time its slot comes up.
+        // Pre-relay any to-be-emitted value whose read would overflow by
+        // the time its slot comes up. When a relay is needed, the victim
+        // is the deepest emitted value — not the deepest *flagged* one:
+        // every relay pushes the others one deeper, so relaying around a
+        // value sitting at MAX_DIST would push it out of reach before
+        // the recomputed fix count flags it. Relaying max-first keeps
+        // the maximum distance from ever growing.
         for _round in 0..64 {
-            let mut victim: Option<(VReg, i64)> = None;
+            let mut need = false;
+            let mut deepest: Option<(VReg, i64)> = None;
             for &(v, d) in &targets {
                 if d <= c + jj {
                     if let Some(&pos) = self.loc.get(&v) {
                         let cur = self.counter - pos;
-                        if cur + (jj + c - d) > MAX_DIST
-                            && victim.map(|(_, bd)| cur > bd).unwrap_or(true)
-                        {
-                            victim = Some((v, cur));
+                        if cur + (jj + c - d) > MAX_DIST {
+                            need = true;
+                        }
+                        if deepest.map(|(_, bd)| cur > bd).unwrap_or(true) {
+                            deepest = Some((v, cur));
                         }
                     }
                 }
             }
+            let victim = if need { deepest } else { None };
             match victim {
                 Some((v, _)) => {
                     let sop = self.src(v)?;

@@ -14,7 +14,7 @@
 //! `hand[distance]` or `zero`; `#` starts a comment; labels end with `:`.
 //! A `.data <addr> <u64>...` directive seeds the initial memory image.
 
-use crate::hand::Hand;
+use crate::hand::{Hand, MAX_DISTANCE};
 use crate::inst::{Inst, Src};
 use crate::program::Program;
 use ch_common::exec::{AluOp, BrCond, LoadOp, StoreOp};
@@ -64,6 +64,24 @@ fn parse_src(tok: &str, line: usize) -> Result<Src, AsmError> {
         Ok(d) => d,
         Err(_) => return err(line, format!("bad distance in `{tok}`")),
     };
+    // Reject unencodable distances here instead of at encode/run time:
+    // a hand reaches back at most MAX_DISTANCE values, and s[15] is the
+    // encoding reserved for the zero register (write `zero` instead).
+    if d >= MAX_DISTANCE {
+        return err(
+            line,
+            format!(
+                "distance {d} in `{tok}` out of range (max {})",
+                MAX_DISTANCE - 1
+            ),
+        );
+    }
+    if hand == Hand::S && d == MAX_DISTANCE - 1 {
+        return err(
+            line,
+            format!("`{tok}` is the reserved zero-register encoding; write `zero`"),
+        );
+    }
     Ok(Src::Hand(hand, d))
 }
 
@@ -549,6 +567,20 @@ mod tests {
     }
 
     #[test]
+    fn distance_boundary_checked_at_assembly() {
+        // d = 15 is the last encodable distance for t/u/v...
+        assert!(assemble("li t, 1\nhalt t[15]").is_ok());
+        // ...and exactly 16 must be rejected here, not at encode time.
+        let e = assemble("li t, 1\nhalt t[16]").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("out of range"), "{}", e.message);
+        // s[14] is fine; s[15] is the reserved zero-register encoding.
+        assert!(assemble("li s, 1\nhalt s[14]").is_ok());
+        let e = assemble("li s, 1\nhalt s[15]").unwrap_err();
+        assert!(e.message.contains("zero"), "{}", e.message);
+    }
+
+    #[test]
     fn undefined_label_is_error() {
         let e = assemble("j .nowhere").unwrap_err();
         assert!(e.message.contains("nowhere"));
@@ -579,6 +611,22 @@ mod tests {
         assert_eq!(p.data.len(), 1);
         assert_eq!(p.data[0].0, 0x2000);
         assert_eq!(p.data[0].1.len(), 24);
+    }
+
+    #[test]
+    fn rejects_malformed_operands() {
+        for bad in [
+            "add x, t[0], t[1]\nhalt t[0]",  // unknown destination hand
+            "add t, w[0], t[1]\nhalt t[0]",  // unknown source hand
+            "add t, t[16], t[1]\nhalt t[0]", // distance past the horizon
+            "add t, s[15], t[1]\nhalt t[0]", // reserved zero encoding
+            "add t, t[x], t[1]\nhalt t[0]",  // non-numeric distance
+            "add t, t0, t[1]\nhalt t[0]",    // missing brackets
+            "add t, t[0]\nhalt t[0]",        // wrong operand count
+            "frob t, t[0], t[1]\nhalt t[0]", // unknown mnemonic
+        ] {
+            assert!(assemble(bad).is_err(), "assembler accepted: {bad}");
+        }
     }
 
     #[test]

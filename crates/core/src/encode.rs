@@ -546,6 +546,37 @@ mod tests {
     }
 
     #[test]
+    fn distance_boundary_at_exactly_sixteen() {
+        // d = 15 is the last encodable distance for t/u/v and must survive
+        // the 4-bit field round-trip untruncated (a &0xf bug would fold
+        // d = 16 onto d = 0 silently; BadSrc is the required behaviour).
+        for h in [Hand::T, Hand::U, Hand::V] {
+            roundtrip(
+                Inst::Mv {
+                    dst: Hand::T,
+                    src: Src::Hand(h, 15),
+                },
+                0,
+            );
+        }
+        roundtrip(
+            Inst::Mv {
+                dst: Hand::T,
+                src: Src::Hand(Hand::S, 14),
+            },
+            0,
+        );
+        // Exactly MAX_DISTANCE is out of range on every hand.
+        for h in [Hand::T, Hand::U, Hand::V, Hand::S] {
+            let bad = Inst::Mv {
+                dst: Hand::T,
+                src: Src::Hand(h, 16),
+            };
+            assert_eq!(encode(&bad, 0), Err(EncodeError::BadSrc), "{h:?}[16]");
+        }
+    }
+
+    #[test]
     fn imm_range_enforced() {
         let too_big = Inst::AluImm {
             op: AluOp::Add,

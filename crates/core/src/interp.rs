@@ -312,19 +312,18 @@ impl Interpreter {
     pub fn run(&mut self, limit: u64) -> Result<RunResult, InterpError> {
         for _ in 0..limit {
             if self.step()?.is_none() {
-                return Ok(RunResult {
-                    exit_value: self.halted.expect("halted"),
-                    committed: self.seq,
-                });
+                break;
             }
         }
-        if let Some(exit_value) = self.halted {
-            Ok(RunResult {
+        // Uniform limit-boundary rule across all three ISA interpreters:
+        // once the step budget is spent, the outcome depends only on
+        // whether the machine has halted — not on which loop exit we took.
+        match self.halted {
+            Some(exit_value) => Ok(RunResult {
                 exit_value,
                 committed: self.seq,
-            })
-        } else {
-            Err(InterpError::LimitReached)
+            }),
+            None => Err(InterpError::LimitReached),
         }
     }
 
@@ -338,16 +337,19 @@ impl Interpreter {
         for _ in 0..limit {
             match self.step()? {
                 Some(rec) => out.push(rec),
-                None => {
-                    let res = RunResult {
-                        exit_value: self.halted.expect("halted"),
-                        committed: self.seq,
-                    };
-                    return Ok((out, res));
-                }
+                None => break,
             }
         }
-        Err(InterpError::LimitReached)
+        match self.halted {
+            Some(exit_value) => Ok((
+                out,
+                RunResult {
+                    exit_value,
+                    committed: self.seq,
+                },
+            )),
+            None => Err(InterpError::LimitReached),
+        }
     }
 }
 
@@ -386,6 +388,27 @@ mod tests {
             .expect("valid")
             .run(1_000_000)
             .expect("runs")
+    }
+
+    #[test]
+    fn limit_boundary_is_uniform() {
+        // Regression (cross-ISA fuzz finding): exhausting the step budget
+        // on an already-halted machine must report Ok, and a fresh
+        // zero-budget run must report LimitReached — the same rule the
+        // STRAIGHT and RISC-V interpreters follow.
+        let prog = assemble("li t, 7\nhalt t[0]").expect("assembles");
+        let mut it = Interpreter::new(prog.clone()).expect("valid");
+        assert!(matches!(it.run(0), Err(InterpError::LimitReached)));
+        assert_eq!(it.run(100).expect("halts").exit_value, 7);
+        // Re-running a halted machine, even with a zero budget, stays Ok.
+        assert_eq!(it.run(0).expect("still halted").exit_value, 7);
+        let mut it = Interpreter::new(prog).expect("valid");
+        assert!(matches!(it.trace(1), Err(InterpError::LimitReached)));
+        // Resuming after the budget ran out only replays what's left —
+        // here just the (record-free) halt step.
+        let (rest, res) = it.trace(100).expect("halts");
+        assert_eq!(res.exit_value, 7);
+        assert!(rest.is_empty());
     }
 
     #[test]

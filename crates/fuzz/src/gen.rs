@@ -1,0 +1,525 @@
+//! Random well-formed Kern program generator.
+//!
+//! Programs are generated as a small structured model ([`KernProgram`])
+//! and rendered to Kern source, so the shrinker can edit the *structure*
+//! (drop a statement, zero a subexpression) rather than mangle text.
+//!
+//! Guarantees, by construction:
+//!
+//! * **Termination** — the only loop form is a counted `for` with a
+//!   literal bound ≤ 8 and nesting depth ≤ 3, and helper `k` may only
+//!   call helpers with index < `k` (no recursion).
+//! * **Memory safety** — every array index is masked with `& (N - 1)`
+//!   (`ARRAY_LEN` is a power of two), so generated stores can never
+//!   clobber an ISA-specific stack frame and fake a divergence.
+//! * **Total arithmetic** — division/remainder/shift are generated
+//!   freely, *including* by zero and by amounts ≥ 64; those are exactly
+//!   the edge cases the shared `AluOp::eval` semantics define and the
+//!   differential harness must prove the three ISAs agree on.
+//!
+//! Boundary constants (0, ±1, 15/16, 63/64/65, 127/128, `i64` extremes)
+//! are drawn preferentially so distance/shift/truncation boundaries in
+//! the backends get hit often.
+
+use proptest::TestRng;
+use std::fmt::Write as _;
+
+/// Length of the global scratch array (power of two; indices are masked).
+pub const ARRAY_LEN: u64 = 16;
+
+/// Binary operators the generator emits (all total in Kern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (defined on zero divisors: RV64 semantics)
+    Div,
+    /// `%` (defined on zero divisors: RV64 semantics)
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<` (amount masked to 6 bits at execution)
+    Shl,
+    /// `>>` (arithmetic; amount masked to 6 bits at execution)
+    Shr,
+}
+
+impl BinOp {
+    const ALL: [BinOp; 10] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+    ];
+
+    fn token(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+}
+
+/// An integer expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal (rendered overflow-safely; see `render_const`).
+    Const(i64),
+    /// Local variable `v{i}`.
+    Var(usize),
+    /// Helper parameter `p{i}` (meaningful only inside a helper body).
+    Param(usize),
+    /// Global scalar `g0`.
+    Global,
+    /// `buf[(e) & (ARRAY_LEN-1)]`.
+    Arr(Box<Expr>),
+    /// Innermost loop counter (renders as `0` outside any loop).
+    LoopVar,
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `v{i} = e;`
+    Assign(usize, Expr),
+    /// `v{i} <op>= e;`
+    Compound(usize, BinOp, Expr),
+    /// `buf[(e1) & (ARRAY_LEN-1)] = e2;`
+    ArrStore(Expr, Expr),
+    /// `g0 = e;`
+    GlobalSet(Expr),
+    /// `if (cond != 0) { .. } else { .. }` (else may be empty).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `for (var iN = 0; iN < count; iN += 1) { body }`, count in 1..=8.
+    For(u8, Vec<Stmt>),
+    /// `v{i} = h{k}(args);` — call helper `k` (must exist).
+    Call(usize, usize, Vec<Expr>),
+    /// `break;` inside a loop; renders as a no-op `{ }` outside one.
+    Break,
+}
+
+/// A non-recursive helper function: `fn h{k}(p0: int, ..) -> int`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Helper {
+    /// Number of `int` parameters (1..=2).
+    pub params: usize,
+    /// Body statements (may call helpers with smaller index only).
+    pub body: Vec<Stmt>,
+    /// The returned expression.
+    pub ret: Expr,
+}
+
+/// A generated program: globals + helpers + `main` over `nvars` locals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernProgram {
+    /// Helper functions; helper `k` may call only `h0..h{k-1}`.
+    pub helpers: Vec<Helper>,
+    /// Statements of `main` (before the checksum epilogue).
+    pub main: Vec<Stmt>,
+    /// Number of local int variables `v0..`.
+    pub nvars: usize,
+}
+
+/// Boundary-heavy constant pool (distance, shift, and width boundaries).
+const CONST_POOL: [i64; 22] = [
+    0,
+    1,
+    2,
+    -1,
+    7,
+    8,
+    15,
+    16,
+    31,
+    63,
+    64,
+    65,
+    127,
+    128,
+    255,
+    256,
+    1023,
+    -128,
+    i64::MAX,
+    i64::MIN,
+    0x7fff_ffff,
+    -0x8000_0000,
+];
+
+fn gen_const(rng: &mut TestRng) -> i64 {
+    if rng.below(4) == 0 {
+        // A quarter of constants are arbitrary small values.
+        rng.below(201) as i64 - 100
+    } else {
+        CONST_POOL[rng.below(CONST_POOL.len() as u64) as usize]
+    }
+}
+
+/// Context for expression generation: what names are in scope.
+#[derive(Clone, Copy)]
+struct Scope {
+    nvars: usize,
+    nparams: usize,
+    in_loop: bool,
+}
+
+fn gen_expr(rng: &mut TestRng, sc: Scope, depth: u32) -> Expr {
+    let leaf = depth == 0 || rng.below(3) == 0;
+    if leaf {
+        match rng.below(6) {
+            0 | 1 => Expr::Const(gen_const(rng)),
+            2 => Expr::Var(rng.below(sc.nvars as u64) as usize),
+            3 if sc.nparams > 0 => Expr::Param(rng.below(sc.nparams as u64) as usize),
+            3 => Expr::Var(rng.below(sc.nvars as u64) as usize),
+            4 if sc.in_loop => Expr::LoopVar,
+            4 => Expr::Global,
+            _ => Expr::Arr(Box::new(Expr::Var(rng.below(sc.nvars as u64) as usize))),
+        }
+    } else {
+        let op = BinOp::ALL[rng.below(BinOp::ALL.len() as u64) as usize];
+        Expr::Bin(
+            op,
+            Box::new(gen_expr(rng, sc, depth - 1)),
+            Box::new(gen_expr(rng, sc, depth - 1)),
+        )
+    }
+}
+
+fn gen_stmts(
+    rng: &mut TestRng,
+    sc: Scope,
+    ncallable: usize,
+    loop_depth: u32,
+    budget: &mut u32,
+) -> Vec<Stmt> {
+    let n = 1 + rng.below(5) as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if *budget == 0 {
+            break;
+        }
+        *budget -= 1;
+        let v = rng.below(sc.nvars as u64) as usize;
+        let choice = rng.below(12);
+        let stmt = match choice {
+            0..=3 => Stmt::Assign(v, gen_expr(rng, sc, 3)),
+            4 | 5 => Stmt::Compound(
+                v,
+                BinOp::ALL[rng.below(BinOp::ALL.len() as u64) as usize],
+                gen_expr(rng, sc, 2),
+            ),
+            6 => Stmt::ArrStore(gen_expr(rng, sc, 1), gen_expr(rng, sc, 2)),
+            7 => Stmt::GlobalSet(gen_expr(rng, sc, 2)),
+            8 => {
+                let then_ = gen_stmts(rng, sc, ncallable, loop_depth, budget);
+                let else_ = if rng.below(2) == 0 {
+                    gen_stmts(rng, sc, ncallable, loop_depth, budget)
+                } else {
+                    Vec::new()
+                };
+                Stmt::If(gen_expr(rng, sc, 2), then_, else_)
+            }
+            9 if loop_depth < 3 => {
+                let count = 1 + rng.below(8) as u8;
+                let inner = Scope {
+                    in_loop: true,
+                    ..sc
+                };
+                let mut body = gen_stmts(rng, inner, ncallable, loop_depth + 1, budget);
+                // A rare guarded break exercises early loop exit.
+                if rng.below(6) == 0 {
+                    body.push(Stmt::If(
+                        gen_expr(rng, inner, 1),
+                        vec![Stmt::Break],
+                        Vec::new(),
+                    ));
+                }
+                Stmt::For(count, body)
+            }
+            10 if ncallable > 0 => {
+                let k = rng.below(ncallable as u64) as usize;
+                Stmt::Call(v, k, Vec::new()) // arity filled in by caller
+            }
+            _ => Stmt::Assign(v, gen_expr(rng, sc, 2)),
+        };
+        out.push(stmt);
+    }
+    out
+}
+
+/// Fills in call argument lists to match each helper's arity.
+fn fix_calls(stmts: &mut [Stmt], helpers: &[Helper], rng: &mut TestRng, sc: Scope) {
+    for s in stmts {
+        match s {
+            Stmt::Call(_, k, args) => {
+                let arity = helpers[*k].params;
+                while args.len() < arity {
+                    args.push(gen_expr(rng, sc, 1));
+                }
+            }
+            Stmt::If(_, a, b) => {
+                fix_calls(a, helpers, rng, sc);
+                fix_calls(b, helpers, rng, sc);
+            }
+            Stmt::For(_, body) => fix_calls(body, helpers, rng, sc),
+            _ => {}
+        }
+    }
+}
+
+/// Generates one random program.
+pub fn gen_program(rng: &mut TestRng) -> KernProgram {
+    let nvars = 2 + rng.below(4) as usize;
+    let nhelpers = rng.below(3) as usize;
+    let mut helpers: Vec<Helper> = Vec::with_capacity(nhelpers);
+    for k in 0..nhelpers {
+        let params = 1 + rng.below(2) as usize;
+        let sc = Scope {
+            nvars,
+            nparams: params,
+            in_loop: false,
+        };
+        // Helpers start at loop depth 2 (≤ 1 loop level): `main` can call
+        // h2 → h1 → h0 from inside a triple loop, and each level may loop
+        // ≤ 8 times, so the worst dynamic count stays ≈ 8³·8³·stmts — a
+        // few million instructions, comfortably under the diff limit.
+        let mut budget = 12;
+        let mut body = gen_stmts(rng, sc, k, 2, &mut budget);
+        fix_calls(&mut body, &helpers, rng, sc);
+        let ret = gen_expr(rng, sc, 2);
+        helpers.push(Helper { params, body, ret });
+    }
+    let sc = Scope {
+        nvars,
+        nparams: 0,
+        in_loop: false,
+    };
+    let mut budget = 28;
+    let mut main = gen_stmts(rng, sc, nhelpers, 0, &mut budget);
+    fix_calls(&mut main, &helpers, rng, sc);
+    KernProgram {
+        helpers,
+        main,
+        nvars,
+    }
+}
+
+/// Renders an `i64` literal without relying on the parser accepting
+/// `i64::MIN` (whose absolute value does not fit in `i64`).
+fn render_const(v: i64, out: &mut String) {
+    if v == i64::MIN {
+        out.push_str("(1 << 63)");
+    } else if v < 0 {
+        let _ = write!(out, "(0 - {})", v.unsigned_abs());
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn render_expr(e: &Expr, loop_var: Option<u32>, out: &mut String) {
+    match e {
+        Expr::Const(v) => render_const(*v, out),
+        Expr::Var(i) => {
+            let _ = write!(out, "v{i}");
+        }
+        Expr::Param(i) => {
+            let _ = write!(out, "p{i}");
+        }
+        Expr::Global => out.push_str("g0"),
+        Expr::Arr(idx) => {
+            out.push_str("buf[(");
+            render_expr(idx, loop_var, out);
+            let _ = write!(out, ") & {}]", ARRAY_LEN - 1);
+        }
+        Expr::LoopVar => match loop_var {
+            Some(n) => {
+                let _ = write!(out, "i{n}");
+            }
+            None => out.push('0'),
+        },
+        Expr::Bin(op, a, b) => {
+            out.push('(');
+            render_expr(a, loop_var, out);
+            let _ = write!(out, " {} ", op.token());
+            render_expr(b, loop_var, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_stmts(
+    stmts: &[Stmt],
+    loop_var: Option<u32>,
+    next_loop: &mut u32,
+    indent: usize,
+    out: &mut String,
+) {
+    let pad = "    ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                let _ = write!(out, "{pad}v{v} = ");
+                render_expr(e, loop_var, out);
+                out.push_str(";\n");
+            }
+            Stmt::Compound(v, op, e) => {
+                let _ = write!(out, "{pad}v{v} {}= ", op.token());
+                render_expr(e, loop_var, out);
+                out.push_str(";\n");
+            }
+            Stmt::ArrStore(idx, e) => {
+                let _ = write!(out, "{pad}buf[(");
+                render_expr(idx, loop_var, out);
+                let _ = write!(out, ") & {}] = ", ARRAY_LEN - 1);
+                render_expr(e, loop_var, out);
+                out.push_str(";\n");
+            }
+            Stmt::GlobalSet(e) => {
+                let _ = write!(out, "{pad}g0 = ");
+                render_expr(e, loop_var, out);
+                out.push_str(";\n");
+            }
+            Stmt::If(cond, then_, else_) => {
+                let _ = write!(out, "{pad}if ((");
+                render_expr(cond, loop_var, out);
+                out.push_str(") != 0) {\n");
+                render_stmts(then_, loop_var, next_loop, indent + 1, out);
+                if else_.is_empty() {
+                    let _ = writeln!(out, "{pad}}}");
+                } else {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    render_stmts(else_, loop_var, next_loop, indent + 1, out);
+                    let _ = writeln!(out, "{pad}}}");
+                }
+            }
+            Stmt::For(count, body) => {
+                let n = *next_loop;
+                *next_loop += 1;
+                let _ = writeln!(
+                    out,
+                    "{pad}for (var i{n}: int = 0; i{n} < {count}; i{n} += 1) {{"
+                );
+                render_stmts(body, Some(n), next_loop, indent + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Call(v, k, args) => {
+                let _ = write!(out, "{pad}v{v} = h{k}(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    render_expr(a, loop_var, out);
+                }
+                out.push_str(");\n");
+            }
+            Stmt::Break => {
+                if loop_var.is_some() {
+                    let _ = writeln!(out, "{pad}break;");
+                }
+                // Outside a loop a break is rendered as nothing — the
+                // shrinker may hoist statements out of loops, and the
+                // rendered program must stay well-formed.
+            }
+        }
+    }
+}
+
+/// Renders the program to compilable Kern source.
+///
+/// The epilogue folds every local, the global scalar, and the array into
+/// one 32-bit-masked checksum so any state divergence reaches the exit
+/// value.
+pub fn render(p: &KernProgram) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("global g0: int;\n");
+    let _ = writeln!(out, "global buf: int[{ARRAY_LEN}];");
+    let mut next_loop = 0u32;
+    for (k, h) in p.helpers.iter().enumerate() {
+        let _ = write!(out, "fn h{k}(");
+        for i in 0..h.params {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "p{i}: int");
+        }
+        out.push_str(") -> int {\n");
+        // Helpers get their own locals so bodies can reference v*.
+        for v in 0..p.nvars {
+            let _ = writeln!(out, "    var v{v}: int = {};", v + 1);
+        }
+        render_stmts(&h.body, None, &mut next_loop, 1, &mut out);
+        out.push_str("    return ");
+        render_expr(&h.ret, None, &mut out);
+        out.push_str(";\n}\n");
+    }
+    out.push_str("fn main() -> int {\n");
+    for v in 0..p.nvars {
+        let _ = writeln!(out, "    var v{v}: int = {};", (v as i64 + 1) * 3);
+    }
+    render_stmts(&p.main, None, &mut next_loop, 1, &mut out);
+    // Checksum epilogue: mix everything observable into the exit value.
+    out.push_str("    var chk: int = 0;\n");
+    for v in 0..p.nvars {
+        let _ = writeln!(out, "    chk = ((chk * 31) + v{v}) ^ (chk >> 7);");
+    }
+    out.push_str("    chk = (chk * 31) + g0;\n");
+    let n = next_loop;
+    let _ = writeln!(
+        out,
+        "    for (var i{n}: int = 0; i{n} < {ARRAY_LEN}; i{n} += 1) {{ chk = ((chk * 31) + buf[i{n}]) ^ (chk >> 7); }}"
+    );
+    out.push_str("    return chk & 0xffffffff;\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_render_and_are_deterministic() {
+        let mut r1 = TestRng::from_seed(42);
+        let mut r2 = TestRng::from_seed(42);
+        for _ in 0..20 {
+            let p1 = gen_program(&mut r1);
+            let p2 = gen_program(&mut r2);
+            assert_eq!(p1, p2, "same seed, same program");
+            let src = render(&p1);
+            assert!(src.contains("fn main() -> int"));
+        }
+    }
+
+    #[test]
+    fn min_constant_renders_without_literal_overflow() {
+        let mut s = String::new();
+        render_const(i64::MIN, &mut s);
+        assert_eq!(s, "(1 << 63)");
+        s.clear();
+        render_const(-5, &mut s);
+        assert_eq!(s, "(0 - 5)");
+    }
+}

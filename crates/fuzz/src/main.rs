@@ -1,0 +1,109 @@
+//! `ch-fuzz`: the cross-ISA differential fuzzing CLI.
+//!
+//! Runs, in order: the register-machinery invariant oracles, the
+//! per-ISA assembler round-trip batch, and the Kern differential batch
+//! (three interpreters + simulator commit-stream check per case).
+//!
+//! ```text
+//! ch-fuzz [--cases N] [--seed S] [--limit L] [--out DIR]
+//! ```
+//!
+//! `PROPTEST_SEED` overrides `--seed`, matching the rest of the
+//! workspace's property tests. On a divergence the failing program is
+//! minimized and written to `tests/regressions/` (or `--out`), the
+//! reproducing `PROPTEST_SEED` is printed, and the exit code is 1.
+
+use std::process::ExitCode;
+
+struct Args {
+    cases: u32,
+    seed: u64,
+    limit: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cases: 500,
+        seed: 0xC10C,
+        limit: ch_fuzz::DEFAULT_LIMIT,
+        out: "tests/regressions".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--cases" => {
+                args.cases = val("--cases")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?
+            }
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--limit" => {
+                args.limit = val("--limit")?
+                    .parse()
+                    .map_err(|e| format!("--limit: {e}"))?
+            }
+            "--out" => args.out = val("--out")?,
+            "--help" | "-h" => {
+                return Err("usage: ch-fuzz [--cases N] [--seed S] [--limit L] [--out DIR]".into())
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        args.seed = s.parse().map_err(|e| format!("PROPTEST_SEED {s:?}: {e}"))?;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "ch-fuzz: seed {} ({} cases, limit {} insts/ISA)",
+        args.seed, args.cases, args.limit
+    );
+
+    if let Err(e) = ch_fuzz::oracle_batch(args.seed, 4000) {
+        eprintln!("oracle violation: {e}");
+        eprintln!("PROPTEST_SEED={}", args.seed);
+        return ExitCode::FAILURE;
+    }
+    println!("oracles: ring-file wrap/saturation, stall rule, renamer conservation — ok");
+
+    if let Err(e) = ch_fuzz::asm_roundtrip_batch(args.seed, args.cases) {
+        eprintln!("assembler round-trip failure: {e}");
+        eprintln!("PROPTEST_SEED={}", args.seed);
+        return ExitCode::FAILURE;
+    }
+    println!("asm round-trip: {} programs x 3 ISAs — ok", args.cases);
+
+    match ch_fuzz::differential_batch(args.seed, args.cases, args.limit) {
+        Ok(stats) => {
+            println!(
+                "differential: {} passed, {} skipped (limit), {} instructions committed — ok",
+                stats.passed, stats.skipped, stats.committed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(f) => {
+            eprintln!("divergence at case {}: {}", f.case_index, f.error);
+            eprintln!("--- original ---\n{}", f.source);
+            eprintln!("--- minimized ---\n{}", f.minimized);
+            let dir = args.out.trim_end_matches('/');
+            let path = format!("{dir}/fuzz_seed{}_case{}.kern", f.seed, f.case_index);
+            eprintln!("PROPTEST_SEED={}", f.seed);
+            match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &f.minimized)) {
+                Ok(()) => eprintln!("minimized reproducer written to {path}"),
+                Err(e) => eprintln!("could not write reproducer to {path}: {e}"),
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

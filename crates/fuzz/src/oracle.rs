@@ -1,0 +1,273 @@
+//! Invariant oracles for the per-ISA register machinery the paper
+//! singles out (§5.1): Clockhands RP wrap-around and distance
+//! saturation, STRAIGHT reach/relay limits, and the RISC renamer's
+//! free-list conservation and checkpoint recovery.
+//!
+//! Each oracle drives the real implementation with a random operation
+//! sequence while maintaining an independent, trivially-correct model,
+//! and returns `Err(description)` on the first disagreement.
+
+use ch_baselines::riscv::rename::Renamer;
+use ch_baselines::straight::MAX_DISTANCE as ST_MAX_DISTANCE;
+use clockhands::hand::{MAX_DISTANCE, NUM_HANDS};
+use clockhands::rp::RingFile;
+use proptest::TestRng;
+
+/// Hand quotas used by the oracles (the simulator's W8 Clockhands
+/// preset: generous enough that `can_alloc` is exercised near wrap).
+pub const QUOTAS: [u32; NUM_HANDS] = [64, 48, 32, 24];
+
+/// Random-walk oracle for [`RingFile`]: RP wrap-around at hand-quota
+/// boundaries, distance resolution against a shadow model, and
+/// snapshot/restore round-trips.
+pub fn check_ring_file(rng: &mut TestRng, steps: u32) -> Result<(), String> {
+    let mut rf = RingFile::new(&QUOTAS, MAX_DISTANCE as u32);
+    // Shadow model: per-ring list of every physical number handed out.
+    let mut model: Vec<Vec<u32>> = vec![Vec::new(); NUM_HANDS];
+    let bases: Vec<u32> = QUOTAS
+        .iter()
+        .scan(0u32, |acc, q| {
+            let b = *acc;
+            *acc += q;
+            Some(b)
+        })
+        .collect();
+    let mut snaps: Vec<(clockhands::rp::RpSnapshot, Vec<u64>)> = Vec::new();
+
+    for step in 0..steps {
+        let g = rng.below(NUM_HANDS as u64) as usize;
+        match rng.below(10) {
+            // Mostly allocate: drives every ring through many wraps.
+            0..=5 => {
+                let expect = bases[g] + (rf.writes(g) % QUOTAS[g] as u64) as u32;
+                let p = rf.alloc(g);
+                if p != expect {
+                    return Err(format!(
+                        "step {step}: ring {g} alloc gave phys {p}, model says {expect} \
+                         (writes {}, quota {})",
+                        rf.writes(g),
+                        QUOTAS[g]
+                    ));
+                }
+                model[g].push(p);
+            }
+            // Resolve a random encodable distance and compare with the
+            // shadow history (saturation: only d < MAX_DISTANCE legal).
+            6..=7 => {
+                let w = rf.writes(g);
+                if w == 0 {
+                    continue;
+                }
+                let max_d = (MAX_DISTANCE as u64).min(w);
+                let d = rng.below(max_d) as u32;
+                let p = rf.src_phys(g, d);
+                let expect = model[g][model[g].len() - 1 - d as usize];
+                if p != expect {
+                    return Err(format!(
+                        "step {step}: ring {g} src_phys({d}) = {p}, model says {expect}"
+                    ));
+                }
+            }
+            8 => {
+                let writes: Vec<u64> = (0..NUM_HANDS).map(|g| rf.writes(g)).collect();
+                snaps.push((rf.snapshot(), writes));
+            }
+            _ => {
+                if let Some((snap, writes)) = snaps.pop() {
+                    rf.restore(&snap);
+                    for (g, &w) in writes.iter().enumerate() {
+                        if rf.writes(g) != w {
+                            return Err(format!(
+                                "step {step}: restore left ring {g} at {} writes, \
+                                 snapshot had {w}",
+                                rf.writes(g)
+                            ));
+                        }
+                        model[g].truncate(w as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    // Wrap-around at the quota boundary, explicitly: quota more allocs
+    // revisit exactly the same physical registers in the same order.
+    for (g, &quota) in QUOTAS.iter().enumerate() {
+        let first: Vec<u32> = (0..quota).map(|_| rf.alloc(g)).collect();
+        let second: Vec<u32> = (0..quota).map(|_| rf.alloc(g)).collect();
+        if first != second {
+            return Err(format!(
+                "ring {g}: allocation did not wrap at quota {quota}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `can_alloc` must refuse exactly when a wrap would overwrite a slot
+/// within `MAX_DISTANCE` of the oldest in-flight RP.
+pub fn check_ring_file_stall_rule(rng: &mut TestRng, trials: u32) -> Result<(), String> {
+    for t in 0..trials {
+        let mut rf = RingFile::new(&QUOTAS, MAX_DISTANCE as u32);
+        let g = rng.below(NUM_HANDS as u64) as usize;
+        let oldest = rf.snapshot();
+        let quota = QUOTAS[g] as u64;
+        let inflight = rng.below(quota + 4);
+        for _ in 0..inflight {
+            rf.alloc(g);
+        }
+        let expect = inflight + (MAX_DISTANCE as u64) < quota;
+        let got = rf.can_alloc(g, &oldest);
+        if got != expect {
+            return Err(format!(
+                "trial {t}: ring {g} inflight {inflight} quota {quota}: \
+                 can_alloc = {got}, paper rule says {expect}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// STRAIGHT reach oracle: every source distance in a compiled program is
+/// within `1..=127`, i.e. the backend's relay-mv placement made every
+/// operand reachable. (`validate()` is the implementation under test;
+/// the explicit re-scan keeps it honest.)
+pub fn check_straight_reach(prog: &ch_baselines::straight::StProgram) -> Result<(), String> {
+    prog.validate().map_err(|e| format!("validate: {e}"))?;
+    for (i, inst) in prog.insts.iter().enumerate() {
+        for src in inst.srcs() {
+            if let ch_baselines::straight::StSrc::Dist(d) = src {
+                if d == 0 || d > ST_MAX_DISTANCE {
+                    return Err(format!("inst {i}: source distance {d} out of 1..=127"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renamer oracle: free-list conservation and checkpoint recovery.
+///
+/// Models the machine around the renamer: every rename with a
+/// destination moves one register free-list → RMT and one RMT →
+/// "in flight, pending release" (the overwritten mapping, freed at
+/// commit). A checkpoint restore rolls the RMT back and the model
+/// releases the squashed allocations, exactly as
+/// [`Renamer::restore`]'s contract requires. At every step, physical
+/// registers are conserved:
+/// `free + mapped (64) + in-flight prevs == phys_regs`.
+pub fn check_renamer(rng: &mut TestRng, steps: u32) -> Result<(), String> {
+    const PHYS: u32 = 128;
+    const LOGICALS: u64 = 64;
+    let mut rn = Renamer::new(PHYS);
+    // Renames since the last commit point: (allocated dst, displaced prev).
+    let mut inflight: Vec<(u32, u32)> = Vec::new();
+    // Checkpoints: the snapshot plus how many inflight entries predate it.
+    let mut snaps: Vec<(ch_baselines::riscv::rename::RmtSnapshot, usize)> = Vec::new();
+
+    for step in 0..steps {
+        match rng.below(8) {
+            0..=4 => {
+                // A random small rename group.
+                let n = 1 + rng.below(4) as usize;
+                let group: Vec<(Option<u8>, Vec<u8>)> = (0..n)
+                    .map(|_| {
+                        let dst = if rng.below(5) == 0 {
+                            None
+                        } else {
+                            Some(rng.below(LOGICALS) as u8)
+                        };
+                        let srcs = (0..rng.below(3))
+                            .map(|_| rng.below(LOGICALS) as u8)
+                            .collect();
+                        (dst, srcs)
+                    })
+                    .collect();
+                let before = rn.free_count();
+                let dsts = group.iter().filter(|(d, _)| d.is_some()).count();
+                match rn.rename_group(&group) {
+                    Some((renamed, _ev)) => {
+                        if rn.free_count() != before - dsts {
+                            return Err(format!(
+                                "step {step}: group with {dsts} dsts moved free count \
+                                 {before} -> {} (expected {})",
+                                rn.free_count(),
+                                before - dsts
+                            ));
+                        }
+                        for r in &renamed {
+                            if let (Some(d), Some(p)) = (r.dst, r.prev_dst) {
+                                inflight.push((d, p));
+                            }
+                        }
+                    }
+                    None => {
+                        if before >= dsts {
+                            return Err(format!(
+                                "step {step}: stall with {before} free regs for {dsts} dsts"
+                            ));
+                        }
+                        if rn.free_count() != before {
+                            return Err(format!("step {step}: failed rename changed free list"));
+                        }
+                    }
+                }
+            }
+            5 => {
+                // Commit everything: release each displaced mapping.
+                // Committed state can no longer be rolled back, so the
+                // outstanding checkpoints are dropped too.
+                snaps.clear();
+                for (_d, p) in inflight.drain(..) {
+                    rn.release(p);
+                }
+            }
+            6 => {
+                snaps.push((rn.snapshot(), inflight.len()));
+            }
+            _ => {
+                // Branch mispredict: roll back to the newest checkpoint.
+                if let Some((snap, mark)) = snaps.pop() {
+                    // Round-trip: restoring a snapshot of the current
+                    // state must be the identity on the RMT.
+                    let before: Vec<u32> = (0..LOGICALS as u8).map(|l| rn.mapping(l)).collect();
+                    let now = rn.snapshot();
+                    rn.restore(&now);
+                    let after: Vec<u32> = (0..LOGICALS as u8).map(|l| rn.mapping(l)).collect();
+                    if before != after {
+                        return Err(format!(
+                            "step {step}: identity snapshot/restore changed the RMT"
+                        ));
+                    }
+                    rn.restore(&snap);
+                    // Squashed allocations roll back to the free list.
+                    for (d, _p) in inflight.drain(mark..) {
+                        rn.release(d);
+                    }
+                }
+            }
+        }
+        // Conservation: the free list, the 64 RMT entries, and the
+        // in-flight displaced mappings partition the physical registers.
+        let total = rn.free_count() + LOGICALS as usize + inflight.len();
+        if total != PHYS as usize {
+            return Err(format!(
+                "step {step}: free {} + mapped {LOGICALS} + inflight {} != {PHYS}",
+                rn.free_count(),
+                inflight.len()
+            ));
+        }
+    }
+    // Drain: after a final full commit, every non-mapped register is free.
+    for (_d, p) in inflight.drain(..) {
+        rn.release(p);
+    }
+    if rn.free_count() != (PHYS - LOGICALS as u32) as usize {
+        return Err(format!(
+            "final commit left {} free registers, expected {}",
+            rn.free_count(),
+            PHYS - LOGICALS as u32
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,302 @@
+//! Structural shrinker: minimizes a failing [`KernProgram`] while the
+//! caller's predicate (usually "the differential executor still
+//! disagrees") keeps holding.
+//!
+//! Greedy hill-climb over single-step simplifications, to a fixpoint or
+//! an evaluation budget: drop a statement, inline an `if`/`for` body,
+//! cut a loop count to 1, replace a call with a constant, drop a helper,
+//! or collapse a subexpression to one side or to `0`/`1`. Because edits
+//! act on the structure and the renderer always emits well-formed Kern,
+//! every candidate is compilable — the predicate never sees syntax
+//! errors, only smaller semantics.
+
+use crate::gen::{Expr, Helper, KernProgram, Stmt};
+
+fn shrink_expr_once(e: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    match e {
+        Expr::Bin(_, a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+        }
+        Expr::Arr(idx) => out.push((**idx).clone()),
+        Expr::Const(0) => {}
+        Expr::Const(1) => out.push(Expr::Const(0)),
+        _ => {
+            out.push(Expr::Const(0));
+            out.push(Expr::Const(1));
+        }
+    }
+    // Recurse one level so deep expressions shrink without re-rendering
+    // the whole tree per leaf.
+    if let Expr::Bin(op, a, b) = e {
+        for sa in shrink_expr_once(a) {
+            out.push(Expr::Bin(*op, Box::new(sa), b.clone()));
+        }
+        for sb in shrink_expr_once(b) {
+            out.push(Expr::Bin(*op, a.clone(), Box::new(sb)));
+        }
+    }
+    out
+}
+
+/// All single-step simplifications of a statement list.
+fn shrink_stmts_once(stmts: &[Stmt]) -> Vec<Vec<Stmt>> {
+    let mut out = Vec::new();
+    // Drop any single statement.
+    for i in 0..stmts.len() {
+        let mut s = stmts.to_vec();
+        s.remove(i);
+        out.push(s);
+    }
+    // Simplify any single statement in place.
+    for (i, st) in stmts.iter().enumerate() {
+        for alt in shrink_stmt_once(st) {
+            let mut s = stmts.to_vec();
+            s[i] = alt;
+            out.push(s);
+        }
+        // Inline block bodies in place of the block statement.
+        if let Stmt::If(_, a, b) = st {
+            for body in [a, b] {
+                if !body.is_empty() {
+                    let mut s = stmts.to_vec();
+                    s.splice(i..=i, body.iter().cloned());
+                    out.push(s);
+                }
+            }
+        }
+        if let Stmt::For(_, body) = st {
+            if !body.is_empty() {
+                let mut s = stmts.to_vec();
+                s.splice(i..=i, body.iter().cloned());
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+fn shrink_stmt_once(st: &Stmt) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    match st {
+        Stmt::Assign(v, e) => {
+            for se in shrink_expr_once(e) {
+                out.push(Stmt::Assign(*v, se));
+            }
+        }
+        Stmt::Compound(v, _, e) => {
+            out.push(Stmt::Assign(*v, e.clone()));
+            for se in shrink_expr_once(e) {
+                out.push(Stmt::Compound(*v, crate::gen::BinOp::Add, se));
+            }
+        }
+        Stmt::ArrStore(idx, e) => {
+            for si in shrink_expr_once(idx) {
+                out.push(Stmt::ArrStore(si, e.clone()));
+            }
+            for se in shrink_expr_once(e) {
+                out.push(Stmt::ArrStore(idx.clone(), se));
+            }
+        }
+        Stmt::GlobalSet(e) => {
+            for se in shrink_expr_once(e) {
+                out.push(Stmt::GlobalSet(se));
+            }
+        }
+        Stmt::If(c, a, b) => {
+            for sc in shrink_expr_once(c) {
+                out.push(Stmt::If(sc, a.clone(), b.clone()));
+            }
+            for sa in shrink_stmts_once(a) {
+                out.push(Stmt::If(c.clone(), sa, b.clone()));
+            }
+            for sb in shrink_stmts_once(b) {
+                out.push(Stmt::If(c.clone(), a.clone(), sb));
+            }
+        }
+        Stmt::For(n, body) => {
+            if *n > 1 {
+                out.push(Stmt::For(1, body.clone()));
+            }
+            for sb in shrink_stmts_once(body) {
+                out.push(Stmt::For(*n, sb));
+            }
+        }
+        Stmt::Call(v, _, _) => {
+            out.push(Stmt::Assign(*v, Expr::Const(1)));
+        }
+        Stmt::Break => {}
+    }
+    out
+}
+
+/// Whether any statement (recursively) calls helper `k`.
+fn calls_helper(stmts: &[Stmt], k: usize) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Call(_, kk, _) => *kk == k,
+        Stmt::If(_, a, b) => calls_helper(a, k) || calls_helper(b, k),
+        Stmt::For(_, body) => calls_helper(body, k),
+        _ => false,
+    })
+}
+
+fn helper_used(p: &KernProgram, k: usize) -> bool {
+    calls_helper(&p.main, k)
+        || p.helpers
+            .iter()
+            .skip(k + 1)
+            .any(|h| calls_helper(&h.body, k))
+}
+
+fn renumber_calls(stmts: &mut [Stmt], removed: usize) {
+    for s in stmts {
+        match s {
+            Stmt::Call(_, k, _) if *k > removed => *k -= 1,
+            Stmt::If(_, a, b) => {
+                renumber_calls(a, removed);
+                renumber_calls(b, removed);
+            }
+            Stmt::For(_, body) => renumber_calls(body, removed),
+            _ => {}
+        }
+    }
+}
+
+/// All single-step simplifications of a whole program.
+fn shrink_program_once(p: &KernProgram) -> Vec<KernProgram> {
+    let mut out = Vec::new();
+    // Drop an unused helper (call sites were first rewritten to consts).
+    for k in 0..p.helpers.len() {
+        if !helper_used(p, k) {
+            let mut q = p.clone();
+            q.helpers.remove(k);
+            renumber_calls(&mut q.main, k);
+            for h in &mut q.helpers {
+                renumber_calls(&mut h.body, k);
+            }
+            out.push(q);
+        }
+    }
+    // Shrink main.
+    for m in shrink_stmts_once(&p.main) {
+        out.push(KernProgram {
+            main: m,
+            ..p.clone()
+        });
+    }
+    // Shrink helper bodies and return expressions.
+    for (k, h) in p.helpers.iter().enumerate() {
+        for b in shrink_stmts_once(&h.body) {
+            let mut q = p.clone();
+            q.helpers[k] = Helper {
+                body: b,
+                ..h.clone()
+            };
+            out.push(q);
+        }
+        for r in shrink_expr_once(&h.ret) {
+            let mut q = p.clone();
+            q.helpers[k] = Helper {
+                ret: r,
+                ..h.clone()
+            };
+            out.push(q);
+        }
+    }
+    out
+}
+
+/// Rough program size (for preferring strictly smaller candidates).
+fn size(p: &KernProgram) -> usize {
+    fn stmt_size(s: &Stmt) -> usize {
+        match s {
+            Stmt::If(_, a, b) => {
+                2 + a.iter().map(stmt_size).sum::<usize>() + b.iter().map(stmt_size).sum::<usize>()
+            }
+            Stmt::For(_, body) => 2 + body.iter().map(stmt_size).sum::<usize>(),
+            _ => 1,
+        }
+    }
+    p.main.iter().map(stmt_size).sum::<usize>()
+        + p.helpers
+            .iter()
+            .map(|h| 2 + h.body.iter().map(stmt_size).sum::<usize>())
+            .sum::<usize>()
+}
+
+/// Minimizes `program` while `still_fails` holds, within `budget`
+/// predicate evaluations. Returns the smallest failing program found.
+pub fn shrink(
+    program: &KernProgram,
+    mut budget: u32,
+    mut still_fails: impl FnMut(&KernProgram) -> bool,
+) -> KernProgram {
+    let mut cur = program.clone();
+    'outer: loop {
+        for cand in shrink_program_once(&cur) {
+            if budget == 0 {
+                break 'outer;
+            }
+            if size(&cand) >= size(&cur) {
+                continue;
+            }
+            budget -= 1;
+            if still_fails(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{render, BinOp};
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // A program where only `v0 = v0 / 0` matters; everything else is
+        // noise the shrinker must strip.
+        let p = KernProgram {
+            helpers: vec![],
+            main: vec![
+                Stmt::Assign(1, Expr::Const(42)),
+                Stmt::For(5, vec![Stmt::Compound(1, BinOp::Add, Expr::Const(3))]),
+                Stmt::Assign(
+                    0,
+                    Expr::Bin(BinOp::Div, Box::new(Expr::Var(0)), Box::new(Expr::Const(0))),
+                ),
+                Stmt::GlobalSet(Expr::Var(1)),
+            ],
+            nvars: 2,
+        };
+        // "Fails" whenever a division by the constant zero survives.
+        fn has_div_zero(stmts: &[Stmt]) -> bool {
+            fn expr_has(e: &Expr) -> bool {
+                match e {
+                    Expr::Bin(BinOp::Div, _, b) => matches!(**b, Expr::Const(0)) || expr_has(b),
+                    Expr::Bin(_, a, b) => expr_has(a) || expr_has(b),
+                    Expr::Arr(i) => expr_has(i),
+                    _ => false,
+                }
+            }
+            stmts.iter().any(|s| match s {
+                Stmt::Assign(_, e) | Stmt::Compound(_, _, e) | Stmt::GlobalSet(e) => expr_has(e),
+                Stmt::ArrStore(a, b) => expr_has(a) || expr_has(b),
+                Stmt::If(c, a, b) => expr_has(c) || has_div_zero(a) || has_div_zero(b),
+                Stmt::For(_, body) => has_div_zero(body),
+                _ => false,
+            })
+        }
+        let small = shrink(&p, 500, |q| has_div_zero(&q.main));
+        assert!(has_div_zero(&small.main));
+        assert!(size(&small) < size(&p));
+        assert_eq!(small.main.len(), 1, "only the div-by-zero should remain");
+        // And it still renders to valid-looking Kern.
+        assert!(render(&small).contains("fn main"));
+    }
+}

@@ -47,6 +47,13 @@ impl TestRng {
         TestRng(h | 1)
     }
 
+    /// Seeds from an explicit value (used by the `ch-fuzz` harness so a
+    /// failing batch can be replayed with `PROPTEST_SEED=<seed>`).
+    /// The low bit is forced to 1: xorshift has no zero state.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(seed | 1)
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let mut x = self.0;

@@ -37,7 +37,9 @@ pub mod tage;
 pub mod trace;
 
 pub use crate::core::Simulator;
-pub use crate::trace::{NullTracer, PipelineTracer, StageStamps, TraceBuffer, TraceRecord};
+pub use crate::trace::{
+    CommitEntry, CommitLog, NullTracer, PipelineTracer, StageStamps, TraceBuffer, TraceRecord,
+};
 pub use ch_common::stats::Counters;
 
 use ch_common::config::{MachineConfig, WidthClass};

@@ -231,6 +231,82 @@ impl TraceBuffer {
     }
 }
 
+/// One committed instruction as seen at the retirement stage: identity
+/// plus the cycle it left the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitEntry {
+    /// Dynamic sequence number (commit order).
+    pub seq: u64,
+    /// Program counter.
+    pub pc: u64,
+    /// Cycle the instruction committed.
+    pub cycle: u64,
+}
+
+/// A minimal [`PipelineTracer`] recording only the committed instruction
+/// stream — the equivalence hook the differential fuzzer uses.
+///
+/// The timing simulator is trace-driven: it consumes the functional
+/// interpreter's [`DynInst`] stream and must retire **exactly** that
+/// stream, in order, at nondecreasing cycles. `CommitLog` captures what
+/// was actually retired so a harness can assert the commit stream
+/// matches the interpreter trace instruction-for-instruction
+/// (`ch-fuzz` does this for every generated program on all three ISAs).
+///
+/// # Examples
+///
+/// ```
+/// use ch_common::config::{MachineConfig, WidthClass};
+/// use ch_common::IsaKind;
+/// use ch_sim::{CommitLog, Simulator};
+/// use clockhands::asm::assemble;
+/// use clockhands::interp::Interpreter;
+///
+/// let prog = assemble("li t, 3\nhalt t[0]")?;
+/// let cfg = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);
+/// let mut sim = Simulator::with_tracer(cfg, CommitLog::new());
+/// let counters = sim.run(&mut Interpreter::new(prog)?);
+/// let log = sim.into_tracer();
+/// assert_eq!(log.entries().len() as u64, counters.committed);
+/// assert!(log.is_in_commit_order());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CommitLog {
+    entries: Vec<CommitEntry>,
+}
+
+impl CommitLog {
+    /// An empty commit log.
+    pub fn new() -> CommitLog {
+        CommitLog::default()
+    }
+
+    /// The committed instructions, in retirement order.
+    pub fn entries(&self) -> &[CommitEntry] {
+        &self.entries
+    }
+
+    /// Whether the log is a well-formed in-order commit stream:
+    /// sequence numbers strictly increase and commit cycles never
+    /// decrease.
+    pub fn is_in_commit_order(&self) -> bool {
+        self.entries
+            .windows(2)
+            .all(|w| w[0].seq < w[1].seq && w[0].cycle <= w[1].cycle)
+    }
+}
+
+impl PipelineTracer for CommitLog {
+    fn record(&mut self, inst: &DynInst, stamps: &StageStamps) {
+        self.entries.push(CommitEntry {
+            seq: inst.seq,
+            pc: inst.pc,
+            cycle: stamps.commit,
+        });
+    }
+}
+
 impl PipelineTracer for TraceBuffer {
     fn record(&mut self, inst: &DynInst, stamps: &StageStamps) {
         if let Some(limit) = self.limit {
@@ -266,6 +342,25 @@ mod tests {
             idle_slots: 0,
         };
         (inst, stamps)
+    }
+
+    #[test]
+    fn commit_log_records_retirement_order() {
+        let mut log = CommitLog::new();
+        for i in 0..4 {
+            let (inst, stamps) = rec(i, i);
+            log.record(&inst, &stamps);
+        }
+        assert_eq!(log.entries().len(), 4);
+        assert!(log.is_in_commit_order());
+        assert_eq!(log.entries()[0].cycle, 12);
+        // A reordered stream is detected.
+        let mut bad = CommitLog::new();
+        let (i1, s1) = rec(5, 0);
+        let (i0, s0) = rec(2, 0);
+        bad.record(&i1, &s1);
+        bad.record(&i0, &s0);
+        assert!(!bad.is_in_commit_order());
     }
 
     #[test]

@@ -24,6 +24,9 @@
 
 mod kernels;
 
+use ch_common::error::{HarnessError, Stage};
+use ch_common::inst::DynInst;
+use ch_common::IsaKind;
 use ch_compiler::{compile, CompileError, CompiledSet};
 
 /// Benchmark selection (paper naming in [`Workload::paper_name`]).
@@ -50,6 +53,28 @@ pub enum Scale {
     Small,
     /// Full: for the headline figures (≈10⁷ instructions).
     Full,
+}
+
+impl Scale {
+    /// Short identifier (used in error context and file names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// Architectural outcome of functionally executing a workload:
+/// the checksum it halted with and how many instructions committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// The checksum the kernel halted with (already validated against
+    /// [`Workload::reference`] by the APIs that return this).
+    pub exit_value: u64,
+    /// Dynamic instruction count.
+    pub committed: u64,
 }
 
 impl Workload {
@@ -115,6 +140,119 @@ impl Workload {
     pub fn compile(self, scale: Scale) -> Result<CompiledSet, CompileError> {
         compile(&self.source(scale))
     }
+
+    /// `"coremark/test"`-style context string for error reporting.
+    fn context(self, scale: Scale) -> String {
+        format!("{}/{}", self.name(), scale.name())
+    }
+
+    /// Compiles the kernel, mapping failure to a [`HarnessError`] that
+    /// names the workload and scale.
+    pub fn compile_checked(self, scale: Scale) -> Result<CompiledSet, HarnessError> {
+        self.compile(scale)
+            .map_err(|e| HarnessError::new(self.context(scale), Stage::Compile, e.to_string()))
+    }
+
+    /// Functionally executes the kernel on `isa` and validates the
+    /// checksum against [`Workload::reference`].
+    ///
+    /// # Errors
+    ///
+    /// A [`HarnessError`] naming the workload, scale, and ISA, at stage
+    /// [`Stage::Compile`], [`Stage::Validate`] (bad program),
+    /// [`Stage::Execute`] (interpreter error / limit), or
+    /// [`Stage::Mismatch`] (wrong checksum).
+    pub fn run_on(
+        self,
+        scale: Scale,
+        isa: IsaKind,
+        limit: u64,
+    ) -> Result<RunOutcome, HarnessError> {
+        self.trace_on(scale, isa, limit).map(|(_, r)| r)
+    }
+
+    /// As [`Workload::run_on`], but also returns the full committed
+    /// [`DynInst`] trace (the stream the timing simulator consumes).
+    pub fn trace_on(
+        self,
+        scale: Scale,
+        isa: IsaKind,
+        limit: u64,
+    ) -> Result<(Vec<DynInst>, RunOutcome), HarnessError> {
+        let isa_tag = match isa {
+            IsaKind::Riscv => "riscv",
+            IsaKind::Straight => "straight",
+            IsaKind::Clockhands => "clockhands",
+        };
+        let ctx = self.context(scale);
+        let fail = |stage, detail: String| {
+            Err(HarnessError::new(ctx.clone(), stage, detail).on_isa(isa_tag))
+        };
+        let set = self.compile_checked(scale).map_err(|e| e.on_isa(isa_tag))?;
+        let (trace, exit_value, committed) = match isa {
+            IsaKind::Riscv => {
+                let mut cpu = match ch_baselines::riscv::interp::Interpreter::new(set.riscv) {
+                    Ok(cpu) => cpu,
+                    Err(e) => return fail(Stage::Validate, e.to_string()),
+                };
+                match cpu.trace(limit) {
+                    Ok((t, r)) => (t, r.exit_value, r.committed),
+                    Err(e) => return fail(Stage::Execute, e.to_string()),
+                }
+            }
+            IsaKind::Straight => {
+                let mut cpu = match ch_baselines::straight::interp::Interpreter::new(set.straight) {
+                    Ok(cpu) => cpu,
+                    Err(e) => return fail(Stage::Validate, e.to_string()),
+                };
+                match cpu.trace(limit) {
+                    Ok((t, r)) => (t, r.exit_value, r.committed),
+                    Err(e) => return fail(Stage::Execute, e.to_string()),
+                }
+            }
+            IsaKind::Clockhands => {
+                let mut cpu = match clockhands::interp::Interpreter::new(set.clockhands) {
+                    Ok(cpu) => cpu,
+                    Err(e) => return fail(Stage::Validate, e.to_string()),
+                };
+                match cpu.trace(limit) {
+                    Ok((t, r)) => (t, r.exit_value, r.committed),
+                    Err(e) => return fail(Stage::Execute, e.to_string()),
+                }
+            }
+        };
+        let expect = self.reference(scale);
+        if exit_value != expect {
+            return fail(
+                Stage::Mismatch,
+                format!("checksum {exit_value:#x} != reference {expect:#x}"),
+            );
+        }
+        Ok((
+            trace,
+            RunOutcome {
+                exit_value,
+                committed,
+            },
+        ))
+    }
+
+    /// Runs the kernel on all three ISAs, validating every checksum.
+    ///
+    /// # Errors
+    ///
+    /// The first failing ISA's [`HarnessError`] (ISAs are tried in
+    /// paper order R, S, C).
+    pub fn verify(self, scale: Scale, limit: u64) -> Result<[RunOutcome; 3], HarnessError> {
+        let mut out = [RunOutcome {
+            exit_value: 0,
+            committed: 0,
+        }; 3];
+        for (slot, isa) in out.iter_mut().zip(IsaKind::ALL) {
+            *slot = self.run_on(scale, isa, limit)?;
+        }
+        Ok(out)
+    }
 }
 
 impl std::fmt::Display for Workload {
@@ -126,8 +264,6 @@ impl std::fmt::Display for Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ch_baselines::{riscv, straight};
-    use clockhands::interp::Interpreter as ChInterp;
 
     /// Instruction budget generous enough for Test scale on every ISA.
     const LIMIT: u64 = 80_000_000;
@@ -135,28 +271,11 @@ mod tests {
     #[test]
     fn all_kernels_agree_across_isas_and_reference() {
         for w in Workload::ALL {
-            let expect = w.reference(Scale::Test);
-            let set = w
-                .compile(Scale::Test)
-                .unwrap_or_else(|e| panic!("{w}: {e}"));
-
-            let rv = riscv::interp::Interpreter::new(set.riscv)
-                .unwrap()
-                .run(LIMIT)
-                .unwrap_or_else(|e| panic!("{w}/riscv: {e}"));
-            assert_eq!(rv.exit_value, expect, "{w}: RISC-V checksum");
-
-            let st = straight::interp::Interpreter::new(set.straight)
-                .unwrap()
-                .run(LIMIT)
-                .unwrap_or_else(|e| panic!("{w}/straight: {e}"));
-            assert_eq!(st.exit_value, expect, "{w}: STRAIGHT checksum");
-
-            let ch = ChInterp::new(set.clockhands)
-                .unwrap()
-                .run(LIMIT)
-                .unwrap_or_else(|e| panic!("{w}/clockhands: {e}"));
-            assert_eq!(ch.exit_value, expect, "{w}: Clockhands checksum");
+            // verify() checks every ISA's checksum against the reference
+            // and names the failing workload/scale/ISA on error.
+            let [rv, st, _ch] = w
+                .verify(Scale::Test, LIMIT)
+                .unwrap_or_else(|e| panic!("{e}"));
 
             // The paper's Fig. 15 ordering: STRAIGHT executes the most
             // instructions.
@@ -172,15 +291,23 @@ mod tests {
     #[test]
     fn scales_are_ordered() {
         let w = Workload::Coremark;
-        let t = riscv::interp::Interpreter::new(w.compile(Scale::Test).unwrap().riscv)
-            .unwrap()
-            .run(LIMIT)
-            .unwrap();
-        let s = riscv::interp::Interpreter::new(w.compile(Scale::Small).unwrap().riscv)
-            .unwrap()
-            .run(LIMIT)
-            .unwrap();
+        let t = w.run_on(Scale::Test, IsaKind::Riscv, LIMIT).unwrap();
+        let s = w.run_on(Scale::Small, IsaKind::Riscv, LIMIT).unwrap();
         assert!(s.committed > t.committed);
+    }
+
+    #[test]
+    fn harness_error_names_the_failing_run() {
+        // An absurdly small step budget must surface as an Execute-stage
+        // HarnessError naming the workload, scale, and ISA — not a panic.
+        let e = Workload::Coremark
+            .run_on(Scale::Test, IsaKind::Clockhands, 10)
+            .unwrap_err();
+        assert_eq!(e.stage, Stage::Execute);
+        assert_eq!(
+            e.to_string(),
+            "coremark/test [clockhands] failed at execute: instruction limit reached before halt"
+        );
     }
 
     #[test]

@@ -24,8 +24,17 @@ doc:
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
     cargo test --workspace --doc -q
 
+# Cross-ISA differential fuzzing at the CI scale: register-machinery
+# oracles, assembler round-trips, and 500 fixed-seed Kern programs
+# through all three backends + interpreters + simulator commit checks.
+# On a divergence the minimized reproducer lands in tests/regressions/
+# and the reproducing PROPTEST_SEED is printed. Override with e.g.
+# `just fuzz --cases 5000 --seed 31337`.
+fuzz *ARGS:
+    cargo run --release -p ch-fuzz -- --cases 500 --seed 49388 {{ARGS}}
+
 # Everything CI runs.
-ci: build test fmt clippy doc
+ci: build test fmt clippy doc fuzz
 
 # Regenerate every table/figure at test scale with all cores.
 figures *ARGS:

@@ -1,0 +1,37 @@
+//! Replays every minimized fuzzer reproducer in `tests/regressions/`
+//! through the full differential pipeline (three backends, three
+//! interpreters, per-ISA simulator commit-stream check).
+//!
+//! Each `.kern` file in that directory is a program that once exposed a
+//! real compiler or runtime bug; its header comment names the seed, the
+//! original error, and the fix. `ch-fuzz` appends new files there
+//! whenever a batch diverges, so a failure here means a regression of a
+//! previously fixed bug — or a freshly minimized find awaiting one.
+
+use ch_fuzz::run_differential;
+
+#[test]
+fn minimized_reproducers_stay_fixed() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/regressions");
+    let mut cases: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/regressions exists")
+        .filter_map(|e| {
+            let p = e.expect("readable dir entry").path();
+            (p.extension().and_then(|x| x.to_str()) == Some("kern")).then_some(p)
+        })
+        .collect();
+    assert!(
+        !cases.is_empty(),
+        "no .kern reproducers found in {dir}; the corpus should never be empty"
+    );
+    cases.sort();
+    for path in cases {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).expect("readable reproducer");
+        match run_differential(&name, &src, ch_fuzz::DEFAULT_LIMIT) {
+            Ok(Ok(_)) => {}
+            Ok(Err(skip)) => panic!("{name}: reproducer skipped ({skip:?}); raise the limit"),
+            Err(e) => panic!("{name}: regression: {e}"),
+        }
+    }
+}
