@@ -7,28 +7,10 @@ use super::{Reg, RvInst, RvProgram};
 use ch_common::exec::{AluOp, BrCond, LoadOp, StoreOp};
 use std::collections::BTreeMap;
 
-/// An assembly error with its 1-based source line.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AsmError {
-    /// 1-based line number.
-    pub line: usize,
-    /// Problem description.
-    pub message: String,
-}
-
-impl std::fmt::Display for AsmError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for AsmError {}
+pub use ch_common::error::AsmError;
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError {
-        line,
-        message: message.into(),
-    })
+    Err(AsmError::new(line, message))
 }
 
 /// Parses a register name.

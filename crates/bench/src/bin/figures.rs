@@ -1,10 +1,15 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--scale test|small|full] [--jobs N] [ids...]
+//! figures [--scale test|small|full] [--jobs N] [--no-verify] [ids...]
 //! ids: table1 table2 table3 fig3 fig4 fig7 fig13 fig14 fig15 fig16 fig17
-//!      fig18 ablation stalls trace
+//!      fig18 ablation stalls trace verify
 //! ```
+//!
+//! Compiled programs are statically verified (`ch-verify`) before any
+//! experiment runs them; `--no-verify` skips that (faster, but silent
+//! on backend dataflow bugs). The `verify` experiment prints the lint
+//! summary table (dead relays, redundant edge fixes, unreachable code).
 //!
 //! With no ids, everything runs (in paper order). Independent
 //! `(workload, isa, width)` jobs inside each experiment are fanned out
@@ -46,8 +51,9 @@ fn main() {
                     }
                 }
             }
+            "--no-verify" => ch_workloads::set_verify(false),
             "--help" | "-h" => {
-                eprintln!("figures [--scale test|small|full] [--jobs N] [ids...]");
+                eprintln!("figures [--scale test|small|full] [--jobs N] [--no-verify] [ids...]");
                 return;
             }
             id => ids.push(id.to_string()),
@@ -55,7 +61,7 @@ fn main() {
     }
     let all = [
         "table1", "table2", "table3", "fig3", "fig4", "fig7", "fig13", "fig14", "fig15", "fig16",
-        "fig17", "fig18", "ablation", "stalls", "trace",
+        "fig17", "fig18", "ablation", "stalls", "trace", "verify",
     ];
     if ids.is_empty() {
         ids = all.iter().map(|s| s.to_string()).collect();
@@ -79,6 +85,7 @@ fn main() {
                 "ablation" => bench::ablation(scale),
                 "stalls" => bench::stalls(scale),
                 "trace" => bench::traces(scale),
+                "verify" => bench::verify_lints(scale),
                 other => {
                     eprintln!("unknown experiment `{other}` (known: {all:?})");
                     std::process::exit(2);

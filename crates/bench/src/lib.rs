@@ -777,6 +777,65 @@ pub fn traces(scale: Scale) -> String {
     s
 }
 
+/// Static-verifier lint summary: every workload's compiled output on
+/// every backend, with per-ISA dead-relay / redundant-fix / unreachable
+/// counts. Lint warnings are allowed (they quantify backend slack);
+/// error-severity findings abort the run — the backends must emit
+/// verifier-clean code.
+pub fn verify_lints(scale: Scale) -> String {
+    use ch_verify::Report;
+    let mut s = String::new();
+    let _ = writeln!(s, "Static verification lints (ch-verify, errors are fatal)");
+    let _ = writeln!(
+        s,
+        "{:<12} {:<4} {:>6} {:>12} {:>14} {:>12}",
+        "workload", "ISA", "insts", "dead relays", "redundant fixes", "unreachable"
+    );
+    let opts = ch_verify::Options::default();
+    let sets = par_map(&Workload::ALL, |&w| {
+        w.compile(scale)
+            .unwrap_or_else(|e| panic!("{} failed to compile: {e}", w.name()))
+    });
+    for (w, set) in Workload::ALL.iter().zip(sets) {
+        let reports: [Report; 3] = [
+            ch_verify::verify_clockhands(&set.clockhands, &opts),
+            ch_verify::verify_straight(&set.straight, &opts),
+            ch_verify::verify_riscv(&set.riscv, &opts),
+        ];
+        for r in reports {
+            assert!(
+                r.is_clean(),
+                "{}/{}: verifier errors:\n{}",
+                w.name(),
+                r.isa,
+                r.render()
+            );
+            let insts: usize = r.functions.iter().map(|f| f.insts).sum();
+            let _ = writeln!(
+                s,
+                "{:<12} {:<4} {:>6} {:>12} {:>14} {:>12}",
+                w.name(),
+                match r.isa {
+                    "clockhands" => "CH",
+                    "straight" => "ST",
+                    _ => "RV",
+                },
+                insts,
+                r.dead_relays(),
+                r.redundant_fixes(),
+                r.unreachable
+            );
+        }
+    }
+    let _ = writeln!(
+        s,
+        "(dead relays: mv instructions whose value is provably never read;\n\
+redundant fixes: li edge-fill writes never read; unreachable: instructions\n\
+reachable from no function. All are backend slack, not correctness bugs.)"
+    );
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

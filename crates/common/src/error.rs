@@ -1,4 +1,4 @@
-//! Shared harness-level error type.
+//! Shared harness-level error and diagnostic types.
 //!
 //! The figure pipeline runs every workload through a compile → validate →
 //! execute chain per ISA; the fuzzing harness runs generated programs
@@ -7,6 +7,12 @@
 //! a bare `unwrap()` loses all of that. [`HarnessError`] carries that
 //! context so a failure reads e.g.
 //! `coremark/test [clockhands] failed at execute: limit reached`.
+//!
+//! Static tooling shares two more types: [`AsmError`] is the malformed
+//! operand/line error all three assemblers report, and [`Diagnostic`] is
+//! the structured finding the `ch-verify` dataflow verifier emits
+//! (severity + stable code + instruction/operand location), so assembler
+//! and verifier output name source locations consistently.
 
 use std::fmt;
 
@@ -89,6 +95,102 @@ impl fmt::Display for HarnessError {
 
 impl std::error::Error for HarnessError {}
 
+/// An assembly error with its 1-based source line.
+///
+/// All three assemblers (Clockhands, STRAIGHT, RISC) report malformed
+/// operands through this one type so that error text is uniform across
+/// ISAs: ``line 7: bad source operand `[0]` ``.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl AsmError {
+    /// Builds an error for 1-based source line `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The program provably violates a dataflow or convention rule.
+    Error,
+    /// Suspicious but harmless (dead relay, redundant edge fix, …).
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// One structured finding from static analysis.
+///
+/// `code` is a stable machine-checkable identifier (e.g. `E-UNINIT`);
+/// golden tests assert on it rather than on prose. The display form is
+/// `error[E-UNINIT] main@12 (u[3]): <message>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Stable diagnostic code, e.g. `E-UNINIT` or `W-DEAD-RELAY`.
+    pub code: &'static str,
+    /// Name of the function the finding is in.
+    pub function: String,
+    /// Instruction index the finding anchors to, if any.
+    pub inst: Option<u32>,
+    /// The offending operand rendered in ISA syntax (e.g. `u[3]`).
+    pub operand: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}", self.severity, self.code, self.function)?;
+        if let Some(i) = self.inst {
+            write!(f, "@{i}")?;
+        }
+        if let Some(op) = &self.operand {
+            write!(f, " ({op})")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl From<AsmError> for Diagnostic {
+    fn from(e: AsmError) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code: "E-ASM",
+            function: String::new(),
+            inst: None,
+            operand: None,
+            message: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +208,46 @@ mod tests {
             e.to_string(),
             "fuzz case 3 failed at mismatch: checksum 1 != 2"
         );
+    }
+
+    #[test]
+    fn asm_error_names_the_line() {
+        let e = AsmError::new(7, "bad source operand `[0]`");
+        assert_eq!(e.to_string(), "line 7: bad source operand `[0]`");
+    }
+
+    #[test]
+    fn diagnostic_display_carries_code_and_location() {
+        let d = Diagnostic {
+            severity: Severity::Error,
+            code: "E-UNINIT",
+            function: "main".to_string(),
+            inst: Some(12),
+            operand: Some("u[3]".to_string()),
+            message: "reads a slot never written on this path".to_string(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "error[E-UNINIT] main@12 (u[3]): reads a slot never written on this path"
+        );
+        let w = Diagnostic {
+            severity: Severity::Warning,
+            code: "W-DEAD-RELAY",
+            function: "f0".to_string(),
+            inst: None,
+            operand: None,
+            message: "2 dead relay mv(s)".to_string(),
+        };
+        assert_eq!(
+            w.to_string(),
+            "warning[W-DEAD-RELAY] f0: 2 dead relay mv(s)"
+        );
+    }
+
+    #[test]
+    fn asm_error_lifts_into_a_diagnostic() {
+        let d: Diagnostic = AsmError::new(3, "bad operand").into();
+        assert_eq!(d.code, "E-ASM");
+        assert_eq!(d.message, "line 3: bad operand");
     }
 }

@@ -56,6 +56,14 @@ pub enum CompileError {
     Lower(lower::LowerError),
     /// Back-end failure (e.g. an unsatisfiable distance constraint).
     Backend(String),
+    /// The emitted program failed post-backend static verification
+    /// (see the `ch-verify` crate); `detail` holds the rendered errors.
+    Verify {
+        /// Which backend's output failed ("clockhands", "straight", "riscv").
+        isa: &'static str,
+        /// Rendered verifier error diagnostics.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -64,6 +72,9 @@ impl std::fmt::Display for CompileError {
             CompileError::Parse(e) => write!(f, "parse error: {e}"),
             CompileError::Lower(e) => write!(f, "lowering error: {e}"),
             CompileError::Backend(e) => write!(f, "backend error: {e}"),
+            CompileError::Verify { isa, detail } => {
+                write!(f, "static verification failed for {isa} output:\n{detail}")
+            }
         }
     }
 }
@@ -117,4 +128,49 @@ pub fn compile(src: &str) -> Result<CompiledSet, CompileError> {
         straight: backend::straight::compile(&module).map_err(CompileError::Backend)?,
         clockhands: backend::clockhands::compile(&module).map_err(CompileError::Backend)?,
     })
+}
+
+/// Runs the `ch-verify` static verifier over an already-compiled set.
+///
+/// Lint warnings are tolerated; any error-severity finding means the
+/// backends emitted a program whose dataflow or calling conventions are
+/// provably broken on some path.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Verify`] naming the first failing ISA.
+pub fn verify_set(set: &CompiledSet) -> Result<(), CompileError> {
+    let opts = ch_verify::Options::default();
+    let reports = [
+        ch_verify::verify_clockhands(&set.clockhands, &opts),
+        ch_verify::verify_straight(&set.straight, &opts),
+        ch_verify::verify_riscv(&set.riscv, &opts),
+    ];
+    for report in reports {
+        if !report.is_clean() {
+            let detail = report
+                .errors()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n");
+            return Err(CompileError::Verify {
+                isa: report.isa,
+                detail,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Compiles a Kern source for all three ISAs and statically verifies
+/// each emitted program with [`verify_set`].
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for front-end, lowering, backend, or
+/// verification failures.
+pub fn compile_verified(src: &str) -> Result<CompiledSet, CompileError> {
+    let set = compile(src)?;
+    verify_set(&set)?;
+    Ok(set)
 }

@@ -76,6 +76,10 @@ pub fn run_differential(ctx: &str, src: &str, limit: u64) -> DiffResult {
     // leave every distance encodable before we even execute.
     crate::oracle::check_straight_reach(&set.straight)
         .map_err(|e| HarnessError::new(ctx, Stage::Validate, e).on_isa("straight"))?;
+    // Verifier-clean oracle: every compiled program must pass the
+    // path-sensitive dataflow verifier before the interpreters run, so a
+    // backend bug that happens to execute benignly still fails the case.
+    verify_set(ctx, &set)?;
 
     let mut runs: Vec<IsaRun> = Vec::with_capacity(3);
     for isa in IsaKind::ALL {
@@ -205,6 +209,19 @@ pub fn run_differential(ctx: &str, src: &str, limit: u64) -> DiffResult {
         exit_value: base.exit_value,
         committed: [runs[0].committed, runs[1].committed, runs[2].committed],
     }))
+}
+
+/// Runs `ch-verify` over all three programs of a compiled set, mapping
+/// the first unclean report to a [`Stage::Validate`] harness error on
+/// the offending ISA. Lints are allowed; errors are fatal.
+fn verify_set(ctx: &str, set: &ch_compiler::CompiledSet) -> Result<(), HarnessError> {
+    match ch_compiler::verify_set(set) {
+        Ok(()) => Ok(()),
+        Err(ch_compiler::CompileError::Verify { isa, detail }) => {
+            Err(HarnessError::new(ctx, Stage::Validate, detail).on_isa(isa))
+        }
+        Err(e) => Err(HarnessError::new(ctx, Stage::Validate, e.to_string())),
+    }
 }
 
 fn read_globals(mem: &ch_common::Memory, ranges: &[(u64, u64)]) -> Vec<u8> {

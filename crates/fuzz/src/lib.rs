@@ -15,6 +15,8 @@
 //! * [`oracle`] — invariant oracles for the register machinery
 //!   (Clockhands RP wrap/saturation, STRAIGHT reach, RISC renamer
 //!   free-list conservation and checkpoint recovery);
+//! * [`planted`] — the planted-mutation mode: corrupt one distance
+//!   operand in compiled output and measure `ch-verify`'s catch rate;
 //! * [`mod@shrink`] — a structural minimizer that turns a failing program
 //!   into a small regression test.
 //!
@@ -27,10 +29,12 @@ pub mod asmgen;
 pub mod diff;
 pub mod gen;
 pub mod oracle;
+pub mod planted;
 pub mod shrink;
 
 pub use diff::{run_differential, DiffOutcome, DiffResult, Skip};
 pub use gen::{gen_program, render, KernProgram};
+pub use planted::{planted_batch, Model, PlantedStats};
 pub use shrink::shrink;
 
 use ch_common::error::HarnessError;

@@ -5,8 +5,14 @@
 //! (three interpreters + simulator commit-stream check per case).
 //!
 //! ```text
-//! ch-fuzz [--cases N] [--seed S] [--limit L] [--out DIR]
+//! ch-fuzz [--cases N] [--seed S] [--limit L] [--out DIR] [--planted]
 //! ```
+//!
+//! `--planted` switches to the planted-mutation mode instead: each case
+//! corrupts one source-operand distance in freshly compiled Clockhands
+//! or STRAIGHT output and the batch fails unless the static verifier
+//! (`ch-verify`) catches at least 95% of the corruptions before
+//! execution.
 //!
 //! `PROPTEST_SEED` overrides `--seed`, matching the rest of the
 //! workspace's property tests. On a divergence the failing program is
@@ -20,6 +26,7 @@ struct Args {
     seed: u64,
     limit: u64,
     out: String,
+    planted: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -28,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0xC10C,
         limit: ch_fuzz::DEFAULT_LIMIT,
         out: "tests/regressions".to_string(),
+        planted: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -45,8 +53,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--limit: {e}"))?
             }
             "--out" => args.out = val("--out")?,
+            "--planted" => args.planted = true,
             "--help" | "-h" => {
-                return Err("usage: ch-fuzz [--cases N] [--seed S] [--limit L] [--out DIR]".into())
+                return Err(
+                    "usage: ch-fuzz [--cases N] [--seed S] [--limit L] [--out DIR] [--planted]"
+                        .into(),
+                )
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -69,6 +81,28 @@ fn main() -> ExitCode {
         "ch-fuzz: seed {} ({} cases, limit {} insts/ISA)",
         args.seed, args.cases, args.limit
     );
+
+    if args.planted {
+        // The gated model: window-escaping corruptions, the class the
+        // verifier guarantees to catch (the backend-bug signature).
+        let escape =
+            ch_fuzz::planted_batch(args.seed, args.cases, args.limit, ch_fuzz::Model::Escape);
+        println!("planted (escape model):  {}", escape.summary());
+        for line in &escape.escapes {
+            println!("  {line}");
+        }
+        // Informational: uniform in-range corruption, which includes
+        // in-window value swaps no sound static analysis can reject.
+        let uniform =
+            ch_fuzz::planted_batch(args.seed, args.cases, args.limit, ch_fuzz::Model::Uniform);
+        println!("planted (uniform model): {}", uniform.summary());
+        if escape.static_rate() < 0.95 {
+            eprintln!("escape-model static catch rate below the 95% target");
+            eprintln!("PROPTEST_SEED={}", args.seed);
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
 
     if let Err(e) = ch_fuzz::oracle_batch(args.seed, 4000) {
         eprintln!("oracle violation: {e}");

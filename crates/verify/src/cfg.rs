@@ -1,0 +1,283 @@
+//! Control-flow graph construction and function partitioning, generic
+//! over the three ISAs via a per-instruction [`Flow`] summary.
+//!
+//! Functions are discovered from the program entry plus every direct
+//! call target; each function's body is the set of instructions
+//! reachable from its root through fall-through, jump, and branch edges
+//! (calls fall through to their return point — the callee is summarised,
+//! not inlined). Bodies are split into basic blocks at branch targets
+//! and after control transfers.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// How one instruction transfers control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Falls through to the next instruction.
+    Fall,
+    /// Unconditionally jumps to the target index.
+    Jump(u32),
+    /// Conditionally jumps to the target index, else falls through.
+    Branch(u32),
+    /// Calls the function at the target index, then falls through.
+    Call(u32),
+    /// Calls through a register, then falls through.
+    CallInd,
+    /// Returns (indirect jump); terminal within the function.
+    Ret,
+    /// Stops the machine; terminal.
+    Halt,
+}
+
+/// A basic block: the half-open instruction range `[start, end)` plus
+/// successor block ids within the same function.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Successor blocks (indices into [`Func::blocks`]).
+    pub succs: Vec<usize>,
+}
+
+/// One discovered function.
+#[derive(Debug, Clone)]
+pub struct Func {
+    /// Best-effort name (a label at the root, else `fn@<index>`).
+    pub name: String,
+    /// Root instruction index.
+    pub entry: u32,
+    /// Whether this is the machine entry point (reset state) rather
+    /// than a called function (convention entry state).
+    pub is_machine_entry: bool,
+    /// Basic blocks in ascending start order.
+    pub blocks: Vec<Block>,
+    /// Index into `blocks` of the block containing `entry`.
+    pub entry_block: usize,
+}
+
+impl Func {
+    /// Total number of instructions in the function body.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| (b.end - b.start) as usize).sum()
+    }
+}
+
+/// A control-flow problem found while building the graph (escaping
+/// edges, out-of-range targets). Reported as `(inst, message)`.
+pub type CfgIssue = (u32, String);
+
+fn successors(i: u32, flow: Flow, len: u32) -> Vec<u32> {
+    match flow {
+        Flow::Fall | Flow::Call(_) | Flow::CallInd => {
+            if i + 1 < len {
+                vec![i + 1]
+            } else {
+                Vec::new()
+            }
+        }
+        Flow::Jump(t) => vec![t],
+        Flow::Branch(t) => {
+            let mut s = vec![t];
+            if i + 1 < len {
+                s.push(i + 1);
+            }
+            s
+        }
+        Flow::Ret | Flow::Halt => Vec::new(),
+    }
+}
+
+/// Discovers all functions of a program.
+///
+/// `flow(i)` describes instruction `i`; `labels` provides names. Returns
+/// the functions plus any structural issues found.
+pub fn build_funcs(
+    len: u32,
+    entry: u32,
+    labels: &BTreeMap<String, u32>,
+    flow: &dyn Fn(u32) -> Flow,
+) -> (Vec<Func>, Vec<CfgIssue>) {
+    let mut issues: Vec<CfgIssue> = Vec::new();
+    let mut roots: BTreeSet<u32> = BTreeSet::new();
+    if entry < len {
+        roots.insert(entry);
+    }
+    for i in 0..len {
+        match flow(i) {
+            Flow::Call(t) if t < len => {
+                roots.insert(t);
+            }
+            Flow::Call(t) => issues.push((i, format!("call target {t} out of range"))),
+            Flow::Jump(t) | Flow::Branch(t) if t >= len => {
+                issues.push((i, format!("branch target {t} out of range")));
+            }
+            _ => {}
+        }
+    }
+
+    // Reverse label lookup, preferring function-looking names (no dot).
+    let mut names: BTreeMap<u32, String> = BTreeMap::new();
+    for (name, &at) in labels {
+        let better = match names.get(&at) {
+            None => true,
+            Some(cur) => cur.starts_with('.') && !name.starts_with('.'),
+        };
+        if better {
+            names.insert(at, name.clone());
+        }
+    }
+
+    let mut funcs = Vec::new();
+    for &root in &roots {
+        // Reachable body (intra-function edges only).
+        let mut body: BTreeSet<u32> = BTreeSet::new();
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        body.insert(root);
+        queue.push_back(root);
+        while let Some(i) = queue.pop_front() {
+            let f = flow(i);
+            if matches!(f, Flow::Fall | Flow::Call(_) | Flow::CallInd) && i + 1 >= len {
+                issues.push((i, "control flow falls off the end of the program".into()));
+            }
+            for s in successors(i, f, len) {
+                if s < len && body.insert(s) {
+                    queue.push_back(s);
+                }
+            }
+        }
+
+        // Leaders: the root, every in-body branch/jump target, and every
+        // instruction following a control transfer.
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        leaders.insert(root);
+        for &i in &body {
+            match flow(i) {
+                Flow::Jump(t) | Flow::Branch(t) => {
+                    if body.contains(&t) {
+                        leaders.insert(t);
+                    }
+                    if body.contains(&(i + 1)) {
+                        leaders.insert(i + 1);
+                    }
+                }
+                Flow::Call(_) | Flow::CallInd | Flow::Ret | Flow::Halt => {
+                    if body.contains(&(i + 1)) {
+                        leaders.insert(i + 1);
+                    }
+                }
+                Flow::Fall => {}
+            }
+        }
+
+        // Contiguous runs of body instructions, split at leaders.
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut starts: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut iter = body.iter().copied().peekable();
+        while let Some(start) = iter.next() {
+            let mut end = start + 1;
+            while let Some(&next) = iter.peek() {
+                if next == end && !leaders.contains(&next) {
+                    iter.next();
+                    end += 1;
+                } else {
+                    break;
+                }
+            }
+            starts.insert(start, blocks.len());
+            blocks.push(Block {
+                start,
+                end,
+                succs: Vec::new(),
+            });
+        }
+        // Successor edges from each block's last instruction.
+        for b in blocks.iter_mut() {
+            let last = b.end - 1;
+            let mut succs = Vec::new();
+            for s in successors(last, flow(last), len) {
+                match starts.get(&s) {
+                    Some(&sb) => succs.push(sb),
+                    None => {
+                        issues.push((last, format!("control flow escapes function at target {s}")))
+                    }
+                }
+            }
+            b.succs = succs;
+        }
+
+        let name = names
+            .get(&root)
+            .cloned()
+            .unwrap_or_else(|| format!("fn@{root}"));
+        let entry_block = starts[&root];
+        funcs.push(Func {
+            name,
+            entry: root,
+            is_machine_entry: root == entry,
+            blocks,
+            entry_block,
+        });
+    }
+    (funcs, issues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A tiny synthetic program:
+    //   0: call 4      (_start)
+    //   1: halt
+    //   2: nop         (dead)
+    //   3: nop         (dead)
+    //   4: branch 7    (f)
+    //   5: fall
+    //   6: jump 8
+    //   7: fall
+    //   8: ret
+    fn flow(i: u32) -> Flow {
+        match i {
+            0 => Flow::Call(4),
+            1 => Flow::Halt,
+            4 => Flow::Branch(7),
+            6 => Flow::Jump(8),
+            8 => Flow::Ret,
+            _ => Flow::Fall,
+        }
+    }
+
+    #[test]
+    fn partitions_into_two_functions() {
+        let mut labels = BTreeMap::new();
+        labels.insert("f".to_string(), 4);
+        labels.insert(".f.then".to_string(), 7);
+        let (funcs, issues) = build_funcs(9, 0, &labels, &flow);
+        assert!(issues.is_empty(), "{issues:?}");
+        assert_eq!(funcs.len(), 2);
+        let start = &funcs[0];
+        assert!(start.is_machine_entry);
+        assert_eq!(start.inst_count(), 2); // 0..2; dead nops excluded
+        let f = &funcs[1];
+        assert_eq!(f.name, "f");
+        assert!(!f.is_machine_entry);
+        // Blocks: [4,5), [5,7), [7,8), [8,9).
+        assert_eq!(f.blocks.len(), 4);
+        let diamond = &f.blocks[0];
+        assert_eq!(diamond.succs.len(), 2);
+        // Both arms converge on the ret block.
+        let ret_block = f.blocks.len() - 1;
+        assert!(f.blocks[1].succs.contains(&ret_block));
+        assert!(f.blocks[2].succs.contains(&ret_block));
+    }
+
+    #[test]
+    fn out_of_range_target_is_an_issue() {
+        let (_, issues) = build_funcs(2, 0, &BTreeMap::new(), &|i| match i {
+            0 => Flow::Jump(9),
+            _ => Flow::Halt,
+        });
+        assert!(issues.iter().any(|(at, m)| *at == 0 && m.contains("9")));
+    }
+}

@@ -1,0 +1,284 @@
+//! Shared operand-read checking and transfer-function helpers.
+
+use crate::domain::{Av, Frame, Kind, Marks, Origin, ENTRY_SITE};
+use crate::engine::Sink;
+
+/// How a read operand is being used; some uses legalise or forbid value
+/// kinds (a return address may be spilled or relayed, never computed
+/// on; an unwritten callee-saved register may only be saved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseCx {
+    /// ALU input.
+    Alu,
+    /// The value operand of a store (spills/saves are legal here).
+    StoreValue,
+    /// The base-address operand of a load or store.
+    Base,
+    /// Branch comparison input.
+    Branch,
+    /// The target of an indirect jump (a return).
+    JrTarget,
+    /// The target of an indirect call.
+    CallTarget,
+    /// Source of a register move (relays are legal for any kind).
+    Mv,
+    /// The exit-value operand of `halt`.
+    Halt,
+}
+
+/// Per-analysis options.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Check calling-convention rules (callee-saved preservation, stack
+    /// balance, return-address discipline) in addition to pure dataflow.
+    pub conventions: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { conventions: true }
+    }
+}
+
+/// Marks every writer of `av` as used (the value was read or escaped).
+pub fn mark_av(av: &Av, marks: &mut Marks) {
+    if let Some(ws) = &av.writers {
+        for w in ws {
+            marks.mark(*w);
+        }
+    }
+}
+
+/// Checks one operand read, reporting findings to `sink`.
+///
+/// `is_cs` classifies entry tokens that are callee-saved (readable only
+/// to save them); `describe_entry` renders an entry token for messages.
+#[allow(clippy::too_many_arguments)]
+pub fn check_read(
+    av: &Av,
+    inst: u32,
+    operand: &str,
+    cx: UseCx,
+    opts: &Options,
+    sink: &mut Sink,
+    is_cs: &dyn Fn(u16) -> bool,
+    describe_entry: &dyn Fn(u16) -> String,
+) {
+    let op = || Some(operand.to_string());
+    if let Some(origins) = &av.origins {
+        let mut entry_toks: Vec<u16> = Vec::new();
+        for o in origins {
+            match *o {
+                Origin::Uninit => sink.error(
+                    "E-UNINIT",
+                    Some(inst),
+                    op(),
+                    "reads a slot never written on some incoming path".to_string(),
+                ),
+                Origin::Hole(site) => sink.error(
+                    "E-HOLE",
+                    Some(inst),
+                    op(),
+                    format!("reads the value-less result slot of instruction {site}"),
+                ),
+                Origin::Opaque(site) if site == ENTRY_SITE => sink.error(
+                    "E-CLOBBER",
+                    Some(inst),
+                    op(),
+                    "reads a caller-owned slot with no defined value at function entry".to_string(),
+                ),
+                Origin::Opaque(site) => sink.error(
+                    "E-CLOBBER",
+                    Some(inst),
+                    op(),
+                    format!("reads a value that did not survive the call at instruction {site}"),
+                ),
+                Origin::Entry(t) => entry_toks.push(t),
+                Origin::Inst(_) | Origin::Retval(_) => {}
+            }
+        }
+        if entry_toks.len() > 1 {
+            let named: Vec<String> = entry_toks.iter().map(|t| describe_entry(*t)).collect();
+            sink.error(
+                "E-PATH",
+                Some(inst),
+                op(),
+                format!(
+                    "operand distance is path-inconsistent: resolves to {} depending on the \
+                     incoming path",
+                    named.join(" or ")
+                ),
+            );
+        }
+        if opts.conventions && cx != UseCx::StoreValue {
+            for t in &entry_toks {
+                if is_cs(*t) {
+                    sink.error(
+                        "E-CSREAD",
+                        Some(inst),
+                        op(),
+                        format!(
+                            "reads callee-saved {} before this function has written it \
+                             (only saving it to the stack is allowed)",
+                            describe_entry(*t)
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    if opts.conventions {
+        let is_ra = av.kind == Kind::RetAddr;
+        match cx {
+            UseCx::Alu | UseCx::Base | UseCx::Branch | UseCx::Halt if is_ra => sink.error(
+                "E-RAKIND",
+                Some(inst),
+                op(),
+                "a return address is used as data (allowed: spill, relay, jr)".to_string(),
+            ),
+            UseCx::JrTarget if !is_ra => sink.error(
+                "E-RETADDR",
+                Some(inst),
+                op(),
+                "indirect jump target is not a return address".to_string(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// The abstract result of `addi dst, src, imm` (also used for `spaddi`):
+/// constants fold, pointers shift, and a single-origin plain value
+/// becomes a pointer anchored at that origin (this is how the symbolic
+/// frame tracking follows `sp = caller_sp - frame`).
+pub fn addi_result(i: u32, src: &Av, imm: i64) -> Av {
+    let kind = match (&src.kind, &src.origins) {
+        (Kind::Cst(c), _) => Kind::Cst(c.wrapping_add(imm)),
+        (Kind::Ptr { base, off }, _) => Kind::Ptr {
+            base: *base,
+            off: off.wrapping_add(imm),
+        },
+        (Kind::Val, Some(o)) if o.len() == 1 => match o[0] {
+            Origin::Uninit | Origin::Hole(_) | Origin::Opaque(_) => Kind::Val,
+            base => Kind::Ptr { base, off: imm },
+        },
+        _ => Kind::Val,
+    };
+    Av {
+        kind,
+        ..Av::inst(i)
+    }
+}
+
+/// The abstract result of a load at `i` through `base_av + offset`:
+/// a tracked frame slot's value if the address is symbolic and known,
+/// else a fresh opaque-but-defined value (untracked memory is assumed
+/// initialized — the interpreters zero-fill, so this can never be a
+/// false positive).
+pub fn load_result(i: u32, frame: &Frame, base_av: &Av, offset: i32, marks: &mut Marks) -> Av {
+    if let Kind::Ptr { base, off } = base_av.kind {
+        if let Some(v) = frame.get(&(base, off.wrapping_add(offset as i64))) {
+            mark_av(v, marks);
+            let mut v = v.clone();
+            v.writers = Some(vec![i]);
+            return v;
+        }
+    }
+    Av::inst(i)
+}
+
+/// Records a store of `value` through `base_av + offset` into the
+/// symbolic frame, when the address is tracked. Stores through unknown
+/// addresses are dropped (see [`crate::domain::Frame`]).
+pub fn store_effect(frame: &mut Frame, base_av: &Av, offset: i32, value: Av) {
+    if let Kind::Ptr { base, off } = base_av.kind {
+        frame.insert((base, off.wrapping_add(offset as i64)), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_check(av: &Av, cx: UseCx) -> Vec<&'static str> {
+        let mut sink = Sink::new("f");
+        let opts = Options::default();
+        check_read(av, 0, "x", cx, &opts, &mut sink, &|t| t >= 100, &|t| {
+            format!("tok{t}")
+        });
+        sink.into_diags().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn uninit_and_clobber_reads_flagged() {
+        assert_eq!(run_check(&Av::uninit(), UseCx::Alu), vec!["E-UNINIT"]);
+        assert_eq!(run_check(&Av::opaque(7), UseCx::Alu), vec!["E-CLOBBER"]);
+        assert_eq!(run_check(&Av::hole(3), UseCx::Alu), vec!["E-HOLE"]);
+        assert!(run_check(&Av::inst(1), UseCx::Alu).is_empty());
+    }
+
+    #[test]
+    fn mixed_entry_anchors_are_path_inconsistent() {
+        let mut marks = Marks::new(4);
+        let mut av = Av::entry(1);
+        av.join_with(&Av::entry(2), &mut marks);
+        assert_eq!(run_check(&av, UseCx::Alu), vec!["E-PATH"]);
+    }
+
+    #[test]
+    fn callee_saved_read_is_only_legal_as_a_save() {
+        let av = Av::entry(100);
+        assert_eq!(run_check(&av, UseCx::Alu), vec!["E-CSREAD"]);
+        assert!(run_check(&av, UseCx::StoreValue).is_empty());
+    }
+
+    #[test]
+    fn return_address_discipline() {
+        let ra = Av {
+            kind: Kind::RetAddr,
+            ..Av::entry(1)
+        };
+        assert_eq!(run_check(&ra, UseCx::Alu), vec!["E-RAKIND"]);
+        assert!(run_check(&ra, UseCx::StoreValue).is_empty());
+        assert!(run_check(&ra, UseCx::Mv).is_empty());
+        assert!(run_check(&ra, UseCx::JrTarget).is_empty());
+        assert_eq!(run_check(&Av::inst(1), UseCx::JrTarget), vec!["E-RETADDR"]);
+    }
+
+    #[test]
+    fn addi_tracks_pointers_and_constants() {
+        let sp = Av {
+            kind: Kind::Ptr {
+                base: Origin::Entry(9),
+                off: -32,
+            },
+            ..Av::inst(0)
+        };
+        let r = addi_result(1, &sp, 32);
+        assert!(r.is_entry_value(9));
+        let c = addi_result(1, &Av::cst(0, 5), 3);
+        assert_eq!(c.kind, Kind::Cst(8));
+        // A single-origin plain value becomes a pointer anchored there.
+        let a = addi_result(1, &Av::entry(4), -16);
+        assert_eq!(
+            a.kind,
+            Kind::Ptr {
+                base: Origin::Entry(4),
+                off: -16
+            }
+        );
+    }
+
+    #[test]
+    fn frame_roundtrip_preserves_identity() {
+        let mut marks = Marks::new(8);
+        let mut frame = Frame::new();
+        let sp = addi_result(0, &Av::entry(9), -16);
+        store_effect(&mut frame, &sp, 8, Av::entry(42));
+        let back = load_result(5, &frame, &sp, 8, &mut marks);
+        assert!(back.is_entry_value(42));
+        // Untracked load: fresh defined value, not an error.
+        let fresh = load_result(6, &frame, &Av::inst(1), 0, &mut marks);
+        assert_eq!(fresh.origins, Some(vec![Origin::Inst(6)]));
+    }
+}

@@ -1,0 +1,80 @@
+//! `ch-verify` — verify an assembly file from the command line.
+//!
+//! ```text
+//! ch-verify --isa clockhands|straight|riscv [--no-conventions] FILE.s
+//! ```
+//!
+//! Prints every finding plus a per-function lint summary; exits 1 if
+//! the program has errors (warnings alone exit 0), 2 on usage or
+//! assembly problems.
+
+use ch_verify::{verify_clockhands, verify_riscv, verify_straight, Options, Report};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: ch-verify --isa clockhands|straight|riscv [--no-conventions] FILE.s";
+
+fn run() -> Result<Report, String> {
+    let mut isa: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--isa" => {
+                isa = Some(args.next().ok_or_else(|| USAGE.to_string())?);
+            }
+            "--no-conventions" => opts.conventions = false,
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            _ if file.is_none() => file = Some(a),
+            _ => return Err(format!("unexpected argument `{a}`\n{USAGE}")),
+        }
+    }
+    let isa = isa.ok_or_else(|| USAGE.to_string())?;
+    let file = file.ok_or_else(|| USAGE.to_string())?;
+    let src = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let report = match isa.as_str() {
+        "clockhands" | "ch" => {
+            let prog = clockhands::asm::assemble(&src).map_err(|e| e.to_string())?;
+            verify_clockhands(&prog, &opts)
+        }
+        "straight" | "st" => {
+            let prog = ch_baselines::straight::asm::assemble(&src).map_err(|e| e.to_string())?;
+            verify_straight(&prog, &opts)
+        }
+        "riscv" | "rv" => {
+            let prog = ch_baselines::riscv::asm::assemble(&src).map_err(|e| e.to_string())?;
+            verify_riscv(&prog, &opts)
+        }
+        other => return Err(format!("unknown ISA `{other}`\n{USAGE}")),
+    };
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+        Ok(report) => {
+            print!("{}", report.render());
+            for f in &report.functions {
+                println!(
+                    "fn {} @{}: {} inst(s), {} dead relay(s), {} redundant fix(es)",
+                    f.name, f.entry, f.insts, f.dead_relays, f.redundant_fixes
+                );
+            }
+            let errors = report.errors().count();
+            let warnings = report.warnings().count();
+            println!(
+                "{}: {} error(s), {} warning(s), {} unreachable instruction(s)",
+                report.isa, errors, warnings, report.unreachable
+            );
+            if errors > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}

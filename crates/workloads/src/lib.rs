@@ -27,7 +27,24 @@ mod kernels;
 use ch_common::error::{HarnessError, Stage};
 use ch_common::inst::DynInst;
 use ch_common::IsaKind;
-use ch_compiler::{compile, CompileError, CompiledSet};
+use ch_compiler::{compile, compile_verified, CompileError, CompiledSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Whether [`Workload::compile`] statically verifies the emitted
+/// programs (`ch-verify`). On by default — verification has caught real
+/// backend distance bugs and costs little at these program sizes.
+static VERIFY: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables post-compile static verification process-wide
+/// (the `--no-verify` escape hatch of the experiment drivers).
+pub fn set_verify(on: bool) {
+    VERIFY.store(on, Ordering::Relaxed);
+}
+
+/// Whether post-compile static verification is currently enabled.
+pub fn verify_enabled() -> bool {
+    VERIFY.load(Ordering::Relaxed)
+}
 
 /// Benchmark selection (paper naming in [`Workload::paper_name`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -138,7 +155,11 @@ impl Workload {
     /// Returns the underlying [`CompileError`] (a kernel that fails to
     /// compile is a bug in this crate).
     pub fn compile(self, scale: Scale) -> Result<CompiledSet, CompileError> {
-        compile(&self.source(scale))
+        if verify_enabled() {
+            compile_verified(&self.source(scale))
+        } else {
+            compile(&self.source(scale))
+        }
     }
 
     /// `"coremark/test"`-style context string for error reporting.

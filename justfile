@@ -33,8 +33,20 @@ doc:
 fuzz *ARGS:
     cargo run --release -p ch-fuzz -- --cases 500 --seed 49388 {{ARGS}}
 
+# Planted-mutation calibration of the static verifier: corrupt one
+# distance operand per case in compiled Clockhands/STRAIGHT output and
+# fail unless >= 95% of window-escaping corruptions are caught before
+# execution (DESIGN.md §8 explains the two corruption models).
+planted *ARGS:
+    cargo run --release -p ch-fuzz -- --planted --cases 500 --seed 49388 {{ARGS}}
+
+# Statically verify every workload's compiled output on all three
+# backends (lint warnings allowed and tabulated; errors are fatal).
+verify-workloads:
+    cargo run --release -p ch-bench --bin figures -- --scale test verify
+
 # Everything CI runs.
-ci: build test fmt clippy doc fuzz
+ci: build test fmt clippy doc fuzz planted verify-workloads
 
 # Regenerate every table/figure at test scale with all cores.
 figures *ARGS:

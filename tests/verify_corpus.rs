@@ -1,0 +1,159 @@
+//! Golden-diagnostic corpus for the static verifier.
+//!
+//! Every file in `tests/verify_corpus/` is a deliberately invalid
+//! program with a header describing what must go wrong:
+//!
+//! ```text
+//! # isa: <clockhands|straight|riscv>
+//! # expect: E-XXXX                      (verifier must emit this error)
+//! # expect-assemble-error: <substring>  (assembler must reject first)
+//! ```
+//!
+//! The runner assembles each file with the matching assembler and
+//! asserts either that assembly fails with the expected message, or
+//! that the verifier's error diagnostics include the expected code.
+//! This pins the diagnostic surface: a refactor that silently stops
+//! rejecting one of these programs (or starts rejecting it for the
+//! wrong reason) fails here with the full report attached.
+
+use ch_verify::{verify_clockhands, verify_riscv, verify_straight, Options, Report};
+
+struct Case {
+    name: String,
+    isa: String,
+    expect_code: Option<String>,
+    expect_asm_err: Option<String>,
+    src: String,
+}
+
+fn load_cases() -> Vec<Case> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/verify_corpus");
+    let mut cases: Vec<Case> = std::fs::read_dir(dir)
+        .expect("tests/verify_corpus exists")
+        .filter_map(|e| {
+            let p = e.expect("readable dir entry").path();
+            (p.extension().and_then(|x| x.to_str()) == Some("s")).then_some(p)
+        })
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&p).expect("readable corpus file");
+            let header = |key: &str| {
+                src.lines()
+                    .find_map(|l| l.strip_prefix(key))
+                    .map(|v| v.trim().to_string())
+            };
+            let isa = header("# isa:").unwrap_or_else(|| panic!("{name}: missing `# isa:`"));
+            let expect_code = header("# expect:");
+            let expect_asm_err = header("# expect-assemble-error:");
+            assert!(
+                expect_code.is_some() ^ expect_asm_err.is_some(),
+                "{name}: exactly one of `# expect:` / `# expect-assemble-error:` required"
+            );
+            Case {
+                name,
+                isa,
+                expect_code,
+                expect_asm_err,
+                src,
+            }
+        })
+        .collect();
+    cases.sort_by(|a, b| a.name.cmp(&b.name));
+    cases
+}
+
+/// Assembles `case` and returns the verifier report, or the assembler's
+/// error message.
+fn assemble_and_verify(case: &Case) -> Result<Report, String> {
+    let opts = Options::default();
+    match case.isa.as_str() {
+        "clockhands" => clockhands::asm::assemble(&case.src)
+            .map(|p| verify_clockhands(&p, &opts))
+            .map_err(|e| e.to_string()),
+        "straight" => ch_baselines::straight::asm::assemble(&case.src)
+            .map(|p| verify_straight(&p, &opts))
+            .map_err(|e| e.to_string()),
+        "riscv" => ch_baselines::riscv::asm::assemble(&case.src)
+            .map(|p| verify_riscv(&p, &opts))
+            .map_err(|e| e.to_string()),
+        other => panic!("{}: unknown isa {other:?}", case.name),
+    }
+}
+
+#[test]
+fn corpus_programs_are_rejected_with_the_expected_diagnostic() {
+    let cases = load_cases();
+    assert!(
+        cases.len() >= 10,
+        "corpus shrank below 10 programs ({} left)",
+        cases.len()
+    );
+    for case in &cases {
+        match (
+            assemble_and_verify(case),
+            &case.expect_code,
+            &case.expect_asm_err,
+        ) {
+            (Ok(report), Some(code), _) => {
+                assert!(
+                    report.errors().any(|d| d.code == code.as_str()),
+                    "{}: expected {code} among errors, got:\n{}",
+                    case.name,
+                    report.render()
+                );
+            }
+            (Ok(report), None, Some(msg)) => panic!(
+                "{}: expected assembly to fail with {msg:?}, but it assembled; report:\n{}",
+                case.name,
+                report.render()
+            ),
+            (Err(err), _, Some(msg)) => {
+                assert!(
+                    err.contains(msg.as_str()),
+                    "{}: assembler error {err:?} does not mention {msg:?}",
+                    case.name
+                );
+            }
+            (Err(err), Some(code), None) => panic!(
+                "{}: expected the verifier to emit {code}, but assembly failed: {err}",
+                case.name
+            ),
+            (_, None, None) => unreachable!("load_cases enforces one expectation"),
+        }
+    }
+}
+
+/// Each corpus program must be rejected for the *documented* reason and
+/// not drown it in unrelated noise: every error code the verifier emits
+/// is listed in the known set, so a new error class showing up in the
+/// corpus is a conscious decision, not an accident.
+#[test]
+fn corpus_diagnostics_stay_within_the_documented_code_set() {
+    const KNOWN: &[&str] = &[
+        "E-UNINIT",
+        "E-HOLE",
+        "E-CLOBBER",
+        "E-PATH",
+        "E-DIST",
+        "E-RETADDR",
+        "E-RAKIND",
+        "E-CSREAD",
+        "E-CALLEE",
+        "E-SP",
+        "E-CFG",
+        "E-FIXPOINT",
+    ];
+    for case in &load_cases() {
+        if let Ok(report) = assemble_and_verify(case) {
+            for d in report.errors() {
+                assert!(
+                    KNOWN.contains(&d.code),
+                    "{}: undocumented error code {} in:\n{}",
+                    case.name,
+                    d.code,
+                    report.render()
+                );
+            }
+        }
+    }
+}

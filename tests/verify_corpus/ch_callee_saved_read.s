@@ -1,0 +1,12 @@
+# isa: clockhands
+# expect: E-CSREAD
+# v holds the caller's callee-saved values at entry; a called function
+# may read them only to save them, not feed them into arithmetic.
+_start:
+call s, f
+halt s[1]
+f:
+add t, v[0], zero
+mv s, t[0]
+mv s, s[3]
+jr s[2]

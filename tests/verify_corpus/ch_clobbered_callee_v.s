@@ -1,0 +1,12 @@
+# isa: clockhands
+# expect: E-CALLEE
+# A called function overwrites callee-saved v[0] and returns without
+# restoring the caller's value.
+_start:
+call s, f
+halt s[1]
+f:
+li v, 7
+mv s, v[0]
+mv s, s[2]
+jr s[2]

@@ -1,0 +1,7 @@
+# isa: clockhands
+# expect-assemble-error: distance
+# t[16] exceeds the 4-bit distance field; the assembler rejects the
+# operand before the verifier ever sees the program.
+li t, 1
+mv t, t[16]
+halt t[0]

@@ -1,0 +1,19 @@
+# isa: clockhands
+# expect: E-PATH
+# One arm pushes one s write, the other two: at the join s[2] names the
+# argument on one path and the return address on the other.
+_start:
+li t, 5
+mv s, t[0]
+call s, f
+halt s[1]
+f:
+bne s[1], zero, .two
+mv s, s[1]
+j .join
+.two:
+mv s, s[1]
+mv s, s[2]
+.join:
+mv t, s[2]
+halt t[0]

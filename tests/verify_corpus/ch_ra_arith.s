@@ -1,0 +1,12 @@
+# isa: clockhands
+# expect: E-RAKIND
+# s[0] holds the return address at function entry; using it as an
+# arithmetic operand is a convention violation.
+_start:
+call s, f
+halt s[1]
+f:
+add t, s[0], zero
+mv s, t[0]
+mv s, s[3]
+jr s[2]

@@ -1,0 +1,11 @@
+# isa: clockhands
+# expect: E-SP
+# At return, s[0] must again hold the caller stack pointer; here the
+# function returns with a local value in that slot.
+_start:
+call s, f
+halt s[1]
+f:
+li t, 9
+mv s, t[0]
+jr s[1]

@@ -1,0 +1,18 @@
+# isa: clockhands
+# expect: E-CLOBBER
+# A t value computed before a call is caller-clobbered after it; the
+# backend must relay such values through the s hand.
+_start:
+call s, f
+halt s[1]
+f:
+li t, 1
+mv s, s[0]
+call s, g
+mv s, t[0]
+mv s, s[1]
+jr s[1]
+g:
+mv s, s[1]
+mv s, s[2]
+jr s[2]

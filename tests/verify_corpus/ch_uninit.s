@@ -1,0 +1,6 @@
+# isa: clockhands
+# expect: E-UNINIT
+# Reading u-hand slots that no instruction ever wrote: at machine entry
+# every hand window is uninitialized.
+add t, u[0], u[1]
+halt t[0]

@@ -1,0 +1,11 @@
+# isa: riscv
+# expect: E-CALLEE
+# s0 is callee-saved; overwriting it without save/restore violates the
+# ABI the backends rely on.
+_start:
+call ra, f
+halt a0
+f:
+li s0, 5
+add a0, s0, zero
+ret ra

@@ -1,0 +1,6 @@
+# isa: riscv
+# expect: E-UNINIT
+# t0 is read before any instruction defines it.
+_start:
+add t1, t0, t0
+halt t1

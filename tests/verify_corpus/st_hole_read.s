@@ -1,0 +1,8 @@
+# isa: straight
+# expect: E-HOLE
+# Stores occupy a ring slot but produce no value; reading that slot is
+# meaningless.
+li 8
+li 64
+sd [2], 0([1])
+halt [1]

@@ -1,0 +1,18 @@
+# isa: straight
+# expect: E-PATH
+# The taken arm pushes two values, the fallthrough arm one: at the
+# join `[2]` names a different entry-anchored value per path — the
+# static-reach violation STRAIGHT compilers must pad away.
+_start:
+call f
+halt [2]
+f:
+bne [2], zero, .long
+mv [2]
+j .done
+.long:
+mv [3]
+mv [3]
+.done:
+mv [2]
+halt [1]

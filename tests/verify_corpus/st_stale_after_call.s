@@ -1,0 +1,15 @@
+# isa: straight
+# expect: E-CLOBBER
+# A pre-call value referenced with a distance that ignores the call's
+# ring effect resolves to caller-clobbered state.
+_start:
+call f
+halt [2]
+f:
+li 42
+call g
+mv [3]
+ret [4]
+g:
+li 9
+ret [2]

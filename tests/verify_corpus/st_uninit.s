@@ -1,0 +1,6 @@
+# isa: straight
+# expect: E-UNINIT
+# At machine entry nothing has been written; [5] reaches past program
+# start.
+mv [5]
+halt [1]

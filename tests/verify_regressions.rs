@@ -1,0 +1,105 @@
+//! The static verifier against the fuzzer's regression corpus.
+//!
+//! Two directions:
+//!
+//! * every minimized reproducer in `tests/regressions/` exposed a real
+//!   backend bug that has since been fixed — the *fixed* compiler's
+//!   output for each must now be verifier-clean on all three ISAs;
+//! * hand-written assembly variants that re-introduce two of the
+//!   fuzzer-found backend bug patterns (a Clockhands value kept live
+//!   across a call without an `s`-hand relay, and a STRAIGHT operand
+//!   whose distance was not adjusted for a call's ring effect) must be
+//!   *rejected* with the expected diagnostic — the verifier is the
+//!   static backstop that would have caught those bugs without
+//!   executing anything.
+
+use ch_verify::{verify_clockhands, verify_riscv, verify_straight, Options};
+
+#[test]
+fn fixed_reproducers_compile_to_verifier_clean_output() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/regressions");
+    let mut cases: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/regressions exists")
+        .filter_map(|e| {
+            let p = e.expect("readable dir entry").path();
+            (p.extension().and_then(|x| x.to_str()) == Some("kern")).then_some(p)
+        })
+        .collect();
+    assert!(!cases.is_empty(), "no reproducers in {dir}");
+    cases.sort();
+    let opts = Options::default();
+    for path in cases {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).expect("readable reproducer");
+        let set = ch_compiler::compile(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for report in [
+            verify_clockhands(&set.clockhands, &opts),
+            verify_straight(&set.straight, &opts),
+            verify_riscv(&set.riscv, &opts),
+        ] {
+            assert!(
+                report.is_clean(),
+                "{name} [{}] no longer verifier-clean:\n{}",
+                report.isa,
+                report.render()
+            );
+        }
+    }
+}
+
+/// Reverted form of the `clockhands_stale_dead_value_relay` bug: the
+/// backend once kept a `t`-hand value live across a call instead of
+/// relaying it through the `s` hand. Post-call, `t` holds caller
+/// leftovers, so the read must be flagged as E-CLOBBER.
+#[test]
+fn reverted_clockhands_missing_relay_across_call_is_flagged() {
+    let src = "_start:
+         call s, f
+         halt s[1]
+         f:
+         li t, 1
+         mv s, s[0]
+         call s, g
+         mv s, t[0]        # bug: t[0] died at the call
+         mv s, s[1]
+         jr s[1]
+         g:
+         mv s, s[1]
+         mv s, s[2]
+         jr s[2]";
+    let prog = clockhands::asm::assemble(src).expect("assembles");
+    let r = verify_clockhands(&prog, &Options::default());
+    assert!(!r.is_clean());
+    assert!(
+        r.errors().any(|d| d.code == "E-CLOBBER"),
+        "expected E-CLOBBER:\n{}",
+        r.render()
+    );
+}
+
+/// Reverted form of the `straight_call_spill_slot_drift` bug: the
+/// backend once referenced a pre-call value with a distance that was
+/// not recomputed after a call was inserted between def and use. The
+/// operand now resolves to caller-clobbered ring state: E-CLOBBER.
+#[test]
+fn reverted_straight_call_distance_drift_is_flagged() {
+    let src = "_start:
+         call f
+         halt [2]
+         f:
+         li 42             # meant to survive the call
+         call g
+         mv [3]            # bug: distance not adjusted for the call
+         ret [4]
+         g:
+         li 9
+         ret [2]";
+    let prog = ch_baselines::straight::asm::assemble(src).expect("assembles");
+    let r = verify_straight(&prog, &Options::default());
+    assert!(!r.is_clean());
+    assert!(
+        r.errors().any(|d| d.code == "E-CLOBBER"),
+        "expected E-CLOBBER:\n{}",
+        r.render()
+    );
+}

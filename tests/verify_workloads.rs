@@ -1,0 +1,43 @@
+//! The static verifier must accept the compiler's output: every
+//! workload, on every backend, at every scale the tier-1 suite builds,
+//! verifies with zero errors (lint warnings are allowed). Any error
+//! here is a verifier false positive or a real backend bug — both are
+//! release blockers.
+
+use ch_verify::{verify_clockhands, verify_riscv, verify_straight, Options, Report};
+use ch_workloads::{Scale, Workload};
+
+fn assert_clean(report: &Report, what: &str) {
+    assert!(
+        report.is_clean(),
+        "{what} ({}) has verifier errors:\n{}",
+        report.isa,
+        report.render()
+    );
+}
+
+#[test]
+fn all_workloads_verify_on_all_backends() {
+    let opts = Options::default();
+    for w in Workload::ALL {
+        let set = w
+            .compile(Scale::Test)
+            .unwrap_or_else(|e| panic!("{} failed to compile: {e}", w.name()));
+        let what = format!("{}/test", w.name());
+        assert_clean(&verify_clockhands(&set.clockhands, &opts), &what);
+        assert_clean(&verify_straight(&set.straight, &opts), &what);
+        assert_clean(&verify_riscv(&set.riscv, &opts), &what);
+    }
+}
+
+#[test]
+fn small_scale_coremark_also_verifies() {
+    // One larger program as a stress check on the worklist engine.
+    let set = Workload::Coremark
+        .compile(Scale::Small)
+        .expect("coremark/small compiles");
+    let opts = Options::default();
+    assert_clean(&verify_clockhands(&set.clockhands, &opts), "coremark/small");
+    assert_clean(&verify_straight(&set.straight, &opts), "coremark/small");
+    assert_clean(&verify_riscv(&set.riscv, &opts), "coremark/small");
+}
