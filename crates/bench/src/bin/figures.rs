@@ -3,8 +3,13 @@
 //! ```text
 //! figures [--scale test|small|full] [--jobs N] [--no-verify] [ids...]
 //! ids: table1 table2 table3 fig3 fig4 fig7 fig13 fig14 fig15 fig16 fig17
-//!      fig18 ablation stalls trace verify
+//!      fig18 ablation stalls trace verify bench
 //! ```
+//!
+//! `bench` (not part of the default run) times the full simulation
+//! sweep on the fast engine and the reference engine, writes the
+//! `BENCH_<pr>.json` snapshot, and fails if the committed baseline
+//! regressed; see `ch_bench::report`.
 //!
 //! Compiled programs are statically verified (`ch-verify`) before any
 //! experiment runs them; `--no-verify` skips that (faster, but silent
@@ -86,8 +91,9 @@ fn main() {
                 "stalls" => bench::stalls(scale),
                 "trace" => bench::traces(scale),
                 "verify" => bench::verify_lints(scale),
+                "bench" => bench::bench_experiment(scale),
                 other => {
-                    eprintln!("unknown experiment `{other}` (known: {all:?})");
+                    eprintln!("unknown experiment `{other}` (known: {all:?}, plus `bench`)");
                     std::process::exit(2);
                 }
             });

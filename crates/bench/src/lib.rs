@@ -28,7 +28,7 @@ use ch_common::stats::{BusyClock, Counters, ExperimentTiming};
 use ch_common::{DynInst, IsaKind};
 use ch_energy::energy;
 use ch_fpga::resources;
-use ch_sim::Simulator;
+use ch_sim::{run_fast_profiled, BranchProfile, SoaTrace};
 use ch_workloads::{Scale, Workload};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -37,8 +37,12 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 pub mod driver;
+pub mod report;
+pub mod sweep;
 
 pub use driver::{jobs, par_for_each, par_map, set_jobs};
+pub use report::bench_experiment;
+pub use sweep::{sweep, sweep_stream};
 
 /// Interpreter instruction budget.
 const LIMIT: u64 = 2_000_000_000;
@@ -52,6 +56,8 @@ type SimKey = (Workload, IsaKind, WidthClass, u8);
 type KeyedCache<K, V> = OnceLock<Mutex<HashMap<K, Arc<OnceLock<V>>>>>;
 
 static TRACE_CACHE: KeyedCache<TraceKey, Arc<[DynInst]>> = OnceLock::new();
+static SOA_CACHE: KeyedCache<TraceKey, Arc<SoaTrace>> = OnceLock::new();
+static PROFILE_CACHE: KeyedCache<TraceKey, Arc<BranchProfile>> = OnceLock::new();
 static SIM_CACHE: KeyedCache<SimKey, Counters> = OnceLock::new();
 
 /// Grabs (creating on first use) the per-key once-cell of a cache.
@@ -92,18 +98,45 @@ fn compute_trace(w: Workload, isa: IsaKind, scale: Scale) -> Arc<[DynInst]> {
     Arc::from(t)
 }
 
+/// The committed trace of one workload in the fast engine's
+/// structure-of-arrays layout (cached per process; built once from the
+/// [`trace`] cache and shared by every machine width that sweeps it).
+pub fn soa_trace(w: Workload, isa: IsaKind, scale: Scale) -> Arc<SoaTrace> {
+    let cell = cache_cell(&SOA_CACHE, (w, isa, scale_id(scale)));
+    cell.get_or_init(|| {
+        let t = trace(w, isa, scale);
+        BUSY.time(|| Arc::new(SoaTrace::new(t.iter())))
+    })
+    .clone()
+}
+
+/// The pre-replayed branch-predictor outcomes of one workload's trace
+/// (cached per process; every preset shares one predictor geometry, so
+/// all five machine widths reuse one replay — see
+/// [`ch_sim::BranchProfile`]).
+pub fn branch_profile(w: Workload, isa: IsaKind, scale: Scale) -> Arc<BranchProfile> {
+    let cell = cache_cell(&PROFILE_CACHE, (w, isa, scale_id(scale)));
+    cell.get_or_init(|| {
+        let t = soa_trace(w, isa, scale);
+        // Geometry is width-independent; W4 stands in for all presets.
+        let cfg = MachineConfig::preset(WidthClass::W4, isa);
+        BUSY.time(|| Arc::new(BranchProfile::new(&cfg, &t)))
+    })
+    .clone()
+}
+
 /// Simulates one workload on one Table 2 machine (cached per process).
+///
+/// Runs on the fast-path engine ([`ch_sim::FastEngine`]) with the
+/// cached [`branch_profile`]; the differential suite in `tests/`
+/// asserts its counters are byte-identical to the reference
+/// [`Simulator`] on every workload × ISA × width.
 pub fn simulate(w: Workload, isa: IsaKind, width: WidthClass, scale: Scale) -> Counters {
     let cell = cache_cell(&SIM_CACHE, (w, isa, width, scale_id(scale)));
     cell.get_or_init(|| {
-        let t = trace(w, isa, scale);
-        BUSY.time(|| {
-            let mut sim = Simulator::new(MachineConfig::preset(width, isa));
-            for inst in t.iter() {
-                sim.step(inst);
-            }
-            sim.finish()
-        })
+        let t = soa_trace(w, isa, scale);
+        let p = branch_profile(w, isa, scale);
+        BUSY.time(|| run_fast_profiled(MachineConfig::preset(width, isa), &t, &p))
     })
     .clone()
 }
@@ -122,14 +155,9 @@ pub fn timed<R>(f: impl FnOnce() -> R) -> (R, ExperimentTiming) {
 }
 
 /// Computes the given traces in parallel (deduplicated, cache-backed).
-fn warm_traces(scale: Scale, keys: impl IntoIterator<Item = (Workload, IsaKind)>) {
-    let mut unique: Vec<(Workload, IsaKind)> = Vec::new();
-    for k in keys {
-        if !unique.contains(&k) {
-            unique.push(k);
-        }
-    }
-    par_for_each(&unique, |&(w, isa)| {
+pub(crate) fn warm_traces(scale: Scale, keys: impl IntoIterator<Item = (Workload, IsaKind)>) {
+    let keys: Vec<(Workload, IsaKind)> = keys.into_iter().collect();
+    sweep(&keys, |&(w, isa)| {
         trace(w, isa, scale);
     });
 }
@@ -144,7 +172,7 @@ fn warm_sims(scale: Scale, combos: &[(Workload, IsaKind, WidthClass)]) {
 }
 
 /// Every `(workload, isa, width)` combination of the Fig. 13/14 sweeps.
-fn full_sweep() -> Vec<(Workload, IsaKind, WidthClass)> {
+pub(crate) fn full_sweep() -> Vec<(Workload, IsaKind, WidthClass)> {
     let mut combos = Vec::new();
     for w in Workload::ALL {
         for isa in IsaKind::ALL {
@@ -617,14 +645,11 @@ pub fn ablation(scale: Scale) -> String {
         .flat_map(|&w| [&base, &equal, &deep].map(|cfg| (w, cfg)))
         .collect();
     let cycles = par_map(&jobs, |&(w, cfg)| {
-        let t = trace(w, IsaKind::Clockhands, scale);
-        BUSY.time(|| {
-            let mut sim = Simulator::new(cfg.clone());
-            for i in t.iter() {
-                sim.step(i);
-            }
-            sim.finish().cycles
-        })
+        let t = soa_trace(w, IsaKind::Clockhands, scale);
+        // The ablations vary hand quotas and front-end depth only, so the
+        // predictor replay (geometry-keyed) is shared with the main sweep.
+        let p = branch_profile(w, IsaKind::Clockhands, scale);
+        BUSY.time(|| run_fast_profiled(cfg.clone(), &t, &p).cycles)
     });
     for (w, row) in Workload::ALL.iter().zip(cycles.chunks(3)) {
         let _ = writeln!(
@@ -739,17 +764,13 @@ pub fn traces(scale: Scale) -> String {
         .collect();
     warm_traces(scale, combos.iter().copied());
     let outputs = par_map(&combos, |&(w, isa)| {
-        let t = trace(w, isa, scale);
+        let t = soa_trace(w, isa, scale);
         BUSY.time(|| {
-            let mut sim = Simulator::with_tracer(
+            let engine = ch_sim::FastEngine::with_tracer(
                 MachineConfig::preset(WidthClass::W8, isa),
                 ch_sim::TraceBuffer::with_limit(INSTS),
             );
-            for i in t.iter() {
-                sim.step(i);
-            }
-            sim.finish();
-            let buf = sim.into_tracer();
+            let (_, buf) = engine.run(&t);
             let last = buf.records().last().map(|r| r.stamps.commit).unwrap_or(0);
             (buf.to_kanata(), buf.to_jsonl(), buf.records().len(), last)
         })

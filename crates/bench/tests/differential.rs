@@ -1,0 +1,114 @@
+//! Differential test: the fast-path engine must be **byte-identical**
+//! to the reference simulator — every counter, including the full stall
+//! breakdown — on every workload × ISA × width combination, and the
+//! cached parallel driver must return the same results at any worker
+//! count.
+//!
+//! This is the correctness bar of the engine restructuring: the fast
+//! engine is only allowed to be a faster evaluation order of the same
+//! timing model, never a different model.
+
+use ch_bench::{set_jobs, simulate, soa_trace, sweep, trace};
+use ch_common::config::{MachineConfig, WidthClass};
+use ch_common::IsaKind;
+use ch_sim::{run_fast, FastEngine, Simulator, TraceBuffer};
+use ch_workloads::{Scale, Workload};
+
+const SCALE: Scale = Scale::Test;
+
+fn reference(w: Workload, isa: IsaKind, width: WidthClass) -> ch_sim::Counters {
+    let t = trace(w, isa, SCALE);
+    let mut sim = Simulator::new(MachineConfig::preset(width, isa));
+    for inst in t.iter() {
+        sim.step(inst);
+    }
+    sim.finish()
+}
+
+#[test]
+fn fast_engine_matches_reference_on_every_combo() {
+    for w in Workload::ALL {
+        for isa in IsaKind::ALL {
+            let soa = soa_trace(w, isa, SCALE);
+            for width in WidthClass::ALL {
+                let fast = run_fast(MachineConfig::preset(width, isa), &soa);
+                let reference = reference(w, isa, width);
+                assert_eq!(
+                    fast,
+                    reference,
+                    "fast engine diverged on {}/{}/{} (stalls: fast {:?} vs ref {:?})",
+                    w.name(),
+                    isa.tag(),
+                    width.label(),
+                    fast.stalls,
+                    reference.stalls
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn traced_fast_engine_matches_reference_stamps() {
+    // One combo per ISA: stage stamps, not just end-of-run counters.
+    for isa in IsaKind::ALL {
+        let w = Workload::ALL[0];
+        let cfg = MachineConfig::preset(WidthClass::W8, isa);
+        let t = trace(w, isa, SCALE);
+        let mut sim = Simulator::with_tracer(cfg.clone(), TraceBuffer::new());
+        for inst in t.iter() {
+            sim.step(inst);
+        }
+        let ref_counters = sim.finish();
+        let ref_records = sim.into_tracer();
+
+        let soa = soa_trace(w, isa, SCALE);
+        let (fast_counters, fast_records) =
+            FastEngine::with_tracer(cfg, TraceBuffer::new()).run(&soa);
+
+        assert_eq!(fast_counters, ref_counters, "{}/{}", w.name(), isa.tag());
+        assert_eq!(
+            fast_records.records().len(),
+            ref_records.records().len(),
+            "{}/{}",
+            w.name(),
+            isa.tag()
+        );
+        for (f, r) in fast_records.records().iter().zip(ref_records.records()) {
+            assert_eq!(f, r, "stamp mismatch on {}/{}", w.name(), isa.tag());
+        }
+    }
+}
+
+#[test]
+fn parallel_sweep_is_worker_count_invariant() {
+    // The cached driver must hand back identical counters no matter how
+    // the jobs were scheduled. simulate() memoizes per process, so drain
+    // a fresh uncached shape per jobs value: dedupe-heavy key lists
+    // through the sweep engine, values compared against the serial runs.
+    let combos: Vec<(Workload, IsaKind, WidthClass)> = Workload::ALL
+        .iter()
+        .flat_map(|&w| {
+            IsaKind::ALL
+                .into_iter()
+                .flat_map(move |isa| [WidthClass::W4, WidthClass::W8].map(|wd| (w, isa, wd)))
+        })
+        .collect();
+    // Repeat keys to exercise the dedupe path.
+    let mut keys = combos.clone();
+    keys.extend(combos.iter().rev().cloned());
+
+    set_jobs(1);
+    let serial = sweep(&keys, |&(w, isa, wd)| simulate(w, isa, wd, SCALE));
+    for jobs in [2, 5, 8] {
+        set_jobs(jobs);
+        let parallel = sweep(&keys, |&(w, isa, wd)| simulate(w, isa, wd, SCALE));
+        assert_eq!(serial, parallel, "jobs={jobs}");
+        // And bypassing the memoized cache entirely:
+        let uncached = sweep(&keys, |&(w, isa, wd)| {
+            run_fast(MachineConfig::preset(wd, isa), &soa_trace(w, isa, SCALE))
+        });
+        assert_eq!(serial, uncached, "uncached, jobs={jobs}");
+    }
+    set_jobs(0);
+}

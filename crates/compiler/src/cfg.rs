@@ -188,43 +188,103 @@ pub struct LoopInfo {
     pub depth: Vec<u32>,
     /// Loop headers in discovery order, with their body block sets.
     pub loops: Vec<(BlockId, HashSet<BlockId>)>,
+    /// Retreating edges whose target does **not** dominate their source.
+    /// Non-empty exactly when the CFG is irreducible; such edges form no
+    /// natural loop and are excluded from [`loops`](Self::loops) and
+    /// [`depth`](Self::depth) rather than mis-counted as one.
+    pub irreducible_edges: Vec<(BlockId, BlockId)>,
 }
 
-/// Finds natural loops from back edges (edge `t → h` where `h` dominates
-/// `t` is approximated by `h` being an ancestor in the DFS — for reducible
-/// CFGs produced by our structured lowering this is exact).
-pub fn loop_info(f: &Function) -> LoopInfo {
-    // Dominator-lite: structured control flow from the lowering produces
-    // reducible graphs, so a back edge is any edge to a block currently on
-    // the DFS stack.
-    let n = f.blocks.len();
-    let mut on_stack = vec![false; n];
-    let mut visited = vec![false; n];
-    let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new();
-    // Iterative DFS tracking the stack.
-    enum Ev {
-        Enter(BlockId),
-        Exit(BlockId),
+impl LoopInfo {
+    /// Whether every cycle in the CFG is a natural loop (single-entry).
+    pub fn is_reducible(&self) -> bool {
+        self.irreducible_edges.is_empty()
     }
-    let mut stack = vec![Ev::Enter(0)];
-    while let Some(ev) = stack.pop() {
-        match ev {
-            Ev::Enter(b) => {
-                if visited[b] {
-                    continue;
+}
+
+/// Immediate dominators of the reachable blocks, by the iterative
+/// Cooper–Harvey–Kennedy algorithm over reverse postorder. The entry is
+/// its own idom; unreachable blocks get `usize::MAX`.
+fn idoms(f: &Function, order: &[BlockId], rpo_idx: &[usize]) -> Vec<usize> {
+    let preds = f.predecessors();
+    let mut idom = vec![usize::MAX; f.blocks.len()];
+    idom[0] = 0;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            // Intersect the dominator chains of all processed preds.
+            let mut new = usize::MAX;
+            for &p in &preds[b] {
+                if idom[p] == usize::MAX {
+                    continue; // unreachable or not yet processed
                 }
-                visited[b] = true;
-                on_stack[b] = true;
-                stack.push(Ev::Exit(b));
-                for s in f.blocks[b].term.succs() {
-                    if on_stack[s] {
-                        back_edges.push((b, s));
-                    } else if !visited[s] {
-                        stack.push(Ev::Enter(s));
+                new = if new == usize::MAX {
+                    p
+                } else {
+                    // Walk both chains up (by RPO position) to the meet.
+                    let (mut a, mut c) = (p, new);
+                    while a != c {
+                        while rpo_idx[a] > rpo_idx[c] {
+                            a = idom[a];
+                        }
+                        while rpo_idx[c] > rpo_idx[a] {
+                            c = idom[c];
+                        }
                     }
-                }
+                    a
+                };
             }
-            Ev::Exit(b) => on_stack[b] = false,
+            if new != usize::MAX && idom[b] != new {
+                idom[b] = new;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+/// Whether `a` dominates `b` (both reachable), by walking `b`'s idom
+/// chain up to the entry.
+fn dominates(idom: &[usize], a: BlockId, mut b: BlockId) -> bool {
+    loop {
+        if a == b {
+            return true;
+        }
+        if b == 0 {
+            return false;
+        }
+        b = idom[b];
+    }
+}
+
+/// Finds natural loops from dominator-identified back edges: an edge
+/// `t → h` is a back edge iff `h` dominates `t`. Retreating edges whose
+/// target does not dominate the source mark the CFG as irreducible and
+/// are reported in [`LoopInfo::irreducible_edges`] instead of being
+/// folded into a bogus natural loop.
+pub fn loop_info(f: &Function) -> LoopInfo {
+    let n = f.blocks.len();
+    let order = rpo(f);
+    let mut rpo_idx = vec![usize::MAX; n];
+    for (i, &b) in order.iter().enumerate() {
+        rpo_idx[b] = i;
+    }
+    let idom = idoms(f, &order, &rpo_idx);
+    let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new();
+    let mut irreducible_edges: Vec<(BlockId, BlockId)> = Vec::new();
+    for &t in &order {
+        for h in f.blocks[t].term.succs() {
+            // Only retreating edges (target not later in RPO) can close a
+            // cycle; forward edges never do.
+            if rpo_idx[h] > rpo_idx[t] {
+                continue;
+            }
+            if dominates(&idom, h, t) {
+                back_edges.push((t, h));
+            } else {
+                irreducible_edges.push((t, h));
+            }
         }
     }
     // Natural loop body of back edge t -> h: h plus everything reaching t
@@ -257,7 +317,11 @@ pub fn loop_info(f: &Function) -> LoopInfo {
             depth[b] += 1;
         }
     }
-    LoopInfo { depth, loops }
+    LoopInfo {
+        depth,
+        loops,
+        irreducible_edges,
+    }
 }
 
 #[cfg(test)]
@@ -334,5 +398,71 @@ mod tests {
         let li = loop_info(&f);
         assert!(li.loops.is_empty());
         assert!(li.depth.iter().all(|&d| d == 0));
+        assert!(li.is_reducible());
+    }
+
+    #[test]
+    fn structured_sources_are_reducible() {
+        let f = func(
+            "fn main() -> int {
+                 var s: int = 0;
+                 for (var i: int = 0; i < 3; i += 1) {
+                     for (var j: int = 0; j < 3; j += 1) { s += j; }
+                 }
+                 return s;
+             }",
+        );
+        assert!(loop_info(&f).is_reducible());
+    }
+
+    #[test]
+    fn irreducible_cycle_is_detected_not_miscounted() {
+        // The front end only emits reducible CFGs, so build the classic
+        // two-entry cycle by hand:
+        //
+        //       entry
+        //       /   \
+        //      a <--> b
+        //
+        // Neither a nor b dominates the other, so the cycle has no
+        // natural-loop header. The old DFS-ancestry test classified the
+        // retreating edge as a back edge and reported a spurious loop
+        // (whose predecessor walk even swallowed the entry block).
+        use crate::ast::Ty;
+        use crate::ir::{Function, Term};
+        use ch_common::exec::BrCond;
+
+        let mut f = Function::new("irr", None);
+        let x = f.new_vreg(Ty::Int);
+        let y = f.new_vreg(Ty::Int);
+        let a = f.new_block();
+        let b = f.new_block();
+        f.blocks[0].term = Term::CondBr {
+            cond: BrCond::Eq,
+            a: x,
+            b: y,
+            then_: a,
+            else_: b,
+        };
+        f.blocks[a].term = Term::Jump(b);
+        f.blocks[b].term = Term::Jump(a);
+
+        let li = loop_info(&f);
+        assert!(!li.is_reducible(), "two-entry cycle must be irreducible");
+        assert!(
+            li.loops.is_empty(),
+            "no natural loop exists, got headers {:?}",
+            li.loops.iter().map(|(h, _)| *h).collect::<Vec<_>>()
+        );
+        assert!(
+            li.depth.iter().all(|&d| d == 0),
+            "no block is in a natural loop: {:?}",
+            li.depth
+        );
+        // The offending edge is reported precisely: the retreating edge
+        // of the cycle, whichever direction RPO orders it.
+        assert_eq!(li.irreducible_edges.len(), 1);
+        let (t, h) = li.irreducible_edges[0];
+        assert!((t, h) == (a, b) || (t, h) == (b, a));
     }
 }

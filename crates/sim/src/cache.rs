@@ -5,22 +5,45 @@
 use ch_common::config::CacheConfig;
 
 /// One set-associative LRU cache level.
+///
+/// Tags live in one flat `sets × assoc` array, each row in LRU order
+/// (front = MRU) with `u64::MAX` marking never-filled ways. A hit
+/// rotates the matching prefix; a fill rotates the whole row and
+/// overwrites the front — byte-identical replacement behaviour to a
+/// per-set MRU list (empty ways always sit behind every real line), with
+/// no per-set heap churn on the simulator's hottest path.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<u64>>, // line tags, front = MRU
+    lines: Vec<u64>, // line tags; u64::MAX marks an empty way
+    sets: usize,
+    /// `sets - 1` when `sets` is a power of two (every preset config),
+    /// letting set selection be a mask instead of a hardware divide on
+    /// the simulator's hottest path; `usize::MAX` falls back to `%`.
+    set_mask: usize,
     assoc: usize,
     line_shift: u32,
     /// Hit latency in cycles.
     pub latency: u32,
 }
 
+/// Flat-array tag for an empty (never filled) cache or BTB way. Real
+/// line tags are shifted-down addresses, so the sentinel cannot collide.
+const EMPTY: u64 = u64::MAX;
+
 impl Cache {
     /// Builds a cache from its configuration.
     pub fn new(cfg: &CacheConfig) -> Self {
-        let sets = cfg.sets() as usize;
+        let sets = (cfg.sets() as usize).max(1);
+        let assoc = cfg.assoc as usize;
         Cache {
-            sets: vec![Vec::new(); sets.max(1)],
-            assoc: cfg.assoc as usize,
+            lines: vec![EMPTY; sets * assoc],
+            sets,
+            set_mask: if sets.is_power_of_two() {
+                sets - 1
+            } else {
+                usize::MAX
+            },
+            assoc,
             line_shift: cfg.line.trailing_zeros(),
             latency: cfg.latency,
         }
@@ -31,20 +54,30 @@ impl Cache {
         addr >> self.line_shift
     }
 
+    #[inline]
+    fn row(&mut self, line: u64) -> &mut [u64] {
+        let s = if self.set_mask != usize::MAX {
+            (line as usize) & self.set_mask
+        } else {
+            (line as usize) % self.sets
+        };
+        &mut self.lines[s * self.assoc..(s + 1) * self.assoc]
+    }
+
     /// Accesses `addr`; returns whether it hit. Misses fill the line.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         let line = self.line_of(addr);
-        let s = (line as usize) % self.sets.len();
-        let set = &mut self.sets[s];
-        if let Some(i) = set.iter().position(|&l| l == line) {
-            let l = set.remove(i);
-            set.insert(0, l);
+        let row = self.row(line);
+        if row[0] == line {
+            return true; // MRU hit: nothing moves
+        }
+        if let Some(i) = row.iter().position(|&l| l == line) {
+            row[..=i].rotate_right(1);
             true
         } else {
-            if set.len() >= self.assoc {
-                set.pop();
-            }
-            set.insert(0, line);
+            row.rotate_right(1);
+            row[0] = line;
             false
         }
     }
@@ -52,15 +85,12 @@ impl Cache {
     /// Installs a line without counting it as a demand access (prefetch).
     pub fn prefill(&mut self, addr: u64) {
         let line = self.line_of(addr);
-        let s = (line as usize) % self.sets.len();
-        let set = &mut self.sets[s];
-        if set.contains(&line) {
+        let row = self.row(line);
+        if row.contains(&line) {
             return;
         }
-        if set.len() >= self.assoc {
-            set.pop();
-        }
-        set.insert(0, line);
+        row.rotate_right(1);
+        row[0] = line;
     }
 }
 
@@ -83,8 +113,11 @@ impl StreamPrefetcher {
         }
     }
 
-    /// Observes a miss line; returns the lines to prefetch.
-    pub fn observe(&mut self, line: u64) -> Vec<u64> {
+    /// Observes a miss line; writes the lines to prefetch into `out`
+    /// (capacity 8 bounds the configurable degree) and returns how many
+    /// were produced. Allocation-free: the old `Vec` return burned a
+    /// heap round trip on every L1D miss.
+    pub fn observe(&mut self, line: u64, out: &mut [u64; 8]) -> usize {
         // Match an existing stream (±1 of the last line).
         for (last, dir) in &mut self.streams {
             let delta = line as i64 - *last as i64;
@@ -93,16 +126,18 @@ impl StreamPrefetcher {
                 *last = line;
                 let d = *dir;
                 let dist = self.distance;
-                return (1..=self.degree as i64)
-                    .map(|k| (line as i64 + d * (dist + k)) as u64)
-                    .collect();
+                let n = self.degree.min(out.len());
+                for (k, slot) in out.iter_mut().enumerate().take(n) {
+                    *slot = (line as i64 + d * (dist + k as i64 + 1)) as u64;
+                }
+                return n;
             }
         }
         if self.streams.len() >= 16 {
             self.streams.remove(0);
         }
         self.streams.push((line, 0));
-        Vec::new()
+        0
     }
 }
 
@@ -160,7 +195,9 @@ impl MemHierarchy {
         r.l1_miss = true;
         r.latency += self.l2.latency;
         let line = self.l1.line_of(addr);
-        for pf in self.prefetcher.observe(line) {
+        let mut pf_lines = [0u64; 8];
+        let n = self.prefetcher.observe(line, &mut pf_lines);
+        for &pf in &pf_lines[..n] {
             let pf_addr = pf << self.l1.line_shift;
             // Prefetches fill L2 (and L1 for the near ones).
             self.l2.prefill(pf_addr);
@@ -213,14 +250,15 @@ mod tests {
 
     #[test]
     fn stream_prefetcher_detects_streams() {
+        let mut out = [0u64; 8];
         let mut p = StreamPrefetcher::new(8, 2);
-        assert!(p.observe(100).is_empty(), "first touch trains only");
-        let pf = p.observe(101);
-        assert_eq!(pf, vec![110, 111], "ascending stream prefetches ahead");
+        assert_eq!(p.observe(100, &mut out), 0, "first touch trains only");
+        let n = p.observe(101, &mut out);
+        assert_eq!(&out[..n], &[110, 111], "ascending stream prefetches ahead");
         let mut pd = StreamPrefetcher::new(8, 2);
-        pd.observe(200);
-        let pf = pd.observe(199);
-        assert_eq!(pf, vec![190, 189], "descending stream goes down");
+        pd.observe(200, &mut out);
+        let n = pd.observe(199, &mut out);
+        assert_eq!(&out[..n], &[190, 189], "descending stream goes down");
     }
 
     #[test]

@@ -40,14 +40,92 @@ use ch_common::stats::{Counters, StallReason};
 use ch_common::IsaKind;
 use std::collections::VecDeque;
 
-/// Ready-time ring length (producers further back are always ready).
-const READY_RING: usize = 1 << 16;
-/// Cycle-bandwidth ring length (must exceed any stall span).
-const BW_RING: usize = 1 << 14;
 /// In-flight stores tracked for forwarding/ordering.
-const STORE_WINDOW: usize = 192;
+pub(crate) const STORE_WINDOW: usize = 192;
 /// Extra penalty when a memory-order violation squashes a load.
-const VIOLATION_PENALTY: u64 = 10;
+pub(crate) const VIOLATION_PENALTY: u64 = 10;
+
+/// Length (power of two) of the sequence-indexed rings (`ready_ring`,
+/// `commit_ring`, `mem_late`).
+///
+/// The ROB bounds how far back a *live* producer or resource holder can
+/// sit: once `seq - old >= rob`, in-order commit plus the ROB-occupancy
+/// constraint (applied to `alloc` before any ring read) guarantee
+/// `commit[old] <= commit_ring[seq - rob] <= alloc`, so the old entry's
+/// value can no longer bind anything — readers treat that distance as
+/// "ready / free at cycle 0" instead of reading a recycled slot.
+pub(crate) fn seq_ring_len(cfg: &MachineConfig) -> usize {
+    (cfg.rob as usize).next_power_of_two()
+}
+
+/// Length (power of two) of `select_ring`: read at distance exactly
+/// `cfg.scheduler`, and the entry for `seq` is written at the end of
+/// `seq`'s own step, so a capacity of `scheduler` suffices.
+pub(crate) fn sched_ring_len(cfg: &MachineConfig) -> usize {
+    (cfg.scheduler as usize).next_power_of_two()
+}
+
+/// Length (power of two) of the cycle-indexed `alloc_bw` / `commit_bw`
+/// rings. Both are claimed at monotonically non-decreasing cycles
+/// (allocation and commit each start at the previous claim), so a
+/// recycled slot always carries a strictly older tag and the tag check
+/// resets it safely at *any* ring length.
+const MONO_BW_RING: usize = 1 << 14;
+
+/// Length (power of two) of the cycle-indexed `issue_bw` ring.
+///
+/// Issue-bandwidth claims are **not** monotone: a data-bound consumer
+/// claims a far-future cycle (its producer's completion), then younger
+/// independent instructions claim near cycles again. Two live claims
+/// must never alias, so the ring has to cover the widest possible spread
+/// of live select cycles: every claim lies in
+/// `[alloc + 1, alloc + 1 + span]` where `span` is bounded by a chain of
+/// dependent worst-case completions inside one ROB window — per hop at
+/// most issue latency + the longest execution latency + a full memory
+/// round trip + the violation penalty. Capped at 2^21 entries (16 MiB);
+/// a deeper chain than that cannot arise from the preset configurations,
+/// and the `debug_assert` in `bw_slot` would flag it.
+pub(crate) fn issue_ring_len(cfg: &MachineConfig) -> usize {
+    let per_hop = cfg.issue_latency as u64
+        + 12 // longest exec_latency (IntDiv / FpDiv)
+        + cfg.l1d.latency as u64
+        + cfg.l2.latency as u64
+        + cfg.mem_latency as u64
+        + VIOLATION_PENALTY
+        + 16;
+    let span = (cfg.rob as u64).saturating_mul(per_hop);
+    (span.clamp(MONO_BW_RING as u64, 1 << 21) as usize).next_power_of_two()
+}
+
+/// Claims one unit of bandwidth in a packed cycle-indexed ring at the
+/// first cycle `>= start` with a free slot, returning that cycle. Shared
+/// by the reference [`Simulator`] and the fast engine
+/// (`crate::engine`) — the claim discipline is part of the timing model.
+#[inline]
+pub(crate) fn bw_slot(ring: &mut [u64], start: u64, width: u32) -> u64 {
+    let mask = ring.len() - 1;
+    let mut cycle = start;
+    loop {
+        let slot = &mut ring[(cycle as usize) & mask];
+        let mut v = *slot;
+        if v >> 8 != cycle {
+            // Only strictly older (hence dead — see the ring-sizing
+            // proofs above) tags may be recycled; a *newer* tag here
+            // would mean two live claim windows alias.
+            debug_assert!(
+                v >> 8 < cycle,
+                "bandwidth-ring aliasing: cycle {cycle} would destroy live slot {}",
+                v >> 8
+            );
+            v = cycle << 8;
+        }
+        if v & 0xff < width as u64 {
+            *slot = v + 1;
+            return cycle;
+        }
+        cycle += 1;
+    }
+}
 
 /// The simulator.
 ///
@@ -93,15 +171,17 @@ pub struct Simulator<T: PipelineTracer = NullTracer> {
     group_used: u32,
     redirect_at: u64,
 
-    // Rings indexed by sequence number.
+    // Rings indexed by sequence number (power-of-two lengths sized to
+    // the ROB / scheduler, see `seq_ring_len` / `sched_ring_len`).
     ready_ring: Vec<u64>,
     commit_ring: Vec<u64>,
     select_ring: Vec<u64>,
-    // Bandwidth rings indexed by cycle (tagged with the cycle they
-    // describe so stale eras reset on reuse).
-    alloc_bw: Vec<(u64, u32)>,
-    issue_bw: Vec<(u64, u32)>,
-    commit_bw: Vec<(u64, u32)>,
+    // Bandwidth rings indexed by cycle, packed `(cycle << 8) | count`
+    // (the full cycle tags the slot so stale eras reset on reuse; the
+    // count fits 8 bits because widths are at most 16).
+    alloc_bw: Vec<u64>,
+    issue_bw: Vec<u64>,
+    commit_bw: Vec<u64>,
 
     // Occupancy FIFOs (sequence numbers).
     loads_fifo: VecDeque<u64>,
@@ -159,12 +239,14 @@ impl<T: PipelineTracer> Simulator<T> {
             fetch_cycle: 0,
             group_used: 0,
             redirect_at: 0,
-            ready_ring: vec![0; READY_RING],
-            commit_ring: vec![0; BW_RING],
-            select_ring: vec![0; BW_RING],
-            alloc_bw: vec![(u64::MAX, 0); BW_RING],
-            issue_bw: vec![(u64::MAX, 0); BW_RING],
-            commit_bw: vec![(u64::MAX, 0); BW_RING],
+            ready_ring: vec![0; seq_ring_len(&cfg)],
+            commit_ring: vec![0; seq_ring_len(&cfg)],
+            select_ring: vec![0; sched_ring_len(&cfg)],
+            // Packed-zero init is a benign tag: cycle 0 is never claimed
+            // (allocation starts at front_latency, commit at 1).
+            alloc_bw: vec![0; MONO_BW_RING],
+            issue_bw: vec![0; issue_ring_len(&cfg)],
+            commit_bw: vec![0; MONO_BW_RING],
             loads_fifo: VecDeque::new(),
             stores_fifo: VecDeque::new(),
             fu_free,
@@ -183,7 +265,7 @@ impl<T: PipelineTracer> Simulator<T> {
             last_commit: 0,
             last_fetch_time: 0,
             next_commit_slot: 0,
-            mem_late: vec![false; READY_RING],
+            mem_late: vec![false; seq_ring_len(&cfg)],
             trace_log: std::env::var_os("CH_SIM_TRACE").is_some(),
             counters: Counters::new(),
             cfg,
@@ -222,34 +304,43 @@ impl<T: PipelineTracer> Simulator<T> {
     /// left after the last commit land in
     /// [`stalls.drain`](ch_common::stats::StallBreakdown::drain), making
     /// `committed + stalls.attributed() == commit_width × cycles` exact.
+    /// An empty stream reports 0 cycles and 0 drain, so the identity
+    /// holds as `0 + 0 == commit_width × 0` instead of charging a
+    /// phantom drain cycle.
     pub fn finish(&self) -> Counters {
         let mut c = self.counters.clone();
-        c.cycles = self.last_commit.max(1);
+        c.cycles = if c.committed == 0 {
+            0
+        } else {
+            self.last_commit
+        };
         c.checkpoint_bits = self.cfg.checkpoint_bits() as u64;
         c.stalls.drain = self.cfg.commit_width as u64 * c.cycles - self.next_commit_slot;
         c
     }
 
-    fn bw_slot(ring: &mut [(u64, u32)], start: u64, width: u32) -> u64 {
-        let mut cycle = start;
-        loop {
-            let slot = &mut ring[(cycle as usize) % BW_RING];
-            if slot.0 != cycle {
-                *slot = (cycle, 0);
-            }
-            if slot.1 < width {
-                slot.1 += 1;
-                return cycle;
-            }
-            cycle += 1;
+    /// Completion cycle of `producer` as seen by `seq`, or 0 when the
+    /// producer is at ROB distance or beyond: the ROB constraint already
+    /// forced `alloc` past such a producer's commit, so it is
+    /// unconditionally ready and its recycled ring slot must not be read.
+    fn ready_of(&self, seq: u64, producer: u64) -> u64 {
+        if producer == NO_PRODUCER || seq.saturating_sub(producer) >= self.cfg.rob as u64 {
+            0
+        } else {
+            self.ready_ring[(producer as usize) & (self.ready_ring.len() - 1)]
         }
     }
 
-    fn ready_of(&self, seq: u64, producer: u64) -> u64 {
-        if producer == NO_PRODUCER || seq.saturating_sub(producer) as usize >= READY_RING {
+    /// Commit cycle of the resource-holding instruction `old`, or 0 when
+    /// it sits at ROB distance or beyond (same argument as
+    /// [`ready_of`](Self::ready_of): it committed at or before the cycle
+    /// the ROB constraint already pushed `alloc` to, so the freed
+    /// resource cannot bind allocation).
+    fn commit_free_at(rob: u64, commit_ring: &[u64], seq: u64, old: u64) -> u64 {
+        if seq - old >= rob {
             0
         } else {
-            self.ready_ring[(producer as usize) % READY_RING]
+            commit_ring[(old as usize) & (commit_ring.len() - 1)]
         }
     }
 
@@ -295,8 +386,7 @@ impl<T: PipelineTracer> Simulator<T> {
             match ctrl.kind {
                 CtrlKind::Cond => {
                     c.branch_preds += 1;
-                    let pred = self.tage.predict(inst.pc);
-                    self.tage.update(inst.pc, ctrl.taken, pred);
+                    let pred = self.tage.predict_and_update(inst.pc, ctrl.taken);
                     if pred != ctrl.taken {
                         mispredicted = true;
                     } else if ctrl.taken {
@@ -357,9 +447,12 @@ impl<T: PipelineTracer> Simulator<T> {
         // In-order allocation behind the previous instruction (front-end
         // bandwidth): still the front end's fault.
         alloc = alloc.max(self.last_alloc);
-        // ROB occupancy.
+        // ROB occupancy. This read is what licenses every later "at ROB
+        // distance or beyond ⇒ free" short-circuit: from here on,
+        // `alloc >= commit_ring[seq - rob]`.
         if seq >= cfg.rob as u64 {
-            let free_at = self.commit_ring[((seq - cfg.rob as u64) as usize) % BW_RING];
+            let free_at =
+                self.commit_ring[((seq - cfg.rob as u64) as usize) & (self.commit_ring.len() - 1)];
             if free_at > alloc {
                 alloc = free_at;
                 alloc_reason = StallReason::RobFull;
@@ -367,7 +460,9 @@ impl<T: PipelineTracer> Simulator<T> {
         }
         // Scheduler occupancy (entries freed at select, FIFO approx).
         if seq >= cfg.scheduler as u64 {
-            let free_at = self.select_ring[((seq - cfg.scheduler as u64) as usize) % BW_RING] + 1;
+            let free_at = self.select_ring
+                [((seq - cfg.scheduler as u64) as usize) & (self.select_ring.len() - 1)]
+                + 1;
             if free_at > alloc {
                 alloc = free_at;
                 alloc_reason = StallReason::SchedulerFull;
@@ -377,7 +472,7 @@ impl<T: PipelineTracer> Simulator<T> {
         if inst.class == OpClass::Load {
             if self.loads_fifo.len() >= cfg.load_queue as usize {
                 let old = self.loads_fifo.pop_front().expect("nonempty");
-                let free_at = self.commit_ring[(old as usize) % BW_RING];
+                let free_at = Self::commit_free_at(cfg.rob as u64, &self.commit_ring, seq, old);
                 if free_at > alloc {
                     alloc = free_at;
                     alloc_reason = StallReason::LsqFull;
@@ -388,7 +483,7 @@ impl<T: PipelineTracer> Simulator<T> {
         if inst.class == OpClass::Store {
             if self.stores_fifo.len() >= cfg.store_queue as usize {
                 let old = self.stores_fifo.pop_front().expect("nonempty");
-                let free_at = self.commit_ring[(old as usize) % BW_RING];
+                let free_at = Self::commit_free_at(cfg.rob as u64, &self.commit_ring, seq, old);
                 if free_at > alloc {
                     alloc = free_at;
                     alloc_reason = StallReason::LsqFull;
@@ -405,9 +500,9 @@ impl<T: PipelineTracer> Simulator<T> {
                 // destinations of every earlier instruction renamed in the
                 // same cycle (quadratic in width — counted per pair).
                 let same_cycle = {
-                    let slot = self.alloc_bw[(alloc as usize) % BW_RING];
-                    if slot.0 == alloc {
-                        slot.1 as u64
+                    let slot = self.alloc_bw[(alloc as usize) & (self.alloc_bw.len() - 1)];
+                    if slot >> 8 == alloc {
+                        slot & 0xff
                     } else {
                         0
                     }
@@ -419,7 +514,8 @@ impl<T: PipelineTracer> Simulator<T> {
                     let free = (cfg.phys_regs - 64) as usize;
                     if self.dst_fifo.len() >= free {
                         let old = self.dst_fifo.pop_front().expect("nonempty");
-                        let free_at = self.commit_ring[(old as usize) % BW_RING];
+                        let free_at =
+                            Self::commit_free_at(cfg.rob as u64, &self.commit_ring, seq, old);
                         if free_at > alloc {
                             alloc = free_at;
                             alloc_reason = StallReason::AllocRename;
@@ -434,7 +530,7 @@ impl<T: PipelineTracer> Simulator<T> {
                 let limit = (cfg.phys_regs - cfg.max_ref_distance) as usize;
                 if self.dst_fifo.len() >= limit {
                     let old = self.dst_fifo.pop_front().expect("nonempty");
-                    let free_at = self.commit_ring[(old as usize) % BW_RING];
+                    let free_at = Self::commit_free_at(cfg.rob as u64, &self.commit_ring, seq, old);
                     if free_at > alloc {
                         alloc = free_at;
                         alloc_reason = StallReason::AllocRp;
@@ -450,7 +546,8 @@ impl<T: PipelineTracer> Simulator<T> {
                     let fifo = &mut self.hand_fifos[h as usize];
                     if fifo.len() >= q.max(1) {
                         let old = fifo.pop_front().expect("nonempty");
-                        let free_at = self.commit_ring[(old as usize) % BW_RING];
+                        let free_at =
+                            Self::commit_free_at(cfg.rob as u64, &self.commit_ring, seq, old);
                         if free_at > alloc {
                             alloc = free_at;
                             alloc_reason = StallReason::AllocRp;
@@ -463,7 +560,7 @@ impl<T: PipelineTracer> Simulator<T> {
         if inst.ctrl.is_some() {
             c.checkpoints += 1;
         }
-        let alloc = Self::bw_slot(&mut self.alloc_bw, alloc, cfg.front_width);
+        let alloc = bw_slot(&mut self.alloc_bw, alloc, cfg.front_width);
         self.last_alloc = alloc;
         c.allocated += 1;
         c.decoded += 1;
@@ -501,7 +598,7 @@ impl<T: PipelineTracer> Simulator<T> {
         let exec_latency = inst.class.exec_latency() as u64;
         let units = &mut self.fu_free[fu.index()];
         loop {
-            let select_c = Self::bw_slot(&mut self.issue_bw, select, cfg.issue_width);
+            let select_c = bw_slot(&mut self.issue_bw, select, cfg.issue_width);
             let exec_start = select_c + issue_lat;
             // Find a unit free at exec_start.
             let best = units
@@ -520,7 +617,8 @@ impl<T: PipelineTracer> Simulator<T> {
             // Retry at the cycle the unit frees up.
             select = (*best).saturating_sub(issue_lat).max(select_c + 1);
         }
-        self.select_ring[(seq as usize) % BW_RING] = select;
+        let sel_idx = (seq as usize) & (self.select_ring.len() - 1);
+        self.select_ring[sel_idx] = select;
         // Issue bandwidth or a busy functional unit pushed past the
         // dataflow-earliest cycle.
         let exec_resource_bound = select > select_floor;
@@ -605,8 +703,9 @@ impl<T: PipelineTracer> Simulator<T> {
         if inst.dst.is_some() {
             self.counters.regfile_writes += 1;
         }
-        self.ready_ring[(seq as usize) % READY_RING] = complete;
-        self.mem_late[(seq as usize) % READY_RING] = mem_stall;
+        let seq_idx = (seq as usize) & (self.ready_ring.len() - 1);
+        self.ready_ring[seq_idx] = complete;
+        self.mem_late[seq_idx] = mem_stall;
 
         // Branch resolution → redirect on mispredict.
         if mispredicted {
@@ -616,13 +715,14 @@ impl<T: PipelineTracer> Simulator<T> {
         }
 
         // ---------- Commit ----------
-        let commit = Self::bw_slot(
+        let commit = bw_slot(
             &mut self.commit_bw,
             (complete + 1).max(self.last_commit),
             self.cfg.commit_width,
         );
         self.last_commit = commit;
-        self.commit_ring[(seq as usize) % BW_RING] = commit;
+        let commit_idx = (seq as usize) & (self.commit_ring.len() - 1);
+        self.commit_ring[commit_idx] = commit;
         self.counters.committed += 1;
         self.counters.rob_reads += 1;
 
@@ -634,8 +734,8 @@ impl<T: PipelineTracer> Simulator<T> {
         // producer, then execution dataflow/resources, then whatever
         // bound allocation.
         let dep_mem = ready_src != NO_PRODUCER
-            && (seq.saturating_sub(ready_src) as usize) < READY_RING
-            && self.mem_late[(ready_src as usize) % READY_RING];
+            && seq.saturating_sub(ready_src) < self.cfg.rob as u64
+            && self.mem_late[(ready_src as usize) & (self.mem_late.len() - 1)];
         let stall = if mem_stall {
             StallReason::Memory
         } else if data_bound {
@@ -649,7 +749,7 @@ impl<T: PipelineTracer> Simulator<T> {
         } else {
             alloc_reason
         };
-        let lane = self.commit_bw[(commit as usize) % BW_RING].1 as u64 - 1;
+        let lane = (self.commit_bw[(commit as usize) & (self.commit_bw.len() - 1)] & 0xff) - 1;
         let slot = (commit - 1) * self.cfg.commit_width as u64 + lane;
         let idle = slot - self.next_commit_slot;
         self.counters.stalls.add(stall, idle);

@@ -32,11 +32,13 @@
 
 pub mod cache;
 pub mod core;
+pub mod engine;
 pub mod storeset;
 pub mod tage;
 pub mod trace;
 
 pub use crate::core::Simulator;
+pub use crate::engine::{run_fast, run_fast_profiled, BranchProfile, FastEngine, SoaTrace};
 pub use crate::trace::{
     CommitEntry, CommitLog, NullTracer, PipelineTracer, StageStamps, TraceBuffer, TraceRecord,
 };

@@ -18,6 +18,30 @@ struct TageEntry {
     useful: u8,
 }
 
+/// Global history as a fixed 192-bit shift register (bit 0 = most
+/// recent outcome). The predictor only ever reads bits below the
+/// longest history length (130), so the register is a drop-in for the
+/// old unbounded bit deque: shifting in a new outcome moves every older
+/// bit up by one, and bits shifted past the top were dead anyway.
+#[derive(Debug, Clone, Copy, Default)]
+struct HistoryBits {
+    words: [u64; 3],
+}
+
+impl HistoryBits {
+    #[inline]
+    fn push(&mut self, taken: bool) {
+        self.words[2] = (self.words[2] << 1) | (self.words[1] >> 63);
+        self.words[1] = (self.words[1] << 1) | (self.words[0] >> 63);
+        self.words[0] = (self.words[0] << 1) | taken as u64;
+    }
+
+    #[inline]
+    fn get(self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+}
+
 /// A folded global-history register supporting O(1) updates.
 #[derive(Debug, Clone)]
 struct FoldedHistory {
@@ -63,8 +87,7 @@ impl FoldedHistory {
 pub struct Tage {
     bimodal: Vec<i8>,
     tables: Vec<Vec<TageEntry>>,
-    // Global history as a bit deque (only the low 130 bits matter).
-    history: Vec<bool>,
+    history: HistoryBits,
     folded_idx: Vec<FoldedHistory>,
     folded_tag: Vec<FoldedHistory>,
 }
@@ -81,7 +104,7 @@ impl Tage {
         Tage {
             bimodal: vec![0; BIMODAL_ENTRIES],
             tables: vec![vec![TageEntry::default(); TAGE_ENTRIES]; TAGE_TABLES],
-            history: Vec::new(),
+            history: HistoryBits::default(),
             folded_idx: HIST_LEN.iter().map(|&l| FoldedHistory::new(l, 9)).collect(),
             folded_tag: HIST_LEN
                 .iter()
@@ -119,10 +142,30 @@ impl Tage {
         }
     }
 
+    /// Predicts and immediately trains on the resolved outcome,
+    /// returning the prediction. Exactly equivalent to
+    /// [`predict`](Tage::predict) followed by [`update`](Tage::update),
+    /// but walks the tagged components for the provider only once — the
+    /// simulator resolves every conditional branch the moment it
+    /// predicts it, so the split API did the identical walk twice.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let provider = self.provider(pc);
+        let predicted = match provider {
+            Some((t, i)) => self.tables[t][i].ctr >= 0,
+            None => self.bimodal[(pc >> 2) as usize % BIMODAL_ENTRIES] >= 0,
+        };
+        self.train(pc, taken, predicted, provider);
+        predicted
+    }
+
     /// Trains on the resolved outcome; `predicted` is what [`Tage::predict`]
     /// returned (used for allocation on mispredicts).
     pub fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
         let provider = self.provider(pc);
+        self.train(pc, taken, predicted, provider);
+    }
+
+    fn train(&mut self, pc: u64, taken: bool, predicted: bool, provider: Option<(usize, usize)>) {
         match provider {
             Some((t, i)) => {
                 let e = &mut self.tables[t][i];
@@ -161,12 +204,9 @@ impl Tage {
             }
         }
         // Advance (folded) global history.
-        self.history.insert(0, taken);
-        if self.history.len() > 160 {
-            self.history.pop();
-        }
+        self.history.push(taken);
         for (t, &hist_len) in HIST_LEN.iter().enumerate().take(TAGE_TABLES) {
-            let evicted = self.history.get(hist_len).copied().unwrap_or(false);
+            let evicted = self.history.get(hist_len);
             self.folded_idx[t].update(taken, evicted);
             self.folded_tag[t].update(taken, evicted);
         }
@@ -174,48 +214,65 @@ impl Tage {
 }
 
 /// Set-associative branch target buffer (Table 2: 4-way, 8192 entries).
+///
+/// Stored as one flat `(pc, target)` array of `sets × assoc` ways, each
+/// row in LRU order (front = MRU) with `u64::MAX` tagging never-filled
+/// ways — a fixed-size rotate replaces the old per-set `Vec` whose
+/// remove/insert churn dominated the lookup cost. Replacement order is
+/// identical: empty ways sit behind every real entry, so filling a
+/// non-full set and evicting the true LRU are both "rotate the row right
+/// and overwrite the front".
 #[derive(Debug, Clone)]
 pub struct Btb {
-    sets: Vec<Vec<(u64, u64)>>, // (pc, target), LRU order: front = MRU
+    ways: Vec<(u64, u64)>, // (pc, target); pc == u64::MAX marks an empty way
+    sets: usize,
+    /// `sets - 1` when `sets` is a power of two (mask instead of a
+    /// divide per lookup); `usize::MAX` falls back to `%`.
+    set_mask: usize,
     assoc: usize,
 }
 
 impl Btb {
     /// Creates a BTB with `entries` total entries and `assoc` ways.
     pub fn new(entries: usize, assoc: usize) -> Self {
+        let sets = entries / assoc;
         Btb {
-            sets: vec![Vec::new(); entries / assoc],
+            ways: vec![(u64::MAX, 0); sets * assoc],
+            sets,
+            set_mask: if sets.is_power_of_two() {
+                sets - 1
+            } else {
+                usize::MAX
+            },
             assoc,
         }
     }
 
-    fn set_of(&self, pc: u64) -> usize {
-        ((pc >> 2) as usize) % self.sets.len()
+    fn row(&mut self, pc: u64) -> &mut [(u64, u64)] {
+        let s = if self.set_mask != usize::MAX {
+            ((pc >> 2) as usize) & self.set_mask
+        } else {
+            ((pc >> 2) as usize) % self.sets
+        };
+        &mut self.ways[s * self.assoc..(s + 1) * self.assoc]
     }
 
     /// Predicted target for the branch at `pc`, if present.
     pub fn lookup(&mut self, pc: u64) -> Option<u64> {
-        let s = self.set_of(pc);
-        let set = &mut self.sets[s];
-        if let Some(i) = set.iter().position(|&(p, _)| p == pc) {
-            let e = set.remove(i);
-            set.insert(0, e);
-            Some(set[0].1)
-        } else {
-            None
-        }
+        let row = self.row(pc);
+        let i = row.iter().position(|&(p, _)| p == pc)?;
+        row[..=i].rotate_right(1);
+        Some(row[0].1)
     }
 
     /// Installs or updates the target for `pc`.
     pub fn update(&mut self, pc: u64, target: u64) {
-        let s = self.set_of(pc);
-        let set = &mut self.sets[s];
-        if let Some(i) = set.iter().position(|&(p, _)| p == pc) {
-            set.remove(i);
-        } else if set.len() >= self.assoc {
-            set.pop();
+        let row = self.row(pc);
+        match row.iter().position(|&(p, _)| p == pc) {
+            Some(i) => row[..=i].rotate_right(1),
+            None => row.rotate_right(1),
         }
-        set.insert(0, (pc, target));
+        row[0] = (pc, target);
     }
 }
 

@@ -72,6 +72,14 @@ pub struct StageStamps {
 /// simulator hands it immutable views only, and the test-suite asserts
 /// counters are identical with tracing on and off.
 pub trait PipelineTracer {
+    /// Whether this tracer observes anything at all. The fast engine
+    /// (`crate::engine`) reconstructs a full [`DynInst`] from its
+    /// structure-of-arrays stream before calling
+    /// [`record`](Self::record); tracers that discard everything set
+    /// this to `false` so the reconstruction (and the call) constant-
+    /// fold away after monomorphisation.
+    const ENABLED: bool = true;
+
     /// Called once per committed instruction with its stage timestamps.
     fn record(&mut self, inst: &DynInst, stamps: &StageStamps);
 }
@@ -86,6 +94,8 @@ pub trait PipelineTracer {
 pub struct NullTracer;
 
 impl PipelineTracer for NullTracer {
+    const ENABLED: bool = false;
+
     #[inline(always)]
     fn record(&mut self, _inst: &DynInst, _stamps: &StageStamps) {}
 }

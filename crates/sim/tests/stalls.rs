@@ -134,6 +134,21 @@ fn tiny_hand_quota_shows_up_as_rp_stall() {
 }
 
 #[test]
+fn empty_stream_reports_zero_cycles() {
+    // No instructions means no cycles: the conservation identity closes
+    // as 0 + 0 == commit_width × 0, with no phantom drain slots.
+    let cfg = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);
+    let commit_width = cfg.commit_width;
+    let c = Simulator::new(cfg).run(std::iter::empty());
+    assert_eq!(c.cycles, 0, "an empty stream must not report cycles");
+    assert_eq!(c.committed, 0);
+    assert_eq!(c.stalls.drain, 0, "no commit slots were ever offered");
+    assert_eq!(c.stalls.attributed(), 0);
+    assert!(c.slots_conserved(commit_width));
+    assert_eq!(c.ipc(), 0.0);
+}
+
+#[test]
 fn tracing_does_not_change_results() {
     let t = mixed_workload();
     let cfg = MachineConfig::preset(WidthClass::W8, IsaKind::Clockhands);

@@ -45,8 +45,17 @@ planted *ARGS:
 verify-workloads:
     cargo run --release -p ch-bench --bin figures -- --scale test verify
 
+# Engine benchmark snapshot: times the fast-path engine against the
+# reference over the full figure sweep (byte-identity asserted on every
+# config), rewrites BENCH_<pr>.json, and fails on a >25% sweep-throughput
+# regression against the committed snapshot. Baselines are
+# host-dependent: refresh one taken on a different machine with
+# `CH_BENCH_SKIP_CHECK=1 just bench-json`.
+bench-json *ARGS:
+    cargo run --release -p ch-bench --bin figures -- --scale small bench {{ARGS}}
+
 # Everything CI runs.
-ci: build test fmt clippy doc fuzz planted verify-workloads
+ci: build test fmt clippy doc fuzz planted verify-workloads bench-json
 
 # Regenerate every table/figure at test scale with all cores.
 figures *ARGS:
