@@ -1,10 +1,19 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--scale test|small|full] [--jobs N] [--no-verify] [ids...]
+//! figures [--scale test|small|full] [--jobs N] [--no-verify]
+//!         [--server ADDR] [ids...]
 //! ids: table1 table2 table3 fig3 fig4 fig7 fig13 fig14 fig15 fig16 fig17
 //!      fig18 ablation stalls trace verify bench
 //! ```
+//!
+//! `--server ADDR` routes every `(workload, isa, width)` simulation to a
+//! running `ch-serve` instance at `ADDR` (e.g. `127.0.0.1:7878`) instead
+//! of simulating in-process; repeated figure runs then share the
+//! server's cache across processes. Counters travel as exact-integer
+//! JSON, so the rendered output is byte-identical to an in-process run.
+//! Trace-analysis experiments (fig3, fig15–18, trace, verify) still run
+//! locally — only timing simulations are served.
 //!
 //! `bench` (not part of the default run) times the full simulation
 //! sweep on the fast engine and the reference engine, writes the
@@ -57,8 +66,27 @@ fn main() {
                 }
             }
             "--no-verify" => ch_workloads::set_verify(false),
+            "--server" => match args.next() {
+                Some(addr) if !addr.is_empty() => {
+                    if let Err(e) = bench::remote::Client::connect(&addr)
+                        .map_err(bench::remote::ClientError::Io)
+                        .and_then(|mut c| c.ping())
+                    {
+                        eprintln!("--server {addr}: {e}");
+                        std::process::exit(2);
+                    }
+                    bench::remote::set_server(Some(addr));
+                }
+                _ => {
+                    eprintln!("--server needs an address (host:port)");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("figures [--scale test|small|full] [--jobs N] [--no-verify] [ids...]");
+                eprintln!(
+                    "figures [--scale test|small|full] [--jobs N] [--no-verify] \
+                     [--server ADDR] [ids...]"
+                );
                 return;
             }
             id => ids.push(id.to_string()),

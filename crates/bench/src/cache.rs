@@ -1,0 +1,167 @@
+//! Keyed once-cells: the process-wide dedup primitive behind every
+//! trace/simulation cache and the sweep service's request dedup.
+//!
+//! The first generation of this crate hand-rolled the pattern four
+//! times (`OnceLock<Mutex<HashMap<K, Arc<OnceLock<V>>>>>` plus a lookup
+//! helper). [`KeyedOnce`] is the generalization: a concurrent map from
+//! key to a compute-exactly-once cell, with hit/miss accounting so a
+//! serving layer can report its dedup ratio.
+//!
+//! Guarantees:
+//!
+//! * each distinct key's value is computed **exactly once** per
+//!   process, no matter how many threads ask concurrently;
+//! * the map lock is held only for the cell lookup, never while a value
+//!   is being computed, so different keys proceed in parallel;
+//! * concurrent callers of the *same* key block on the cell (an
+//!   in-flight join), not on the map, and never duplicate the work.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A concurrent "compute each key's value exactly once" cache.
+///
+/// Usable in `static` position ([`KeyedOnce::new`] is `const`). A call
+/// that ran the closure counts as a **miss**; a call that found the
+/// value present — or joined another thread's in-flight computation —
+/// counts as a **hit**.
+///
+/// # Examples
+///
+/// ```
+/// use ch_bench::cache::KeyedOnce;
+///
+/// static CACHE: KeyedOnce<u32, u64> = KeyedOnce::new();
+/// assert_eq!(CACHE.get_or_compute(7, || 7 * 7), 49);
+/// assert_eq!(CACHE.get_or_compute(7, || unreachable!("cached")), 49);
+/// assert_eq!((CACHE.misses(), CACHE.hits()), (1, 1));
+/// ```
+pub struct KeyedOnce<K, V> {
+    map: OnceLock<Mutex<HashMap<K, Arc<OnceLock<V>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> KeyedOnce<K, V> {
+    /// An empty cache (allocates nothing until first use).
+    pub const fn new() -> KeyedOnce<K, V> {
+        KeyedOnce {
+            map: OnceLock::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The per-key once-cell, created on first use.
+    ///
+    /// The map lock is held only for this lookup — never while a value
+    /// is being computed — so concurrent callers of *different* keys
+    /// proceed in parallel, and concurrent callers of the *same* key
+    /// block on the returned cell rather than computing the value twice.
+    fn cell(&self, key: K) -> Arc<OnceLock<V>> {
+        let map = self.map.get_or_init(Mutex::default);
+        let mut map = map.lock().expect("keyed-once map lock");
+        Arc::clone(map.entry(key).or_default())
+    }
+
+    /// Returns the cached value for `key`, computing it with `f` if this
+    /// is the first request (subsequent and concurrent requests share
+    /// that one computation).
+    pub fn get_or_compute(&self, key: K, f: impl FnOnce() -> V) -> V {
+        let cell = self.cell(key);
+        let mut computed = false;
+        let v = cell
+            .get_or_init(|| {
+                computed = true;
+                f()
+            })
+            .clone();
+        if computed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    /// Returns the cached value if (and only if) it is already computed.
+    pub fn get(&self, key: K) -> Option<V> {
+        let map = self.map.get()?;
+        let cell = {
+            let map = map.lock().expect("keyed-once map lock");
+            Arc::clone(map.get(&key)?)
+        };
+        cell.get().cloned()
+    }
+
+    /// Calls that found the value computed (or joined an in-flight
+    /// computation of it).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Calls that ran the compute closure themselves.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of keys present (computed or in flight).
+    pub fn len(&self) -> usize {
+        self.map
+            .get()
+            .map_or(0, |m| m.lock().expect("keyed-once map lock").len())
+    }
+
+    /// Whether no key has ever been requested.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Default for KeyedOnce<K, V> {
+    fn default() -> Self {
+        KeyedOnce::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn computes_each_key_once_under_contention() {
+        let cache: KeyedOnce<u32, u32> = KeyedOnce::new();
+        let calls = AtomicUsize::new(0);
+        let (cache, calls) = (&cache, &calls);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        let v = cache.get_or_compute(i % 10, || {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            (i % 10) * 3
+                        });
+                        assert_eq!(v, (i % 10) * 3, "thread {t}");
+                    }
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 10, "one compute per key");
+        assert_eq!(cache.misses(), 10);
+        assert_eq!(cache.hits(), 8 * 100 - 10);
+        assert_eq!(cache.len(), 10);
+    }
+
+    #[test]
+    fn get_only_sees_computed_values() {
+        let cache: KeyedOnce<&str, u32> = KeyedOnce::new();
+        assert_eq!(cache.get("a"), None);
+        cache.get_or_compute("a", || 1);
+        assert_eq!(cache.get("a"), Some(1));
+        assert_eq!(cache.get("b"), None);
+        assert!(!cache.is_empty());
+    }
+}

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # ch-bench — regenerates every table and figure of the paper
 //!
@@ -17,7 +17,17 @@
 //! at any worker count (`--jobs` on the `figures` binary), and repeated
 //! experiments (Fig. 13 and Fig. 14 share all 75 simulations) are
 //! computed exactly once per process — concurrent callers of the same
-//! key block on a per-key [`OnceLock`] instead of duplicating the run.
+//! key block on a per-key cell ([`cache::KeyedOnce`]) instead of
+//! duplicating the run.
+//!
+//! ## Remote execution
+//!
+//! With a sweep server configured ([`remote::set_server`], the `figures
+//! --server ADDR` flag), [`simulate`] fills its local cache from the
+//! server instead of the in-process engine, so repeated figure runs
+//! across processes share one server-side cache. Results travel as
+//! exact-integer JSON ([`Counters`] round-trips bit-for-bit), which
+//! keeps remote figure output byte-identical to in-process output.
 
 use ch_analysis::{
     hand_usage, hands_sweep, instruction_mix, lifetime_ccdf, lifetimes_of, straight_increase,
@@ -30,16 +40,17 @@ use ch_energy::energy;
 use ch_fpga::resources;
 use ch_sim::{run_fast_profiled, BranchProfile, SoaTrace};
 use ch_workloads::{Scale, Workload};
-use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::hash::Hash;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
 use std::time::Instant;
 
+pub mod cache;
 pub mod driver;
+pub mod remote;
 pub mod report;
 pub mod sweep;
 
+pub use cache::KeyedOnce;
 pub use driver::{jobs, par_for_each, par_map, set_jobs};
 pub use report::bench_experiment;
 pub use sweep::{sweep, sweep_stream};
@@ -53,24 +64,12 @@ static BUSY: BusyClock = BusyClock::new();
 
 type TraceKey = (Workload, IsaKind, u8);
 type SimKey = (Workload, IsaKind, WidthClass, u8);
-type KeyedCache<K, V> = OnceLock<Mutex<HashMap<K, Arc<OnceLock<V>>>>>;
 
-static TRACE_CACHE: KeyedCache<TraceKey, Arc<[DynInst]>> = OnceLock::new();
-static SOA_CACHE: KeyedCache<TraceKey, Arc<SoaTrace>> = OnceLock::new();
-static PROFILE_CACHE: KeyedCache<TraceKey, Arc<BranchProfile>> = OnceLock::new();
-static SIM_CACHE: KeyedCache<SimKey, Counters> = OnceLock::new();
-
-/// Grabs (creating on first use) the per-key once-cell of a cache.
-///
-/// The map lock is held only for the lookup — never while a value is
-/// being computed — so concurrent callers of *different* keys proceed in
-/// parallel, and concurrent callers of the *same* key block on the
-/// returned cell rather than computing the value twice.
-fn cache_cell<K: Eq + Hash, V>(cache: &KeyedCache<K, V>, key: K) -> Arc<OnceLock<V>> {
-    let map = cache.get_or_init(Mutex::default);
-    let mut map = map.lock().expect("cache lock");
-    Arc::clone(map.entry(key).or_default())
-}
+static TRACE_CACHE: KeyedOnce<TraceKey, Arc<[DynInst]>> = KeyedOnce::new();
+static SOA_CACHE: KeyedOnce<TraceKey, Arc<SoaTrace>> = KeyedOnce::new();
+static PROFILE_CACHE: KeyedOnce<TraceKey, Arc<BranchProfile>> = KeyedOnce::new();
+static SIM_CACHE: KeyedOnce<SimKey, Counters> = KeyedOnce::new();
+static REF_SIM_CACHE: KeyedOnce<SimKey, Counters> = KeyedOnce::new();
 
 fn scale_id(s: Scale) -> u8 {
     match s {
@@ -83,9 +82,9 @@ fn scale_id(s: Scale) -> u8 {
 /// The committed trace of one workload on one ISA (cached per process;
 /// a cache hit is a pointer bump, not a trace copy).
 pub fn trace(w: Workload, isa: IsaKind, scale: Scale) -> Arc<[DynInst]> {
-    let cell = cache_cell(&TRACE_CACHE, (w, isa, scale_id(scale)));
-    cell.get_or_init(|| BUSY.time(|| compute_trace(w, isa, scale)))
-        .clone()
+    TRACE_CACHE.get_or_compute((w, isa, scale_id(scale)), || {
+        BUSY.time(|| compute_trace(w, isa, scale))
+    })
 }
 
 fn compute_trace(w: Workload, isa: IsaKind, scale: Scale) -> Arc<[DynInst]> {
@@ -102,12 +101,10 @@ fn compute_trace(w: Workload, isa: IsaKind, scale: Scale) -> Arc<[DynInst]> {
 /// structure-of-arrays layout (cached per process; built once from the
 /// [`trace`] cache and shared by every machine width that sweeps it).
 pub fn soa_trace(w: Workload, isa: IsaKind, scale: Scale) -> Arc<SoaTrace> {
-    let cell = cache_cell(&SOA_CACHE, (w, isa, scale_id(scale)));
-    cell.get_or_init(|| {
+    SOA_CACHE.get_or_compute((w, isa, scale_id(scale)), || {
         let t = trace(w, isa, scale);
         BUSY.time(|| Arc::new(SoaTrace::new(t.iter())))
     })
-    .clone()
 }
 
 /// The pre-replayed branch-predictor outcomes of one workload's trace
@@ -115,14 +112,12 @@ pub fn soa_trace(w: Workload, isa: IsaKind, scale: Scale) -> Arc<SoaTrace> {
 /// all five machine widths reuse one replay — see
 /// [`ch_sim::BranchProfile`]).
 pub fn branch_profile(w: Workload, isa: IsaKind, scale: Scale) -> Arc<BranchProfile> {
-    let cell = cache_cell(&PROFILE_CACHE, (w, isa, scale_id(scale)));
-    cell.get_or_init(|| {
+    PROFILE_CACHE.get_or_compute((w, isa, scale_id(scale)), || {
         let t = soa_trace(w, isa, scale);
         // Geometry is width-independent; W4 stands in for all presets.
         let cfg = MachineConfig::preset(WidthClass::W4, isa);
         BUSY.time(|| Arc::new(BranchProfile::new(&cfg, &t)))
     })
-    .clone()
 }
 
 /// Simulates one workload on one Table 2 machine (cached per process).
@@ -130,15 +125,32 @@ pub fn branch_profile(w: Workload, isa: IsaKind, scale: Scale) -> Arc<BranchProf
 /// Runs on the fast-path engine ([`ch_sim::FastEngine`]) with the
 /// cached [`branch_profile`]; the differential suite in `tests/`
 /// asserts its counters are byte-identical to the reference
-/// [`Simulator`] on every workload × ISA × width.
+/// [`Simulator`](ch_sim::Simulator) on every workload × ISA × width.
+///
+/// With a sweep server configured ([`remote::set_server`]), a cache
+/// miss is fetched from the server instead of computed in-process; the
+/// exact [`Counters`] wire round-trip keeps the result — and everything
+/// rendered from it — byte-identical either way.
 pub fn simulate(w: Workload, isa: IsaKind, width: WidthClass, scale: Scale) -> Counters {
-    let cell = cache_cell(&SIM_CACHE, (w, isa, width, scale_id(scale)));
-    cell.get_or_init(|| {
+    SIM_CACHE.get_or_compute((w, isa, width, scale_id(scale)), || {
+        if let Some(addr) = remote::server() {
+            return remote::fetch_sim(&addr, w, isa, width, scale);
+        }
         let t = soa_trace(w, isa, scale);
         let p = branch_profile(w, isa, scale);
         BUSY.time(|| run_fast_profiled(MachineConfig::preset(width, isa), &t, &p))
     })
-    .clone()
+}
+
+/// Simulates one workload on the reference (interpretive)
+/// [`Simulator`](ch_sim::Simulator) instead of the fast engine (cached
+/// per process, never routed to a server — the reference engine is the
+/// local ground truth the fast path is checked against).
+pub fn simulate_reference(w: Workload, isa: IsaKind, width: WidthClass, scale: Scale) -> Counters {
+    REF_SIM_CACHE.get_or_compute((w, isa, width, scale_id(scale)), || {
+        let t = trace(w, isa, scale);
+        BUSY.time(|| ch_sim::run_reference(MachineConfig::preset(width, isa), t.iter()))
+    })
 }
 
 /// Runs `f`, reporting its wall time and the busy time its trace and

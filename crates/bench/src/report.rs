@@ -21,7 +21,7 @@ use crate::{branch_profile, full_sweep, jobs, par_map, soa_trace, trace, warm_tr
 use ch_common::config::MachineConfig;
 use ch_common::stats::Counters;
 use ch_common::IsaKind;
-use ch_sim::{run_fast_profiled, Simulator};
+use ch_sim::run_fast_profiled;
 use ch_workloads::{Scale, Workload};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -90,12 +90,7 @@ pub fn bench_json(scale: Scale) -> String {
         run_fast_profiled(cfg, &soa_trace(w, isa, scale), &p)
     });
     let reference = run_pass(&combos, |cfg, w, isa| {
-        let t = trace(w, isa, scale);
-        let mut sim = Simulator::new(cfg);
-        for inst in t.iter() {
-            sim.step(inst);
-        }
-        sim.finish()
+        ch_sim::run_reference(cfg, trace(w, isa, scale).iter())
     });
     for (&(w, isa, width), (f, r)) in combos
         .iter()

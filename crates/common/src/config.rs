@@ -55,6 +55,20 @@ impl WidthClass {
         }
     }
 
+    /// Parses a width identifier: the canonical [`label`] (`"8f"`),
+    /// the bare width (`"8"`), or the enum-style `"w8"` —
+    /// case-insensitively.
+    ///
+    /// [`label`]: WidthClass::label
+    pub fn from_label(s: &str) -> Option<WidthClass> {
+        let t = s.to_ascii_lowercase();
+        let t = t.strip_prefix('w').unwrap_or(&t);
+        let t = t.strip_suffix('f').unwrap_or(t);
+        WidthClass::ALL
+            .into_iter()
+            .find(|w| t == w.width().to_string())
+    }
+
     /// Reorder buffer capacity `R` (Table 2).
     pub fn rob(self) -> u32 {
         match self {

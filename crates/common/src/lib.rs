@@ -31,6 +31,7 @@ pub mod config;
 pub mod error;
 pub mod exec;
 pub mod inst;
+pub mod json;
 pub mod mem;
 pub mod op;
 pub mod stats;
@@ -73,6 +74,30 @@ impl IsaKind {
     /// operands with register-pointer arithmetic (Section 5.1 of the paper).
     pub fn needs_rename(self) -> bool {
         matches!(self, IsaKind::Riscv)
+    }
+
+    /// Canonical lowercase identifier used in config keys and on the
+    /// sweep-service wire (`riscv` / `straight` / `clockhands`).
+    pub fn name(self) -> &'static str {
+        match self {
+            IsaKind::Riscv => "riscv",
+            IsaKind::Straight => "straight",
+            IsaKind::Clockhands => "clockhands",
+        }
+    }
+
+    /// Parses an ISA identifier, accepting the canonical [`name`]
+    /// (case-insensitively) plus the common aliases used in tables and
+    /// on the CLI: `risc-v`/`rv`/`r`, `st`/`s`, and `ch`/`c`.
+    ///
+    /// [`name`]: IsaKind::name
+    pub fn from_name(s: &str) -> Option<IsaKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "riscv" | "risc-v" | "rv" | "r" => Some(IsaKind::Riscv),
+            "straight" | "st" | "s" => Some(IsaKind::Straight),
+            "clockhands" | "ch" | "c" => Some(IsaKind::Clockhands),
+            _ => None,
+        }
     }
 }
 

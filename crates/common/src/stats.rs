@@ -176,6 +176,12 @@ impl StallReason {
             StallReason::ExecDep => "exec-dep",
         }
     }
+
+    /// The inverse of [`label`](Self::label) (used when parsing the
+    /// sweep-service wire format).
+    pub fn from_label(s: &str) -> Option<StallReason> {
+        StallReason::ALL.into_iter().find(|r| r.label() == s)
+    }
 }
 
 /// Idle commit slots, attributed per [`StallReason`], for one simulation.
@@ -352,6 +358,54 @@ pub struct Counters {
     pub stalls: StallBreakdown,
 }
 
+/// Invokes `$m!` with the complete ordered list of scalar counter
+/// fields — the single source of truth shared by [`Counters::merge`]
+/// and the wire format ([`Counters::to_json`] /
+/// [`Counters::from_json`]). Adding a field to [`Counters`] means
+/// adding it here, and the wire format picks it up automatically.
+macro_rules! counter_scalars {
+    ($m:ident) => {
+        $m!(
+            cycles,
+            fetched,
+            fetch_groups,
+            icache_misses,
+            decoded,
+            allocated,
+            rmt_reads,
+            rmt_writes,
+            dcl_comparisons,
+            freelist_ops,
+            rp_updates,
+            checkpoints,
+            checkpoint_bits,
+            dispatched,
+            sched_wakeups,
+            issued,
+            regfile_reads,
+            regfile_writes,
+            int_ops,
+            fp_ops,
+            loads,
+            stores,
+            lsq_searches,
+            stl_forwards,
+            mem_order_violations,
+            dcache_accesses,
+            dcache_misses,
+            l2_accesses,
+            l2_misses,
+            prefetches,
+            branch_preds,
+            branch_mispredicts,
+            squashes,
+            rob_writes,
+            rob_reads,
+            committed
+        )
+    };
+}
+
 impl Counters {
     /// Creates zeroed counters.
     pub fn new() -> Self {
@@ -402,45 +456,117 @@ impl Counters {
         macro_rules! acc {
             ($($f:ident),* $(,)?) => { $( dst.$f += other.$f; )* };
         }
-        acc!(
-            cycles,
-            fetched,
-            fetch_groups,
-            icache_misses,
-            decoded,
-            allocated,
-            rmt_reads,
-            rmt_writes,
-            dcl_comparisons,
-            freelist_ops,
-            rp_updates,
-            checkpoints,
-            checkpoint_bits,
-            dispatched,
-            sched_wakeups,
-            issued,
-            regfile_reads,
-            regfile_writes,
-            int_ops,
-            fp_ops,
-            loads,
-            stores,
-            lsq_searches,
-            stl_forwards,
-            mem_order_violations,
-            dcache_accesses,
-            dcache_misses,
-            l2_accesses,
-            l2_misses,
-            prefetches,
-            branch_preds,
-            branch_mispredicts,
-            squashes,
-            rob_writes,
-            rob_reads,
-            committed,
-        );
+        counter_scalars!(acc);
         dst.stalls.merge(&other.stalls);
+    }
+
+    /// Every scalar counter as a `(name, value)` row, in declaration
+    /// order — the exact field set and order of the wire format.
+    pub fn wire_rows(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! rows {
+            ($($f:ident),* $(,)?) => { vec![ $( (stringify!($f), self.$f), )* ] };
+        }
+        counter_scalars!(rows)
+    }
+
+    /// Sets one scalar counter by its wire name. Returns `false` for an
+    /// unknown name (callers treat that as a protocol error).
+    pub fn set_wire_field(&mut self, name: &str, v: u64) -> bool {
+        macro_rules! setter {
+            ($($f:ident),* $(,)?) => {
+                match name {
+                    $( stringify!($f) => { self.$f = v; true } )*
+                    _ => false,
+                }
+            };
+        }
+        counter_scalars!(setter)
+    }
+
+    /// Renders the counters as one compact JSON object — the payload of
+    /// a sweep-service `result` record and the inverse of
+    /// [`from_json`](Self::from_json).
+    ///
+    /// Every scalar field is emitted (in declaration order) plus a
+    /// `"stalls"` sub-object keyed by [`StallReason::label`] with the
+    /// trailing `"drain"` row, so a round trip preserves the value
+    /// exactly — including the commit-slot conservation identity.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        for (name, v) in self.wire_rows() {
+            let _ = std::fmt::Write::write_fmt(&mut s, format_args!("\"{name}\":{v},"));
+        }
+        s.push_str("\"stalls\":{");
+        for (i, (label, v)) in self.stalls.rows().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = std::fmt::Write::write_fmt(&mut s, format_args!("\"{label}\":{v}"));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Parses a [`to_json`](Self::to_json) object back into counters.
+    ///
+    /// Strict by design: every scalar field and every stall row must be
+    /// present exactly once and nothing else may appear, so a schema
+    /// drift between client and server fails loudly instead of silently
+    /// zeroing a counter.
+    pub fn from_json(v: &crate::json::Json) -> Result<Counters, String> {
+        let members = v.as_obj().ok_or("counters: not a JSON object")?;
+        let mut c = Counters::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut stalls_seen = false;
+        for (key, val) in members {
+            if !seen.insert(key.as_str()) {
+                return Err(format!("counters: duplicate field `{key}`"));
+            }
+            if key == "stalls" {
+                stalls_seen = true;
+                let rows = val.as_obj().ok_or("counters: stalls is not an object")?;
+                let mut row_seen = std::collections::HashSet::new();
+                for (label, slots) in rows {
+                    if !row_seen.insert(label.as_str()) {
+                        return Err(format!("counters: duplicate stall row `{label}`"));
+                    }
+                    let slots = slots
+                        .as_u64()
+                        .ok_or_else(|| format!("counters: stall `{label}` not a u64"))?;
+                    if label == "drain" {
+                        c.stalls.drain = slots;
+                    } else {
+                        let r = StallReason::from_label(label)
+                            .ok_or_else(|| format!("counters: unknown stall row `{label}`"))?;
+                        c.stalls.add(r, slots);
+                    }
+                }
+                if row_seen.len() != StallReason::ALL.len() + 1 {
+                    return Err(format!(
+                        "counters: expected {} stall rows, got {}",
+                        StallReason::ALL.len() + 1,
+                        row_seen.len()
+                    ));
+                }
+                continue;
+            }
+            let n = val
+                .as_u64()
+                .ok_or_else(|| format!("counters: field `{key}` not a u64"))?;
+            if !c.set_wire_field(key, n) {
+                return Err(format!("counters: unknown field `{key}`"));
+            }
+        }
+        let expected = c.wire_rows().len();
+        if seen.len() != expected + usize::from(stalls_seen) || !stalls_seen {
+            return Err(format!(
+                "counters: expected {} fields plus stalls, got {}",
+                expected,
+                seen.len()
+            ));
+        }
+        Ok(c)
     }
 }
 
@@ -457,6 +583,57 @@ mod tests {
             ..Counters::default()
         };
         assert!((c.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    /// Counters with every wire field (and stall row) set to a distinct
+    /// value, so a dropped or misnamed field cannot cancel out.
+    fn distinct_counters() -> Counters {
+        let mut c = Counters::new();
+        for (i, (name, _)) in c.clone().wire_rows().iter().enumerate() {
+            assert!(c.set_wire_field(name, 1000 + i as u64), "set {name}");
+        }
+        for (i, &r) in StallReason::ALL.iter().enumerate() {
+            c.stalls.add(r, 2000 + i as u64);
+        }
+        c.stalls.drain = 3;
+        c
+    }
+
+    #[test]
+    fn wire_roundtrip_is_exact() {
+        for c in [Counters::new(), distinct_counters()] {
+            let json = c.to_json();
+            let v = crate::json::Json::parse(&json).expect("wire json parses");
+            let back = Counters::from_json(&v).expect("wire json decodes");
+            assert_eq!(back, c);
+            // Rendering is deterministic (byte-identity matters to the
+            // sweep service's acceptance test).
+            assert_eq!(back.to_json(), json);
+        }
+    }
+
+    #[test]
+    fn wire_decode_is_strict() {
+        let c = distinct_counters();
+        let good = c.to_json();
+        // A missing scalar field, an unknown field, and a missing stall
+        // row must all fail loudly.
+        let missing = good.replacen("\"cycles\":1000,", "", 1);
+        let unknown = good.replacen("\"cycles\":", "\"cyclez\":", 1);
+        let missing_stall = good.replacen("\"memory\":2007,", "", 1);
+        let not_u64 = good.replacen("\"cycles\":1000", "\"cycles\":-1", 1);
+        for bad in [missing, unknown, missing_stall, not_u64] {
+            let v = crate::json::Json::parse(&bad).expect("still valid json");
+            assert!(Counters::from_json(&v).is_err(), "must reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn stall_labels_roundtrip() {
+        for r in StallReason::ALL {
+            assert_eq!(StallReason::from_label(r.label()), Some(r));
+        }
+        assert_eq!(StallReason::from_label("drain"), None);
     }
 
     #[test]

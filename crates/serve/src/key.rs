@@ -1,0 +1,223 @@
+//! Canonical configuration keys.
+//!
+//! Every request names its configuration in whatever spelling the
+//! client likes (`ch` or `clockhands`, `8f` or `w8` or `8`); the server
+//! normalizes to one [`ConfigKey`] before touching the job registry, so
+//! all spellings of the same configuration dedupe to one job. The
+//! canonical rendering is `workload/isa/width/scale/engine`, e.g.
+//! `xz/clockhands/8f/test/fast` — this exact string travels in every
+//! `result` and `error` record.
+
+use ch_common::config::WidthClass;
+use ch_common::IsaKind;
+use ch_workloads::{Scale, Workload};
+
+/// Which engine computes the configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Engine {
+    /// The fast-path engine (`ch_sim::FastEngine`), via the shared
+    /// trace/profile caches — the default.
+    Fast,
+    /// The reference interpretive simulator (`ch_sim::Simulator`) —
+    /// slower, used as ground truth.
+    Reference,
+    /// A diagnostic engine that always panics. It exists to exercise
+    /// the server's panic isolation end-to-end: a poisoned config must
+    /// come back as a structured `poisoned` error while the server
+    /// keeps serving everything else.
+    Poison,
+}
+
+impl Engine {
+    /// The canonical engine name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Fast => "fast",
+            Engine::Reference => "reference",
+            Engine::Poison => "poison",
+        }
+    }
+
+    /// Parses an engine name (`fast`, `reference`/`ref`, `poison`).
+    pub fn from_name(s: &str) -> Option<Engine> {
+        match s.to_ascii_lowercase().as_str() {
+            "fast" => Some(Engine::Fast),
+            "reference" | "ref" => Some(Engine::Reference),
+            "poison" => Some(Engine::Poison),
+            _ => None,
+        }
+    }
+}
+
+/// One fully-normalized simulation configuration — the dedup unit of
+/// the whole service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConfigKey {
+    /// The workload kernel.
+    pub workload: Workload,
+    /// The instruction set.
+    pub isa: IsaKind,
+    /// The Table 2 machine width.
+    pub width: WidthClass,
+    /// The problem size.
+    pub scale: Scale,
+    /// The engine that computes it.
+    pub engine: Engine,
+}
+
+impl ConfigKey {
+    /// Normalizes raw request strings into a key, or explains which
+    /// field is unknown (the message becomes a `bad-request` error).
+    pub fn parse(
+        workload: &str,
+        isa: &str,
+        width: &str,
+        scale: &str,
+        engine: &str,
+    ) -> Result<ConfigKey, String> {
+        Ok(ConfigKey {
+            workload: Workload::from_name(workload).ok_or_else(|| {
+                format!("unknown workload `{workload}` (coremark|bzip2|mcf|lbm|xz)")
+            })?,
+            isa: IsaKind::from_name(isa)
+                .ok_or_else(|| format!("unknown isa `{isa}` (riscv|straight|clockhands)"))?,
+            width: WidthClass::from_label(width)
+                .ok_or_else(|| format!("unknown width `{width}` (4f|6f|8f|12f|16f)"))?,
+            scale: Scale::from_name(scale)
+                .ok_or_else(|| format!("unknown scale `{scale}` (test|small|full)"))?,
+            engine: Engine::from_name(engine)
+                .ok_or_else(|| format!("unknown engine `{engine}` (fast|reference|poison)"))?,
+        })
+    }
+
+    /// The canonical `workload/isa/width/scale/engine` rendering.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}",
+            self.workload.name(),
+            self.isa.name(),
+            self.width.label(),
+            self.scale.name(),
+            self.engine.name()
+        )
+    }
+}
+
+impl std::fmt::Display for ConfigKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// Expands a sweep request's (possibly empty = "all") name lists into
+/// the configuration cross product, already normalized and in the
+/// cache-friendly order: workload-major, then ISA, then width.
+///
+/// The order is the batching strategy: all widths of one `(workload,
+/// isa)` are adjacent in the queue, so the workers that pick them up
+/// share one committed trace, one SoA conversion, and one
+/// branch-predictor replay through `ch-bench`'s process-wide caches —
+/// only the width-dependent pipeline model runs per job.
+pub fn expand_sweep(
+    workloads: &[String],
+    isas: &[String],
+    widths: &[String],
+    scale: &str,
+    engine: &str,
+) -> Result<Vec<ConfigKey>, String> {
+    let scale = Scale::from_name(scale)
+        .ok_or_else(|| format!("unknown scale `{scale}` (test|small|full)"))?;
+    let engine = Engine::from_name(engine)
+        .ok_or_else(|| format!("unknown engine `{engine}` (fast|reference|poison)"))?;
+    let workloads: Vec<Workload> = if workloads.is_empty() {
+        Workload::ALL.to_vec()
+    } else {
+        workloads
+            .iter()
+            .map(|n| Workload::from_name(n).ok_or_else(|| format!("unknown workload `{n}`")))
+            .collect::<Result<_, _>>()?
+    };
+    let isas: Vec<IsaKind> = if isas.is_empty() {
+        IsaKind::ALL.to_vec()
+    } else {
+        isas.iter()
+            .map(|n| IsaKind::from_name(n).ok_or_else(|| format!("unknown isa `{n}`")))
+            .collect::<Result<_, _>>()?
+    };
+    let widths: Vec<WidthClass> = if widths.is_empty() {
+        WidthClass::ALL.to_vec()
+    } else {
+        widths
+            .iter()
+            .map(|n| WidthClass::from_label(n).ok_or_else(|| format!("unknown width `{n}`")))
+            .collect::<Result<_, _>>()?
+    };
+    let mut keys = Vec::with_capacity(workloads.len() * isas.len() * widths.len());
+    for &workload in &workloads {
+        for &isa in &isas {
+            for &width in &widths {
+                keys.push(ConfigKey {
+                    workload,
+                    isa,
+                    width,
+                    scale,
+                    engine,
+                });
+            }
+        }
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_normalize_to_one_key() {
+        let a = ConfigKey::parse("xz", "clockhands", "8f", "test", "fast").unwrap();
+        let b = ConfigKey::parse("XZ", "ch", "w8", "Test", "FAST").unwrap();
+        let c = ConfigKey::parse("xz", "c", "8", "test", "fast").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a.canonical(), "xz/clockhands/8f/test/fast");
+    }
+
+    #[test]
+    fn unknown_fields_name_themselves() {
+        let e = ConfigKey::parse("quake", "ch", "8f", "test", "fast").unwrap_err();
+        assert!(e.contains("quake"), "{e}");
+        let e = ConfigKey::parse("xz", "ch", "9f", "test", "fast").unwrap_err();
+        assert!(e.contains("9f"), "{e}");
+        let e = ConfigKey::parse("xz", "ch", "8f", "test", "warp").unwrap_err();
+        assert!(e.contains("warp"), "{e}");
+    }
+
+    #[test]
+    fn sweep_expansion_is_width_minor() {
+        let keys = expand_sweep(&[], &[], &[], "test", "fast").unwrap();
+        assert_eq!(keys.len(), 75);
+        // All widths of one (workload, isa) are adjacent.
+        assert_eq!(keys[0].workload, keys[4].workload);
+        assert_eq!(keys[0].isa, keys[4].isa);
+        assert_ne!(keys[0].width, keys[1].width);
+        assert_ne!(keys[4].isa, keys[5].isa);
+        let filtered = expand_sweep(
+            &["xz".into(), "mcf".into()],
+            &["ch".into()],
+            &["4f".into(), "16f".into()],
+            "small",
+            "reference",
+        )
+        .unwrap();
+        assert_eq!(filtered.len(), 4);
+        assert_eq!(filtered[0].canonical(), "xz/clockhands/4f/small/reference");
+    }
+
+    #[test]
+    fn sweep_expansion_rejects_unknown_names() {
+        assert!(expand_sweep(&["nope".into()], &[], &[], "test", "fast").is_err());
+        assert!(expand_sweep(&[], &[], &[], "huge", "fast").is_err());
+        assert!(expand_sweep(&[], &[], &[], "test", "warp").is_err());
+    }
+}

@@ -1,0 +1,368 @@
+//! The TCP front end: JSONL over `std::net`, one thread per connection.
+//!
+//! Each accepted connection reads newline-delimited requests
+//! ([`ch_bench::remote::Request`]) and answers with newline-delimited
+//! responses; `docs/PROTOCOL.md` is the normative spec. Responses to a
+//! `sweep` stream in **completion order** — a config is written the
+//! moment its job finishes, not when the whole sweep does — so a client
+//! driving plots sees results as they land, and a slow config never
+//! holds up the ones behind it.
+//!
+//! Malformed lines get a `bad-request` error and the connection stays
+//! open; an unparsable *stream* (client gone, broken pipe) just ends
+//! the connection thread. Nothing a connection does can take down the
+//! listener.
+
+use crate::key::{expand_sweep, ConfigKey};
+use crate::service::{Service, SubmitError, SubmitOutcome};
+use ch_bench::remote::{ErrorRecord, Request, Response, ResultRecord, SimRequest, SweepRequest};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A listening sweep server. Binding and accepting are separate so the
+/// CLI (and tests) can report the ephemeral port before serving.
+pub struct Server {
+    listener: TcpListener,
+    service: Service,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`; port `0` picks an ephemeral
+    /// one) in front of `service`.
+    pub fn bind(addr: &str, service: Service) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections forever, one handler thread each. Accept
+    /// errors (transient, per-connection) are logged and skipped.
+    pub fn run(self) {
+        for stream in self.listener.incoming() {
+            match stream {
+                Ok(stream) => {
+                    let service = self.service.clone();
+                    std::thread::Builder::new()
+                        .name("ch-serve-conn".into())
+                        .spawn(move || handle_connection(stream, &service))
+                        .expect("spawn connection handler");
+                }
+                Err(e) => eprintln!("ch-serve: accept failed: {e}"),
+            }
+        }
+    }
+
+    /// Spawns [`Server::run`] on a background thread and returns the
+    /// bound address — the embedded-server entry point used by
+    /// `ch-serve bench` and the e2e tests.
+    pub fn spawn(self) -> std::io::Result<std::net::SocketAddr> {
+        let addr = self.local_addr()?;
+        std::thread::Builder::new()
+            .name("ch-serve-accept".into())
+            .spawn(move || self.run())
+            .expect("spawn accept loop");
+        Ok(addr)
+    }
+}
+
+fn write_line(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut line = resp.to_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+fn handle_connection(stream: TcpStream, service: &Service) {
+    stream.set_nodelay(true).ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => return, // client gone
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        service.count_request();
+        let response_err = match Request::parse(&line) {
+            Ok(Request::Ping { id }) => write_line(&mut writer, &Response::Pong { id }),
+            Ok(Request::Stats { id }) => write_line(
+                &mut writer,
+                &Response::Stats {
+                    id,
+                    stats: service.stats(),
+                },
+            ),
+            Ok(Request::Sim(req)) => handle_sim(&mut writer, service, &req),
+            Ok(Request::Sweep(req)) => handle_sweep(&mut writer, service, &req),
+            Err(msg) => write_line(&mut writer, &Response::Error(bad_request(0, msg))),
+        };
+        if response_err.is_err() {
+            return; // write side closed
+        }
+    }
+}
+
+fn bad_request(id: u64, message: String) -> ErrorRecord {
+    ErrorRecord {
+        id,
+        key: None,
+        code: "bad-request".into(),
+        message,
+        retry_after_ms: None,
+    }
+}
+
+fn submit_error(id: u64, key: &ConfigKey, e: SubmitError) -> ErrorRecord {
+    match e {
+        SubmitError::Overloaded { retry_after_ms } => ErrorRecord {
+            id,
+            key: Some(key.canonical()),
+            code: "overloaded".into(),
+            message: "pending queue full".into(),
+            retry_after_ms: Some(retry_after_ms),
+        },
+        SubmitError::Poisoned(message) => ErrorRecord {
+            id,
+            key: Some(key.canonical()),
+            code: "poisoned".into(),
+            message,
+            retry_after_ms: None,
+        },
+        SubmitError::Timeout => ErrorRecord {
+            id,
+            key: Some(key.canonical()),
+            code: "timeout".into(),
+            message: "wait budget expired; the computation continues — resubmit to collect it"
+                .into(),
+            retry_after_ms: None,
+        },
+    }
+}
+
+fn result_record(id: u64, key: &ConfigKey, out: &SubmitOutcome, wait: Duration) -> ResultRecord {
+    ResultRecord {
+        id,
+        key: key.canonical(),
+        cached: out.was_cached(),
+        wait_ms: wait.as_secs_f64() * 1e3,
+        counters: out.counters().clone(),
+    }
+}
+
+fn timeout_of(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+fn handle_sim(writer: &mut TcpStream, service: &Service, req: &SimRequest) -> std::io::Result<()> {
+    let key = match ConfigKey::parse(&req.workload, &req.isa, &req.width, &req.scale, &req.engine) {
+        Ok(k) => k,
+        Err(msg) => return write_line(writer, &Response::Error(bad_request(req.id, msg))),
+    };
+    let start = Instant::now();
+    let resp = match service.submit(key, timeout_of(req.timeout_ms)) {
+        Ok(out) => Response::Result(Box::new(result_record(req.id, &key, &out, start.elapsed()))),
+        Err(e) => Response::Error(submit_error(req.id, &key, e)),
+    };
+    write_line(writer, &resp)
+}
+
+fn handle_sweep(
+    writer: &mut TcpStream,
+    service: &Service,
+    req: &SweepRequest,
+) -> std::io::Result<()> {
+    let keys = match expand_sweep(
+        &req.workloads,
+        &req.isas,
+        &req.widths,
+        &req.scale,
+        &req.engine,
+    ) {
+        Ok(keys) => keys,
+        Err(msg) => return write_line(writer, &Response::Error(bad_request(req.id, msg))),
+    };
+    // A sweep is its configs submitted concurrently: each gets its own
+    // submitter thread (the dedup registry makes that cheap — at most
+    // one computation per distinct key exists regardless), and records
+    // stream back the moment each config resolves. A channel serializes
+    // the streaming writes onto this connection thread.
+    let start = Instant::now();
+    let (results, errors) = std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel::<Response>();
+        let timeout = timeout_of(req.timeout_ms);
+        let id = req.id;
+        for key in keys {
+            let tx = tx.clone();
+            let service = service.clone();
+            scope.spawn(move || {
+                let resp = match service.submit(key, timeout) {
+                    Ok(out) => {
+                        Response::Result(Box::new(result_record(id, &key, &out, start.elapsed())))
+                    }
+                    Err(e) => Response::Error(submit_error(id, &key, e)),
+                };
+                // The receiver only drops on connection death; nothing
+                // to do with the result then.
+                let _ = tx.send(resp);
+            });
+        }
+        drop(tx);
+        let mut results = 0u64;
+        let mut errors = 0u64;
+        for resp in rx {
+            match resp {
+                Response::Result(_) => results += 1,
+                _ => errors += 1,
+            }
+            if write_line(writer, &resp).is_err() {
+                // Client went away mid-stream; drain remaining sends
+                // (submitter threads still finish via the scope).
+                break;
+            }
+        }
+        (results, errors)
+    });
+    write_line(
+        writer,
+        &Response::Done {
+            id: req.id,
+            results,
+            errors,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use ch_bench::remote::Client;
+    use ch_common::stats::Counters;
+
+    fn spawn_test_server() -> std::net::SocketAddr {
+        let service = Service::with_runner(
+            ServiceConfig {
+                workers: 2,
+                queue_cap: 64,
+                default_timeout: Duration::from_secs(30),
+            },
+            Box::new(|k| {
+                let mut c = Counters::new();
+                c.cycles = k.width.width() as u64 * 100;
+                c.committed = 42;
+                c
+            }),
+        );
+        Server::bind("127.0.0.1:0", service)
+            .expect("bind")
+            .spawn()
+            .expect("spawn")
+    }
+
+    #[test]
+    fn ping_sim_stats_roundtrip() {
+        let addr = spawn_test_server().to_string();
+        let mut client = Client::connect(&addr).expect("connect");
+        client.ping().expect("ping");
+        let r = client
+            .sim(SimRequest {
+                id: 0,
+                workload: "xz".into(),
+                isa: "ch".into(),
+                width: "w8".into(),
+                scale: "test".into(),
+                engine: "fast".into(),
+                timeout_ms: 0,
+            })
+            .expect("sim");
+        assert_eq!(r.key, "xz/clockhands/8f/test/fast");
+        assert_eq!(r.counters.cycles, 800);
+        assert!(!r.cached, "first request computes");
+        let r2 = client
+            .sim(SimRequest {
+                id: 0,
+                workload: "XZ".into(),
+                isa: "clockhands".into(),
+                width: "8f".into(),
+                scale: "test".into(),
+                engine: "fast".into(),
+                timeout_ms: 0,
+            })
+            .expect("sim");
+        assert!(r2.cached, "alias spelling hits the same cache entry");
+        assert_eq!(r.counters, r2.counters);
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.sim_requests, 2);
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn bad_requests_keep_the_connection_alive() {
+        let addr = spawn_test_server().to_string();
+        let mut client = Client::connect(&addr).expect("connect");
+        let err = client
+            .sim(SimRequest {
+                id: 0,
+                workload: "quake".into(),
+                isa: "ch".into(),
+                width: "8f".into(),
+                scale: "test".into(),
+                engine: "fast".into(),
+                timeout_ms: 0,
+            })
+            .expect_err("unknown workload");
+        match err {
+            ch_bench::remote::ClientError::Server(e) => {
+                assert_eq!(e.code, "bad-request");
+                assert!(e.message.contains("quake"), "{}", e.message);
+            }
+            other => panic!("expected server error, got {other:?}"),
+        }
+        // Same connection still works.
+        client.ping().expect("ping after error");
+    }
+
+    #[test]
+    fn sweep_streams_and_tallies() {
+        let addr = spawn_test_server().to_string();
+        let mut client = Client::connect(&addr).expect("connect");
+        let mut seen = Vec::new();
+        let (results, errors) = client
+            .sweep(
+                SweepRequest {
+                    id: 0,
+                    workloads: vec!["xz".into()],
+                    isas: vec!["ch".into(), "rv".into()],
+                    widths: vec!["4f".into(), "8f".into()],
+                    scale: "test".into(),
+                    engine: "fast".into(),
+                    timeout_ms: 0,
+                },
+                |rec| seen.push(rec.expect("no errors expected").key),
+            )
+            .expect("sweep");
+        assert_eq!((results, errors), (4, 0));
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![
+                "xz/clockhands/4f/test/fast",
+                "xz/clockhands/8f/test/fast",
+                "xz/riscv/4f/test/fast",
+                "xz/riscv/8f/test/fast",
+            ]
+        );
+    }
+}

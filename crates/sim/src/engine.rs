@@ -41,7 +41,7 @@
 //!
 //! The hard correctness bar: counters and stall breakdowns are
 //! **byte-identical** to the reference simulator for every trace — the
-//! shared rings, bandwidth claim discipline ([`bw_slot`]), predictors
+//! shared rings, bandwidth claim discipline (`bw_slot`), predictors
 //! and cache models are literally the same code, and the differential
 //! test in `ch-bench` asserts equality over every workload × ISA ×
 //! width. Tracing stays exact: with a [`PipelineTracer`] whose

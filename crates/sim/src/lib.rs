@@ -65,6 +65,27 @@ pub fn simulate(
     Simulator::new(MachineConfig::preset(width, isa)).run(stream)
 }
 
+/// Runs the reference (interpretive) engine over an already-committed
+/// trace and returns its counters.
+///
+/// This is the cache-friendly entry point the experiment drivers and
+/// the sweep service use: the trace is borrowed (typically out of an
+/// `Arc<[DynInst]>` shared across worker threads and machine widths),
+/// never consumed, so one decoded trace serves every configuration that
+/// sweeps it. The fast path ([`run_fast`] / [`run_fast_profiled`]) has
+/// the same shape over [`SoaTrace`]; the differential suite asserts the
+/// two engines' counters are identical on every workload × ISA × width.
+pub fn run_reference<'a>(
+    cfg: MachineConfig,
+    trace: impl IntoIterator<Item = &'a DynInst>,
+) -> Counters {
+    let mut sim = Simulator::new(cfg);
+    for inst in trace {
+        sim.step(inst);
+    }
+    sim.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -81,6 +81,17 @@ impl Scale {
             Scale::Full => "full",
         }
     }
+
+    /// The inverse of [`name`](Self::name), case-insensitively (used by
+    /// the sweep service and CLIs to parse scale identifiers).
+    pub fn from_name(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "test" => Some(Scale::Test),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
 }
 
 /// Architectural outcome of functionally executing a workload:
@@ -113,6 +124,13 @@ impl Workload {
             Workload::Lbm => "lbm",
             Workload::Xz => "xz",
         }
+    }
+
+    /// The inverse of [`name`](Self::name), case-insensitively (used by
+    /// the sweep service and CLIs to parse workload identifiers).
+    pub fn from_name(s: &str) -> Option<Workload> {
+        let t = s.to_ascii_lowercase();
+        Workload::ALL.into_iter().find(|w| w.name() == t)
     }
 
     /// The benchmark name used in the paper's figures.

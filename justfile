@@ -54,12 +54,29 @@ verify-workloads:
 bench-json *ARGS:
     cargo run --release -p ch-bench --bin figures -- --scale small bench {{ARGS}}
 
+# Serving benchmark: embeds a sweep server on an ephemeral port, runs
+# the full Fig. 13/14 sweep cold then warm over TCP, writes
+# BENCH_7.json (cold/warm wall, dedup ratio, p50/p99 wait), and fails
+# unless the warm repeat is >= 5x faster than cold (skip the gate with
+# CH_BENCH_SKIP_CHECK=1). Then proves `figures --server` renders the
+# full figure suite byte-identically to the in-process run.
+serve-bench *ARGS:
+    cargo run --release -p ch-serve -- bench --scale small {{ARGS}}
+    cargo build --release -p ch-bench -p ch-serve
+    ./scripts/serve_figures_diff.sh
+
 # Everything CI runs.
-ci: build test fmt clippy doc fuzz planted verify-workloads bench-json
+ci: build test fmt clippy doc fuzz planted verify-workloads bench-json serve-bench
 
 # Regenerate every table/figure at test scale with all cores.
 figures *ARGS:
     cargo run --release -p ch-bench --bin figures -- --scale test {{ARGS}}
+
+# Start a resident sweep server (default 127.0.0.1:7878). Point
+# `just figures --server 127.0.0.1:7878` or the ch-serve client
+# subcommands (submit/sweep/stats) at it; see docs/PROTOCOL.md.
+serve *ARGS:
+    cargo run --release -p ch-serve -- serve {{ARGS}}
 
 # Harness microbenchmarks (compilation / emulation / simulation speed).
 bench:

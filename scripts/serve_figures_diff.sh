@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full-figure-suite byte-identity check for the sweep service: `figures
+# --server ADDR` against a live ch-serve instance must render exactly
+# what the in-process run renders. Counters travel the wire as
+# exact-integer JSON (docs/PROTOCOL.md), so any divergence here means a
+# protocol or cache bug — diff fails the script.
+#
+# Expects release builds of `figures` and `ch-serve` (the `just
+# serve-bench` recipe builds them first).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIGURES=target/release/figures
+SERVE=target/release/ch-serve
+out=$(mktemp -d)
+server_pid=
+trap 'if [ -n "$server_pid" ]; then kill "$server_pid" 2>/dev/null || true; fi; rm -rf "$out"' EXIT
+
+"$SERVE" serve --addr 127.0.0.1:0 > "$out/serve.log" 2> "$out/serve.err" &
+server_pid=$!
+addr=
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$out/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "ch-serve did not report a listening address" >&2
+    cat "$out/serve.err" >&2
+    exit 1
+fi
+
+"$FIGURES" --scale test --jobs 2 > "$out/local.txt" 2> /dev/null
+"$FIGURES" --scale test --jobs 2 --server "$addr" > "$out/served.txt" 2> /dev/null
+diff -u "$out/local.txt" "$out/served.txt"
+echo "figures --server $addr: full suite byte-identical to the in-process run"
