@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures [--scale test|small|full] [--jobs N] [--no-verify]
+//! figures [--scale test|small|full] [--jobs N] [--no-verify] [--no-opt]
 //!         [--server ADDR] [ids...]
 //! ids: table1 table2 table3 fig3 fig4 fig7 fig13 fig14 fig15 fig16 fig17
 //!      fig18 ablation stalls trace verify bench
@@ -23,7 +23,15 @@
 //! Compiled programs are statically verified (`ch-verify`) before any
 //! experiment runs them; `--no-verify` skips that (faster, but silent
 //! on backend dataflow bugs). The `verify` experiment prints the lint
-//! summary table (dead relays, redundant edge fixes, unreachable code).
+//! summary table (dead relays, redundant edge fixes, unreachable code)
+//! and ratchets it against the committed per-workload baseline
+//! (`CH_VERIFY_SKIP_CHECK=1` to re-baseline).
+//!
+//! `--no-opt` compiles every workload with the backend optimization
+//! layer off (`OptConfig::none()`) — the escape hatch for bisecting a
+//! miscompile down to one optimization pass. `opt` (not part of the
+//! default run) measures both configurations side by side and writes
+//! the `BENCH_8.json` snapshot; see `ch_bench::optreport`.
 //!
 //! With no ids, everything runs (in paper order). Independent
 //! `(workload, isa, width)` jobs inside each experiment are fanned out
@@ -66,6 +74,7 @@ fn main() {
                 }
             }
             "--no-verify" => ch_workloads::set_verify(false),
+            "--no-opt" => ch_compiler::set_optimize(false),
             "--server" => match args.next() {
                 Some(addr) if !addr.is_empty() => {
                     if let Err(e) = bench::remote::Client::connect(&addr)
@@ -85,7 +94,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "figures [--scale test|small|full] [--jobs N] [--no-verify] \
-                     [--server ADDR] [ids...]"
+                     [--no-opt] [--server ADDR] [ids...]"
                 );
                 return;
             }
@@ -120,8 +129,11 @@ fn main() {
                 "trace" => bench::traces(scale),
                 "verify" => bench::verify_lints(scale),
                 "bench" => bench::bench_experiment(scale),
+                "opt" => bench::opt_experiment(scale),
                 other => {
-                    eprintln!("unknown experiment `{other}` (known: {all:?}, plus `bench`)");
+                    eprintln!(
+                        "unknown experiment `{other}` (known: {all:?}, plus `bench` and `opt`)"
+                    );
                     std::process::exit(2);
                 }
             });

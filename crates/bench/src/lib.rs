@@ -46,12 +46,14 @@ use std::time::Instant;
 
 pub mod cache;
 pub mod driver;
+pub mod optreport;
 pub mod remote;
 pub mod report;
 pub mod sweep;
 
 pub use cache::KeyedOnce;
 pub use driver::{jobs, par_for_each, par_map, set_jobs};
+pub use optreport::opt_experiment;
 pub use report::bench_experiment;
 pub use sweep::{sweep, sweep_stream};
 
@@ -829,6 +831,7 @@ pub fn verify_lints(scale: Scale) -> String {
         w.compile(scale)
             .unwrap_or_else(|e| panic!("{} failed to compile: {e}", w.name()))
     });
+    let mut measured: Vec<(&str, &str, usize, usize)> = Vec::new();
     for (w, set) in Workload::ALL.iter().zip(sets) {
         let reports: [Report; 3] = [
             ch_verify::verify_clockhands(&set.clockhands, &opts),
@@ -844,6 +847,7 @@ pub fn verify_lints(scale: Scale) -> String {
                 r.render()
             );
             let insts: usize = r.functions.iter().map(|f| f.insts).sum();
+            measured.push((w.name(), r.isa, r.dead_relays(), r.redundant_fixes()));
             let _ = writeln!(
                 s,
                 "{:<12} {:<4} {:>6} {:>12} {:>14} {:>12}",
@@ -866,7 +870,84 @@ pub fn verify_lints(scale: Scale) -> String {
 redundant fixes: li edge-fill writes never read; unreachable: instructions\n\
 reachable from no function. All are backend slack, not correctness bugs.)"
     );
+    let _ = writeln!(s, "{}", check_lint_baseline(scale, &measured));
     s
+}
+
+/// Committed per-workload lint baseline, regenerated with
+/// `CH_VERIFY_SKIP_CHECK=1 just figures verify` (which rewrites the
+/// file in place). Format: one `workload isa dead_relays
+/// redundant_fixes` line per program, preceded by a `scale` header.
+const LINT_BASELINE: &str = include_str!("../data/lint_baseline.txt");
+
+/// Compares measured lint counts against [`LINT_BASELINE`].
+///
+/// The baseline is a ratchet: any workload whose dead-relay or
+/// redundant-fix count *rises* above the committed value fails the run
+/// (a relay-minimization regression slipped in); counts that fall just
+/// suggest re-baselining. `CH_VERIFY_SKIP_CHECK=1` skips the check and
+/// rewrites `crates/bench/data/lint_baseline.txt` from the measurement
+/// (run from the repo root). Baselines are per-scale; a mismatched
+/// scale is reported, not compared.
+fn check_lint_baseline(scale: Scale, measured: &[(&str, &str, usize, usize)]) -> String {
+    let render = |rows: &[(&str, &str, usize, usize)]| -> String {
+        let mut b = format!("scale {}\n", scale.name());
+        for &(w, isa, dead, redundant) in rows {
+            let _ = writeln!(b, "{w} {isa} {dead} {redundant}");
+        }
+        b
+    };
+    if std::env::var_os("CH_VERIFY_SKIP_CHECK").is_some() {
+        let path = "crates/bench/data/lint_baseline.txt";
+        return match std::fs::write(path, render(measured)) {
+            Ok(()) => format!("lint baseline rewritten ({path}); check skipped"),
+            Err(e) => format!("lint baseline NOT rewritten ({path}: {e}); check skipped"),
+        };
+    }
+    let mut lines = LINT_BASELINE.lines();
+    let header = lines.next().unwrap_or_default();
+    if header != format!("scale {}", scale.name()) {
+        return format!(
+            "lint baseline is for `{header}`, not scale {}: not compared",
+            scale.name()
+        );
+    }
+    let mut worse = Vec::new();
+    let mut drifted = false;
+    for line in lines {
+        let mut f = line.split_whitespace();
+        let (Some(w), Some(isa), Some(dead), Some(redundant)) =
+            (f.next(), f.next(), f.next(), f.next())
+        else {
+            continue;
+        };
+        let (dead, redundant): (usize, usize) =
+            (dead.parse().unwrap_or(0), redundant.parse().unwrap_or(0));
+        let Some(&(_, _, mdead, mredundant)) = measured
+            .iter()
+            .find(|&&(mw, misa, _, _)| mw == w && misa == isa)
+        else {
+            continue;
+        };
+        if mdead > dead || mredundant > redundant {
+            worse.push(format!(
+                "{w}/{isa}: dead relays {dead} -> {mdead}, redundant fixes \
+                 {redundant} -> {mredundant}"
+            ));
+        }
+        drifted |= mdead < dead || mredundant < redundant;
+    }
+    assert!(
+        worse.is_empty(),
+        "lint counts regressed vs crates/bench/data/lint_baseline.txt:\n  {}\n\
+         (an intended trade-off? re-baseline with CH_VERIFY_SKIP_CHECK=1)",
+        worse.join("\n  ")
+    );
+    if drifted {
+        "lint baseline check: ok (some counts improved; consider re-baselining)".to_string()
+    } else {
+        "lint baseline check: ok".to_string()
+    }
 }
 
 #[cfg(test)]

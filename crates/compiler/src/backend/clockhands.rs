@@ -20,6 +20,7 @@
 //! independently, a block's live values cost relays only in their own
 //! hand.
 
+use super::opt::{long_lived_locals, schedule_function, select_loop_constants, OptConfig};
 use crate::cfg::{liveness, loop_info, rpo, BitSet};
 use crate::ir::{Function, Ins, Module, Term, VReg};
 use ch_common::exec::{AluOp, LoadOp, StoreOp};
@@ -28,17 +29,30 @@ use clockhands::inst::{Inst as ChInst, Src};
 use clockhands::program::Program;
 use std::collections::HashMap;
 
-/// Per-hand in-block relay threshold (hard limit is 15, 14 on `s`).
+/// Per-hand in-block relay threshold (the hard limit is
+/// [`Hand::max_src_distance`]: 15 on t/u/v, 14 on `s`).
 const RELAY_AT: i64 = 12;
-/// Maximum encodable distance on t/u/v.
-const MAX_DIST: i64 = 15;
+/// Maximum encodable distance on t/u/v, from the shared ISA definition.
+const MAX_DIST: i64 = Hand::T.max_src_distance() as i64;
 
-/// Compiles a module to a Clockhands program (with a `_start` stub).
+/// Compiles a module to a Clockhands program (with a `_start` stub)
+/// using the process-wide optimization configuration.
 ///
 /// # Errors
 ///
 /// Returns a description of any unsatisfiable constraint.
 pub fn compile(module: &Module) -> Result<Program, String> {
+    compile_with(module, &OptConfig::current())
+}
+
+/// Compiles a module with an explicit optimization configuration
+/// (`OptConfig::none()` reproduces the conservative pre-optimization
+/// backend, for A/B measurement and differential testing).
+///
+/// # Errors
+///
+/// Returns a description of any unsatisfiable constraint.
+pub fn compile_with(module: &Module, opt: &OptConfig) -> Result<Program, String> {
     let mut prog = Program::new();
     let mut call_fixups: Vec<(usize, usize)> = Vec::new();
     let mut fn_starts: Vec<u32> = Vec::new();
@@ -58,7 +72,52 @@ pub fn compile(module: &Module) -> Result<Program, String> {
     for f in &module.funcs {
         fn_starts.push(prog.insts.len() as u32);
         prog.labels.insert(f.name.clone(), prog.insts.len() as u32);
-        FnCg::new(f, module, &mut prog, &mut call_fixups).run()?;
+        // Per-function variant selection: distance-aware scheduling and
+        // cost-based join anchoring are each accepted only when they
+        // strictly shrink the emitted code (fewer relays, reloads, or
+        // edge fixes). Neither heuristic has a reliable global view —
+        // the scheduler can't see join layouts and the anchor cost
+        // estimate is one-pass stale inside loops — so their results
+        // are measured, not trusted. Ties keep the earlier (more
+        // conservative) variant.
+        let scheduled;
+        let mut cands: Vec<(&Function, bool)> = vec![(f, false)];
+        if opt.min_relays {
+            cands.push((f, true));
+        }
+        if opt.schedule {
+            scheduled = schedule_function(f);
+            cands.push((&scheduled, false));
+            if opt.min_relays {
+                cands.push((&scheduled, true));
+            }
+        }
+        let (mut f, mut anchor) = cands[0];
+        if cands.len() > 1 {
+            let emitted = |func: &Function, ca: bool| -> Option<usize> {
+                let mut tmp = Program::new();
+                let mut fx = Vec::new();
+                FnCg::new(func, module, &mut tmp, &mut fx, opt, ca)
+                    .run()
+                    .ok()
+                    .map(|()| tmp.insts.len())
+            };
+            let mut best: Option<usize> = None;
+            for &(func, ca) in &cands {
+                let n = emitted(func, ca);
+                if std::env::var("CH_VARIANT_DEBUG").is_ok() {
+                    eprintln!("VARIANT {} anchor={} emitted={:?}", func.name, ca, n);
+                }
+                if let Some(n) = n {
+                    if best.map(|b| n < b).unwrap_or(true) {
+                        best = Some(n);
+                        f = func;
+                        anchor = ca;
+                    }
+                }
+            }
+        }
+        FnCg::new(f, module, &mut prog, &mut call_fixups, opt, anchor).run()?;
     }
     for (at, func) in call_fixups {
         if let ChInst::Call { target, .. } = &mut prog.insts[at] {
@@ -79,6 +138,11 @@ struct Loc {
 /// Snapshot of the codegen path state handed to a single-predecessor
 /// successor: live-value locations, per-hand write counters, SP position.
 type PathState = (HashMap<VReg, Loc>, [i64; 4], i64);
+/// One natural delivery along an incoming edge: (source block, source
+/// loop depth, vreg -> distance at the join).
+type Delivery = (usize, u32, HashMap<VReg, i64>);
+/// Chosen entry layout at a join: per hand (t, u), (vreg, distance).
+type JoinLayout = [Vec<(VReg, i64)>; 2];
 
 struct FnCg<'a> {
     f: &'a Function,
@@ -98,9 +162,15 @@ struct FnCg<'a> {
     v_set: BitSet,
     /// Number of own v writes.
     v_count: usize,
-    /// Caller v registers saved/restored (the convention's 8 callee-saved
-    /// registers — all of them whenever this function writes v at all).
-    v_save_count: usize,
+    /// Convention window slots restored at every return (8 whenever this
+    /// function writes v at all, else 0).
+    v_restore_count: usize,
+    /// The subset of restored slots that must go through the stack; the
+    /// rest are re-established from deeper ring positions (clobber-only
+    /// saves — see `gen_entry_prologue`).
+    v_stack_saved: Vec<usize>,
+    /// Optimization toggles.
+    opt: OptConfig,
     spill_off: HashMap<VReg, i32>,
     /// Stack-resident vregs (demoted when a hand's live-in set exceeds
     /// its capacity): loaded on use, stored through on definition.
@@ -118,17 +188,25 @@ struct FnCg<'a> {
     preds_count: Vec<usize>,
     /// Saved path state for single-predecessor successors.
     pending: HashMap<usize, PathState>,
-    /// Chosen entry layout per join: per hand (t, u), (vreg, distance).
-    layouts: Vec<[Vec<(VReg, i64)>; 2]>,
-    /// Hot natural delivery per block: (source loop depth, vreg → dist).
-    deliveries: Vec<Option<(u32, HashMap<VReg, i64>)>>,
+    /// Chosen entry layout per join.
+    layouts: Vec<JoinLayout>,
+    /// Natural deliveries per block, one entry per incoming edge taken
+    /// this pass.
+    deliveries: Vec<Vec<Delivery>>,
     /// Loop depth per block.
     depth: Vec<u32>,
     /// Fix-up writes emitted this pass.
     fix_writes: u64,
-    /// Previous pass's deliveries (drift detection: a value is only a
-    /// stable natural if two consecutive passes deliver it identically).
-    deliveries_prev: Vec<Option<HashMap<VReg, i64>>>,
+    /// Previous pass's deliveries keyed by source block (drift detection:
+    /// a value is only a stable natural if two consecutive passes deliver
+    /// it identically from the same predecessor).
+    deliveries_prev: Vec<HashMap<usize, HashMap<VReg, i64>>>,
+    /// Select join anchors by total estimated fix cost instead of
+    /// first arrival (see [`FnCg::update_layouts`]). The estimate is
+    /// local and one-pass stale — in loop nests it can mispredict and
+    /// produce *worse* code — so `compile_with` measures both variants
+    /// and keeps this one only when it strictly shrinks the function.
+    cost_anchor: bool,
 }
 
 impl<'a> FnCg<'a> {
@@ -137,6 +215,8 @@ impl<'a> FnCg<'a> {
         module: &'a Module,
         out: &'a mut Program,
         call_fixups: &'a mut Vec<(usize, usize)>,
+        opt: &OptConfig,
+        cost_anchor: bool,
     ) -> Self {
         let live = liveness(f);
         let loops = loop_info(f);
@@ -187,7 +267,7 @@ impl<'a> FnCg<'a> {
             }
         }
         let is_param = |v: VReg| f.params.contains(&v);
-        let mut v_candidates: Vec<(u64, VReg)> = benefit
+        let v_candidates: Vec<(u64, VReg)> = benefit
             .iter()
             .filter(|(&v, _)| {
                 if zero_vregs.contains(v) {
@@ -199,50 +279,57 @@ impl<'a> FnCg<'a> {
             })
             .map(|(&v, &b)| (b, v))
             .collect();
-        v_candidates.sort_by(|a, b| b.cmp(a));
+        // Greedy weighted MIS over loop bodies (the paper's scheme):
+        // candidates in decreasing benefit order, kept while the v
+        // window's per-loop and global capacity holds.
+        let chosen = select_loop_constants(f, &loops, &v_candidates, v_budget);
         let mut v_set = BitSet::new(f.num_vregs());
-        let mut v_count = 0usize;
-        for (ben, v) in v_candidates {
-            if v_count >= v_budget || ben == 0 {
-                break;
-            }
+        for &v in &chosen {
             v_set.insert(v);
-            v_count += 1;
         }
+        let v_count = chosen.len();
 
         // t vs u (Section 4.3): short-lived results go to t, the rest to
-        // u. Cross-block values are long-lived by definition; block-local
+        // u. Cross-block values are long-lived by definition. Block-local
         // values go to u when their def-use span exceeds what the t ring
-        // can hold (t receives roughly one write per instruction).
+        // can hold: measured in actual t writes when the lifetime split
+        // is enabled, approximated by raw instruction span otherwise.
         let mut crosses = BitSet::new(f.num_vregs());
         for b in 0..f.blocks.len() {
             crosses.union_with(&live.live_in[b]);
             crosses.union_with(&live.live_out[b]);
         }
-        let mut long_span = BitSet::new(f.num_vregs());
         const SPAN_LIMIT: usize = 10;
-        for b in &f.blocks {
-            let mut first_def: HashMap<VReg, usize> = HashMap::new();
-            for (i, ins) in b.insts.iter().enumerate() {
-                for src in ins.srcs() {
+        let long_span = if opt.lifetime_split {
+            let is_t_local =
+                |v: VReg| !crosses.contains(v) && !zero_vregs.contains(v) && !v_set.contains(v);
+            long_lived_locals(f, SPAN_LIMIT, &is_t_local)
+        } else {
+            let mut long_span = BitSet::new(f.num_vregs());
+            for b in &f.blocks {
+                let mut first_def: HashMap<VReg, usize> = HashMap::new();
+                for (i, ins) in b.insts.iter().enumerate() {
+                    for src in ins.srcs() {
+                        if let Some(&d) = first_def.get(&src) {
+                            if i - d > SPAN_LIMIT {
+                                long_span.insert(src);
+                            }
+                        }
+                    }
+                    if let Some(d) = ins.dst() {
+                        first_def.entry(d).or_insert(i);
+                    }
+                }
+                for src in b.term.srcs() {
                     if let Some(&d) = first_def.get(&src) {
-                        if i - d > SPAN_LIMIT {
+                        if b.insts.len() - d > SPAN_LIMIT {
                             long_span.insert(src);
                         }
                     }
                 }
-                if let Some(d) = ins.dst() {
-                    first_def.entry(d).or_insert(i);
-                }
             }
-            for src in b.term.srcs() {
-                if let Some(&d) = first_def.get(&src) {
-                    if b.insts.len() - d > SPAN_LIMIT {
-                        long_span.insert(src);
-                    }
-                }
-            }
-        }
+            long_span
+        };
         let mut assign = vec![Hand::T; f.num_vregs()];
         for v in 0..f.num_vregs() as u32 {
             assign[v as usize] = if v_set.contains(v) {
@@ -313,6 +400,28 @@ impl<'a> FnCg<'a> {
             }
         }
 
+        // Callee-save plan for the v window: every return re-establishes
+        // the caller's v[0..8) (whenever this function writes v at all,
+        // its own writes shift all eight). With clobber-only saves, the
+        // caller values still reachable in the ring at the epilogue are
+        // restored by relays and only the rest go through the stack:
+        //  * leaf with v_count <= 8: restoring v[j] (j = 7 down to 0)
+        //    reads ring distance v_count + 7 <= 15 — nothing stacked;
+        //  * with calls: an inner call preserves only the top-8 window,
+        //    so the v_count deepest caller values fall out — stack those;
+        //  * v_count > 8 (leaf-only; the call budget is 8): ring
+        //    restores would read past the window — stack all eight.
+        let v_restore_count = if v_count > 0 { 8 } else { 0 };
+        let v_stack_saved: Vec<usize> = if v_count == 0 {
+            Vec::new()
+        } else if !opt.lean_saves || v_count > 8 {
+            (0..8).collect()
+        } else if has_calls {
+            (8 - v_count..8).collect()
+        } else {
+            Vec::new()
+        };
+
         FnCg {
             f,
             module,
@@ -325,7 +434,9 @@ impl<'a> FnCg<'a> {
             zero_vregs,
             v_set,
             v_count,
-            v_save_count: if v_count > 0 { 8 } else { 0 },
+            v_restore_count,
+            v_stack_saved,
+            opt: *opt,
             spill_off: HashMap::new(),
             stack_set,
             frame_size: 0,
@@ -343,6 +454,7 @@ impl<'a> FnCg<'a> {
             depth: loops.depth.clone(),
             fix_writes: 0,
             deliveries_prev: Vec::new(),
+            cost_anchor,
         }
     }
 
@@ -380,11 +492,7 @@ impl<'a> FnCg<'a> {
             .get(&v)
             .ok_or_else(|| format!("{}: v{v} has no location", self.f.name))?;
         let d = self.dist_of(*l);
-        let limit = if l.hand == Hand::S {
-            MAX_DIST - 1
-        } else {
-            MAX_DIST
-        };
+        let limit = l.hand.max_src_distance() as i64;
         if !(0..=limit).contains(&d) {
             return Err(format!("{}: v{v} at {}-distance {d}", self.f.name, l.hand));
         }
@@ -394,7 +502,7 @@ impl<'a> FnCg<'a> {
     /// Reads the stack pointer.
     fn sp_src(&self) -> Result<Src, String> {
         let d = self.counters[Hand::S.index()] - 1 - self.sp_pos;
-        if !(0..MAX_DIST).contains(&d) {
+        if !(0..=Hand::S.max_src_distance() as i64).contains(&d) {
             return Err(format!("{}: SP at s-distance {d}", self.f.name));
         }
         Ok(Src::Hand(Hand::S, d as u8))
@@ -407,11 +515,10 @@ impl<'a> FnCg<'a> {
             return Ok(());
         }
         if let Some(&l) = self.loc.get(&v) {
-            let limit = if l.hand == Hand::S {
-                MAX_DIST - 3
-            } else {
-                MAX_DIST - 2
-            };
+            // Two writes of slack below the hand's hard limit, so the
+            // reload itself plus one interleaved write cannot push the
+            // value out of range before the read.
+            let limit = l.hand.max_src_distance() as i64 - 2;
             if self.dist_of(l) <= limit {
                 return Ok(());
             }
@@ -508,7 +615,7 @@ impl<'a> FnCg<'a> {
         self.ra_off = 0;
         let mut off = 8i32;
         self.vsave_off = off;
-        off += 8 * self.v_save_count as i32;
+        off += 8 * self.v_stack_saved.len() as i32;
         needs_spill.union_with(&self.stack_set);
         for v in needs_spill.iter() {
             if self.zero_vregs.contains(v) || self.v_set.contains(v) {
@@ -546,13 +653,13 @@ impl<'a> FnCg<'a> {
         // edge's layout, re-emit.
         let fn_start = self.out.insts.len();
         let cf_start = self.call_fixups.len();
-        self.deliveries_prev = vec![None; self.f.blocks.len()];
+        self.deliveries_prev = vec![HashMap::new(); self.f.blocks.len()];
         for pass in 0..4 {
             self.out.insts.truncate(fn_start);
             self.call_fixups.truncate(cf_start);
             self.fixups.clear();
             self.pending.clear();
-            self.deliveries = vec![None; self.f.blocks.len()];
+            self.deliveries = vec![Vec::new(); self.f.blocks.len()];
             self.fix_writes = 0;
             let order = rpo(self.f);
             for (oi, &b) in order.iter().enumerate() {
@@ -566,7 +673,7 @@ impl<'a> FnCg<'a> {
             self.deliveries_prev = self
                 .deliveries
                 .iter()
-                .map(|d| d.as_ref().map(|(_, n)| n.clone()))
+                .map(|ds| ds.iter().map(|(f, _, n)| (*f, n.clone())).collect())
                 .collect();
         }
         for (at, blk) in std::mem::take(&mut self.fixups) {
@@ -579,53 +686,89 @@ impl<'a> FnCg<'a> {
         Ok(())
     }
 
-    /// Adopts each join's hottest natural delivery as its entry layout;
+    /// Adopts a natural delivery as each join's entry layout;
     /// undeliverable values fall back to explicit relay slots.
+    ///
+    /// Anchor selection: candidates are the edges at the deepest loop
+    /// level (the hot path must pay zero fixes). With `cost_anchor`
+    /// on, the candidate whose implied layout minimizes the *total*
+    /// estimated fix writes across every recorded edge wins — a
+    /// first-arrival anchor can pin values at distances with holes
+    /// beneath them (its own dead interleaved writes), which every
+    /// other edge then pads with never-read fillers. Without it, the
+    /// first deepest edge wins (first-arrival, the conservative
+    /// behavior; see the `cost_anchor` field for why both exist).
     fn update_layouts(&mut self) {
         const LIMIT: i64 = 12;
         for b in 0..self.f.blocks.len() {
-            let nat = match &self.deliveries[b] {
-                Some((_, nat)) => nat.clone(),
-                None => continue,
-            };
+            let cands = self.deliveries[b].clone();
+            if cands.is_empty() {
+                continue;
+            }
+            let hottest = cands.iter().map(|&(_, d, _)| d).max().unwrap();
             let prev = self.deliveries_prev[b].clone();
-            let stable = |v: VReg, d: i64| -> bool {
-                match &prev {
-                    Some(p) => p.get(&v) == Some(&d),
-                    None => true, // first update: optimistic
-                }
-            };
             let (t_order, u_order) = self.entry_order[b].clone();
-            let mut new_layout: [Vec<(VReg, i64)>; 2] = [Vec::new(), Vec::new()];
-            for (hi, order) in [t_order, u_order].into_iter().enumerate() {
-                let mut used: std::collections::HashSet<i64> = std::collections::HashSet::new();
-                let mut naturals: Vec<(VReg, i64)> = Vec::new();
-                let mut relays: Vec<VReg> = Vec::new();
-                for &v in &order {
-                    match nat.get(&v) {
-                        Some(&d) if (0..=LIMIT).contains(&d) && stable(v, d) && used.insert(d) => {
-                            naturals.push((v, d));
+            let build = |from: usize, nat: &HashMap<VReg, i64>| -> [Vec<(VReg, i64)>; 2] {
+                let stable = |v: VReg, d: i64| -> bool {
+                    match prev.get(&from) {
+                        Some(p) => p.get(&v) == Some(&d),
+                        None => true, // first update: optimistic
+                    }
+                };
+                let mut new_layout: [Vec<(VReg, i64)>; 2] = [Vec::new(), Vec::new()];
+                for (hi, order) in [&t_order, &u_order].into_iter().enumerate() {
+                    let mut used: std::collections::HashSet<i64> = std::collections::HashSet::new();
+                    let mut naturals: Vec<(VReg, i64)> = Vec::new();
+                    let mut relays: Vec<VReg> = Vec::new();
+                    for &v in order {
+                        match nat.get(&v) {
+                            Some(&d)
+                                if (0..=LIMIT).contains(&d) && stable(v, d) && used.insert(d) =>
+                            {
+                                naturals.push((v, d));
+                            }
+                            _ => relays.push(v),
                         }
-                        _ => relays.push(v),
                     }
-                }
-                // Steady state: the relay group (r values) is re-emitted
-                // on every edge, shifting unemitted naturals by r —
-                // relays sit at 0..r-1, naturals at observed + r.
-                loop {
+                    // Steady state: the relay group (r values) is re-emitted
+                    // on every edge, shifting unemitted naturals by r —
+                    // relays sit at 0..r-1, naturals at observed + r.
+                    loop {
+                        let r = relays.len() as i64;
+                        match naturals.iter().position(|&(_, d)| d + r > LIMIT) {
+                            Some(i) => relays.push(naturals.remove(i).0),
+                            None => break,
+                        }
+                    }
                     let r = relays.len() as i64;
-                    match naturals.iter().position(|&(_, d)| d + r > LIMIT) {
-                        Some(i) => relays.push(naturals.remove(i).0),
-                        None => break,
+                    new_layout[hi] = naturals.into_iter().map(|(v, d)| (v, d + r)).collect();
+                    for (i, v) in relays.into_iter().enumerate() {
+                        new_layout[hi].push((v, i as i64));
                     }
                 }
-                let r = relays.len() as i64;
-                new_layout[hi] = naturals.into_iter().map(|(v, d)| (v, d + r)).collect();
-                for (i, v) in relays.into_iter().enumerate() {
-                    new_layout[hi].push((v, i as i64));
+                new_layout
+            };
+            let mut best: Option<(i64, JoinLayout)> = None;
+            for &(from, d, ref nat) in &cands {
+                if d != hottest {
+                    continue;
+                }
+                let layout = build(from, nat);
+                if !self.cost_anchor {
+                    best = Some((0, layout));
+                    break; // first-arrival anchor
+                }
+                let cost: i64 = cands
+                    .iter()
+                    .map(|(_, _, np)| {
+                        est_fix_writes(&layout[0], np) + est_fix_writes(&layout[1], np)
+                    })
+                    .sum();
+                if best.as_ref().map(|&(bc, _)| cost < bc).unwrap_or(true) {
+                    best = Some((cost, layout));
                 }
             }
-            self.layouts[b] = new_layout;
+            self.layouts[b] = best.unwrap().1;
         }
     }
 
@@ -633,24 +776,7 @@ impl<'a> FnCg<'a> {
     /// distance: emitted fixes occupy distances `0..c` (jumps write no
     /// hand), an unemitted value drifts to `current + c`.
     fn min_fix_writes(&self, targets: &[(VReg, i64)]) -> i64 {
-        let maxd = targets
-            .iter()
-            .map(|&(_, d)| d)
-            .max()
-            .map(|d| d + 1)
-            .unwrap_or(0);
-        'outer: for c in 0..=maxd {
-            for &(v, d) in targets {
-                if d >= c {
-                    match self.loc.get(&v) {
-                        Some(&l) if self.dist_of(l) + c == d => {}
-                        _ => continue 'outer,
-                    }
-                }
-            }
-            return c;
-        }
-        maxd
+        est_fix_writes_with(targets, &|v| self.loc.get(&v).map(|&l| self.dist_of(l)))
     }
 
     /// Entry state for a non-entry block: each hand's live-ins sit at
@@ -724,8 +850,21 @@ impl<'a> FnCg<'a> {
             // needed afterwards, and not about to be redefined here.
             let na = &needed_at[i + 1];
             let dst = ins.dst();
+            if self.opt.min_relays {
+                // Safety net for last-use sources: a value read here for
+                // the final time is not in `na`, but it must still be in
+                // reach *after* the stack reloads that precede the read.
+                // The legacy backend silently assumed its slack covered
+                // this; with many stack-resident operands it does not.
+                let reloads = self.reload_writes(&ins.srcs());
+                if reloads > 0 {
+                    let srcs = ins.srcs();
+                    self.relay_over(MAX_DIST + 1 - reloads, &move |v: VReg| srcs.contains(&v))?;
+                }
+            }
+            let threshold = self.relay_threshold(ins);
             let keep = move |v: VReg| na.contains(&v) && dst != Some(v);
-            self.relay_over(RELAY_AT, &keep)?;
+            self.relay_over(threshold, &keep)?;
             self.gen_ins(ins, &needed_at[i + 1])?;
         }
         let term = blk.term.clone();
@@ -734,9 +873,58 @@ impl<'a> FnCg<'a> {
         // instruction's relay pass; relay once more so they start in
         // reach.
         let na = &needed_at[nins];
-        self.relay_over(RELAY_AT, &move |v: VReg| na.contains(&v))?;
+        let threshold = self.term_relay_threshold(&term);
+        self.relay_over(threshold, &move |v: VReg| na.contains(&v))?;
         self.gen_term(b, &term, next)?;
         Ok(())
+    }
+
+    /// Counts the short-hand writes the stack reloads for `srcs` can
+    /// emit before this instruction's operand reads.
+    fn reload_writes(&self, srcs: &[VReg]) -> i64 {
+        srcs.iter()
+            .filter(|&&s| self.stack_set.contains(s) && !self.zero_vregs.contains(s))
+            .count() as i64
+    }
+
+    /// Relay threshold before generating `ins`.
+    ///
+    /// The fixed early margin `RELAY_AT` is kept even in minimizing
+    /// mode: placing a provably-needed relay *earlier* costs nothing
+    /// statically and buys out-of-order slack — measured on the
+    /// workload suite, demand-placement (relaying at the last legal
+    /// point) emitted the identical instruction count but ran 0.3–1.8%
+    /// more cycles because the relay `mv` lands next to its consumer
+    /// and its hop latency goes on the critical path. What minimizing
+    /// mode *does* change is the overflow accounting: the threshold is
+    /// capped so the writes this instruction can emit (stack reloads
+    /// plus its own definition) can never push a kept value past the
+    /// hard limit, where the legacy backend trusted a fixed slack of 3.
+    fn relay_threshold(&self, ins: &Ins) -> i64 {
+        if !self.opt.min_relays {
+            return RELAY_AT;
+        }
+        // A call's result write lands after `loc` is rebuilt from
+        // scratch, so only the reloads shift values that survive into
+        // their pre-call reads.
+        let own = match ins {
+            Ins::Call { .. } => 0,
+            _ => ins
+                .dst()
+                .map_or(0, |d| i64::from(!self.zero_vregs.contains(d))),
+        };
+        RELAY_AT.min(MAX_DIST + 1 - (self.reload_writes(&ins.srcs()) + own))
+    }
+
+    /// Relay threshold before the terminator: its operand reloads, plus
+    /// the epilogue's return-address load that precedes the return-value
+    /// read. Join-edge fix writes guard their own reads in `take_edge`.
+    fn term_relay_threshold(&self, term: &Term) -> i64 {
+        if !self.opt.min_relays {
+            return RELAY_AT;
+        }
+        let ra = i64::from(matches!(term, Term::Ret(_)));
+        RELAY_AT.min(MAX_DIST + 1 - (self.reload_writes(&term.srcs()) + ra))
     }
 
     /// Function entry: calling-convention state, frame setup, caller
@@ -779,15 +967,16 @@ impl<'a> FnCg<'a> {
             base: sp,
             offset: self.ra_off,
         });
-        // Save the caller's v[0..7] (every callee-saved register — the
-        // caller may rely on any of them) before any own v write.
-        for j in 0..self.v_save_count {
+        // Save the caller's v registers that the epilogue cannot reach
+        // in the ring (see the save plan in `new`) before any own v
+        // write; the rest are restored by relays from deeper positions.
+        for (idx, &j) in self.v_stack_saved.clone().iter().enumerate() {
             let sp = self.sp_src()?;
             self.push(ChInst::Store {
                 op: StoreOp::Sd,
                 value: Src::Hand(Hand::V, j as u8),
                 base: sp,
-                offset: self.vsave_off + 8 * j as i32,
+                offset: self.vsave_off + 8 * idx as i32,
             });
         }
         // Own v writes start at model position 0.
@@ -1027,23 +1216,17 @@ impl<'a> FnCg<'a> {
                 .insert(t, (self.loc.clone(), self.counters, self.sp_pos));
             return Ok(());
         }
-        // Record the natural delivery for the layout update.
+        // Record this edge's natural delivery for the layout update.
         let d_from = self.depth[from];
-        let record = self.deliveries[t]
-            .as_ref()
-            .map(|(d, _)| *d < d_from)
-            .unwrap_or(true);
-        if record {
-            let mut nat = HashMap::new();
-            for hi in 0..2 {
-                for &(v, _) in &self.layouts[t][hi] {
-                    if let Some(&l) = self.loc.get(&v) {
-                        nat.insert(v, self.dist_of(l));
-                    }
+        let mut nat = HashMap::new();
+        for hi in 0..2 {
+            for &(v, _) in &self.layouts[t][hi] {
+                if let Some(&l) = self.loc.get(&v) {
+                    nat.insert(v, self.dist_of(l));
                 }
             }
-            self.deliveries[t] = Some((d_from, nat));
         }
+        self.deliveries[t].push((from, d_from, nat));
         for (hi, hand) in [(0, Hand::T), (1, Hand::U)] {
             let targets = self.layouts[t][hi].clone();
             let mut c = self.min_fix_writes(&targets);
@@ -1097,6 +1280,14 @@ impl<'a> FnCg<'a> {
                             src: sop,
                         });
                     }
+                    // Filler slot (a gap in the layout): something must
+                    // write this hand to shift the values above into
+                    // place. A dependency-free `li 0` is the cheapest
+                    // such write — a value-carrying move was measured to
+                    // splice an extra hop into the value's dependence
+                    // chain and cost 0.5–1.8% cycles on hot edges. The
+                    // scheduler attacks the gaps themselves instead, by
+                    // making hot-edge natural deliveries contiguous.
                     None => self.push(ChInst::Li { dst: hand, imm: 0 }),
                 }
             }
@@ -1187,15 +1378,33 @@ impl<'a> FnCg<'a> {
                     });
                 }
                 // Restore the caller's v[0..7]: write X_7 first so X_0
-                // ends at v[0].
-                for j in (0..self.v_save_count).rev() {
-                    let sp = self.sp_src()?;
-                    self.push(ChInst::Load {
-                        op: LoadOp::Ld,
-                        dst: Hand::V,
-                        base: sp,
-                        offset: self.vsave_off + 8 * j as i32,
-                    });
+                // ends at v[0]. Stack-saved slots reload; the rest are
+                // still in the ring — caller v[j] sits at distance
+                // v_count + j here (own writes shifted it; every inner
+                // call preserved the window contents in place), and by
+                // the time slot j is rewritten the 7 - j earlier
+                // restores have shifted it to v_count + 7, a constant
+                // within the encodable range whenever v_count <= 8.
+                let ring_d = self.counters[Hand::V.index()] + 7;
+                for j in (0..self.v_restore_count).rev() {
+                    match self.v_stack_saved.iter().position(|&x| x == j) {
+                        Some(idx) => {
+                            let sp = self.sp_src()?;
+                            self.push(ChInst::Load {
+                                op: LoadOp::Ld,
+                                dst: Hand::V,
+                                base: sp,
+                                offset: self.vsave_off + 8 * idx as i32,
+                            });
+                        }
+                        None => {
+                            debug_assert!((0..=MAX_DIST).contains(&ring_d));
+                            self.push(ChInst::Mv {
+                                dst: Hand::V,
+                                src: Src::Hand(Hand::V, ring_d as u8),
+                            });
+                        }
+                    }
                 }
                 let spsrc = self.sp_src()?;
                 self.push(ChInst::AluImm {
@@ -1212,6 +1421,34 @@ impl<'a> FnCg<'a> {
             }
         }
     }
+}
+
+/// Minimal fix-write count for one hand's layout given a distance
+/// oracle: the smallest `c` such that every target at distance `d >= c`
+/// is already delivered naturally (its current distance plus the `c`
+/// emitted writes lands it exactly at `d`).
+fn est_fix_writes_with(targets: &[(VReg, i64)], dist: &dyn Fn(VReg) -> Option<i64>) -> i64 {
+    let maxd = targets
+        .iter()
+        .map(|&(_, d)| d)
+        .max()
+        .map(|d| d + 1)
+        .unwrap_or(0);
+    'outer: for c in 0..=maxd {
+        for &(v, d) in targets {
+            if d >= c && dist(v) != Some(d - c) {
+                continue 'outer;
+            }
+        }
+        return c;
+    }
+    maxd
+}
+
+/// [`est_fix_writes_with`] against a recorded delivery snapshot
+/// (vreg → distance at the edge point, before any fixes).
+fn est_fix_writes(targets: &[(VReg, i64)], nat: &HashMap<VReg, i64>) -> i64 {
+    est_fix_writes_with(targets, &|v| nat.get(&v).copied())
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! The three register-assignment backends (Fig. 10 of the paper).
 
 pub mod clockhands;
+pub mod opt;
 pub mod riscv;
 pub mod straight;

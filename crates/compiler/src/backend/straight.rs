@@ -24,6 +24,7 @@
 //! and the return value is written immediately before `ret` (distance 2
 //! at the resume point).
 
+use super::opt::{schedule_function, OptConfig};
 use crate::cfg::{liveness, loop_info, rpo, BitSet};
 use crate::ir::{Function, Ins, Module, Term, VReg};
 use ch_baselines::straight::{StInst, StProgram, StSrc};
@@ -35,12 +36,30 @@ const RELAY_AT: i64 = 120;
 /// Hard ISA limit.
 const MAX_DIST: i64 = 127;
 
-/// Compiles a module to a STRAIGHT program (with a `_start` stub).
+/// Compiles a module to a STRAIGHT program (with a `_start` stub)
+/// using the process-wide optimization configuration.
 ///
 /// # Errors
 ///
 /// Returns a description of any unsatisfiable constraint.
 pub fn compile(module: &Module) -> Result<StProgram, String> {
+    compile_with(module, &OptConfig::current())
+}
+
+/// Compiles a module with an explicit optimization configuration.
+///
+/// STRAIGHT consumes the shared analyses through one lever: the
+/// distance-aware local scheduler ([`schedule_function`]). Shorter
+/// def-use spans mean fewer *mv-MaxDistance* relays against the 127
+/// limit and tighter edge-relay sequences. As in the Clockhands
+/// backend, the scheduled variant is accepted per function only when
+/// it strictly shrinks the emitted code — the heuristic is measured,
+/// not trusted.
+///
+/// # Errors
+///
+/// Returns a description of any unsatisfiable constraint.
+pub fn compile_with(module: &Module, opt: &OptConfig) -> Result<StProgram, String> {
     let mut prog = StProgram::new();
     let mut call_fixups: Vec<(usize, usize)> = Vec::new();
     let mut fn_starts: Vec<u32> = Vec::new();
@@ -55,7 +74,25 @@ pub fn compile(module: &Module) -> Result<StProgram, String> {
     for f in &module.funcs {
         fn_starts.push(prog.insts.len() as u32);
         prog.labels.insert(f.name.clone(), prog.insts.len() as u32);
-        FnCg::new(f, module, &mut prog, &mut call_fixups).run()?;
+        let scheduled;
+        let mut chosen = f;
+        if opt.schedule {
+            scheduled = schedule_function(f);
+            let emitted = |func: &Function| -> Option<usize> {
+                let mut tmp = StProgram::new();
+                let mut fx = Vec::new();
+                FnCg::new(func, module, &mut tmp, &mut fx)
+                    .run()
+                    .ok()
+                    .map(|()| tmp.insts.len())
+            };
+            if let (Some(base), Some(sched)) = (emitted(f), emitted(&scheduled)) {
+                if sched < base {
+                    chosen = &scheduled;
+                }
+            }
+        }
+        FnCg::new(chosen, module, &mut prog, &mut call_fixups).run()?;
     }
     for (at, func) in call_fixups {
         if let StInst::Call { target } = &mut prog.insts[at] {

@@ -46,6 +46,27 @@ pub mod passes;
 use ch_baselines::riscv::RvProgram;
 use ch_baselines::straight::StProgram;
 use clockhands::Program as ChProgram;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide backend-optimization toggle (default on). See
+/// [`set_optimize`].
+static OPTIMIZE: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the rotating-register backend optimizations
+/// (distance-aware scheduling, measured-lifetime hand assignment,
+/// demand-driven relays, clobber-only callee saves) process-wide.
+///
+/// The `figures --no-opt` escape hatch uses this for A/B comparisons;
+/// tests that need an explicit configuration should instead call the
+/// backends' `compile_with` with an [`backend::opt::OptConfig`].
+pub fn set_optimize(on: bool) {
+    OPTIMIZE.store(on, Ordering::Relaxed);
+}
+
+/// Whether backend optimizations are enabled (see [`set_optimize`]).
+pub fn optimize_enabled() -> bool {
+    OPTIMIZE.load(Ordering::Relaxed)
+}
 
 /// Any error produced along the compilation pipeline.
 #[derive(Debug, Clone, PartialEq)]

@@ -47,21 +47,22 @@ fn parse_src(tok: &str, line: usize) -> Result<Src, AsmError> {
         Err(_) => return err(line, format!("bad distance in `{tok}`")),
     };
     // Reject unencodable distances here instead of at encode/run time:
-    // a hand reaches back at most MAX_DISTANCE values, and s[15] is the
-    // encoding reserved for the zero register (write `zero` instead).
-    if d >= MAX_DISTANCE {
+    // a hand reaches back at most `Hand::max_src_distance` values, and
+    // s[15] is the encoding reserved for the zero register (write `zero`
+    // instead).
+    if d > hand.max_src_distance() {
+        if hand == Hand::S && d == MAX_DISTANCE - 1 {
+            return err(
+                line,
+                format!("`{tok}` is the reserved zero-register encoding; write `zero`"),
+            );
+        }
         return err(
             line,
             format!(
                 "distance {d} in `{tok}` out of range (max {})",
-                MAX_DISTANCE - 1
+                hand.max_src_distance()
             ),
-        );
-    }
-    if hand == Hand::S && d == MAX_DISTANCE - 1 {
-        return err(
-            line,
-            format!("`{tok}` is the reserved zero-register encoding; write `zero`"),
         );
     }
     Ok(Src::Hand(hand, d))
@@ -560,6 +561,36 @@ mod tests {
         assert!(assemble("li s, 1\nhalt s[14]").is_ok());
         let e = assemble("li s, 1\nhalt s[15]").unwrap_err();
         assert!(e.message.contains("zero"), "{}", e.message);
+    }
+
+    #[test]
+    fn distance_boundary_for_every_hand() {
+        // At exactly the limit and at limit + 1 for all four hands, so an
+        // off-by-one in any consumer of `Hand::max_src_distance` becomes
+        // a unit-test failure instead of a fuzz find.
+        for hand in Hand::ALL {
+            let limit = hand.max_src_distance();
+            let ok = format!("li {hand}, 1\nhalt {hand}[{limit}]");
+            assert!(assemble(&ok).is_ok(), "{hand}[{limit}] must assemble");
+            let over = format!("li {hand}, 1\nhalt {hand}[{}]", limit + 1);
+            let e = assemble(&over).unwrap_err();
+            assert_eq!(e.line, 2, "{hand}[{}] must fail on line 2", limit + 1);
+            // s[15] gets the dedicated reserved-encoding message; the
+            // rest report the per-hand range.
+            if hand == Hand::S {
+                assert!(e.message.contains("zero"), "{}", e.message);
+            } else {
+                assert!(
+                    e.message.contains(&format!("out of range (max {limit})")),
+                    "{}",
+                    e.message
+                );
+            }
+            // One past the reserved encoding is a plain range error again.
+            let far = format!("li {hand}, 1\nhalt {hand}[{}]", limit + 2);
+            let e = assemble(&far).unwrap_err();
+            assert!(e.message.contains("out of range"), "{}", e.message);
+        }
     }
 
     #[test]

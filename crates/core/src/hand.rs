@@ -61,6 +61,21 @@ impl Hand {
         }
     }
 
+    /// Deepest encodable source distance on this hand.
+    ///
+    /// The hardware window holds [`MAX_DISTANCE`] writes per hand, so
+    /// distances `0..MAX_DISTANCE` fit in the operand encoding. On `s`
+    /// the deepest encoding (`s[15]`) is reserved for the zero register,
+    /// which shortens the usable window by one: the hard limit is 15,
+    /// 14 on `s`. Backend, assembler, and verifier all derive their
+    /// range checks from this one definition.
+    pub const fn max_src_distance(self) -> u8 {
+        match self {
+            Hand::S => MAX_DISTANCE - 2,
+            _ => MAX_DISTANCE - 1,
+        }
+    }
+
     /// Parses an assembler hand name.
     pub fn parse(s: &str) -> Option<Hand> {
         match s {
@@ -103,5 +118,13 @@ mod tests {
     fn paper_constants() {
         assert_eq!(NUM_HANDS, 4);
         assert_eq!(MAX_DISTANCE, 16);
+    }
+
+    #[test]
+    fn per_hand_distance_limits() {
+        assert_eq!(Hand::T.max_src_distance(), 15);
+        assert_eq!(Hand::U.max_src_distance(), 15);
+        assert_eq!(Hand::V.max_src_distance(), 15);
+        assert_eq!(Hand::S.max_src_distance(), 14);
     }
 }

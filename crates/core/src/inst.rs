@@ -6,7 +6,7 @@
 //! "the value written to hand `t` three writes ago" — or the hardwired
 //! zero register.
 
-use crate::hand::{Hand, MAX_DISTANCE};
+use crate::hand::Hand;
 use ch_common::exec::{AluOp, BrCond, LoadOp, StoreOp};
 use ch_common::op::OpClass;
 
@@ -31,14 +31,13 @@ impl Src {
 
     /// Whether the distance is encodable.
     ///
-    /// Distances must be `< MAX_DISTANCE`, except on the `s` hand where
-    /// the deepest encoding (`s[15]`) is taken by the `zero` register —
-    /// the ISA defines `t[0]`–`t[15]`, `u[0]`–`u[15]`, `v[0]`–`v[15]`,
+    /// Distances must be at most [`Hand::max_src_distance`]: the deepest
+    /// `s` encoding (`s[15]`) is taken by the `zero` register — the ISA
+    /// defines `t[0]`–`t[15]`, `u[0]`–`u[15]`, `v[0]`–`v[15]`,
     /// `s[0]`–`s[14]`, and `zero` (Section 4.5).
     pub fn is_encodable(self) -> bool {
         match self {
-            Src::Hand(Hand::S, d) => d < MAX_DISTANCE - 1,
-            Src::Hand(_, d) => d < MAX_DISTANCE,
+            Src::Hand(h, d) => d <= h.max_src_distance(),
             Src::Zero => true,
         }
     }
@@ -215,7 +214,7 @@ impl Inst {
         }
     }
 
-    /// Whether all source distances are within [`MAX_DISTANCE`].
+    /// Whether all source distances are within [`crate::hand::MAX_DISTANCE`].
     pub fn is_encodable(&self) -> bool {
         self.srcs().iter().all(|s| s.is_encodable())
     }

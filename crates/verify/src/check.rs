@@ -26,6 +26,18 @@ pub enum UseCx {
     Halt,
 }
 
+/// Convention role of an entry token (a register slot holding a
+/// caller-provided value at function entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Caller-owned argument or leftover: freely readable as data.
+    Plain,
+    /// Callee-saved: may only be saved (stored) or relayed (mv).
+    CalleeSaved,
+    /// The return address.
+    RetAddr,
+}
+
 /// Per-analysis options.
 #[derive(Debug, Clone, Copy)]
 pub struct Options {
@@ -51,8 +63,9 @@ pub fn mark_av(av: &Av, marks: &mut Marks) {
 
 /// Checks one operand read, reporting findings to `sink`.
 ///
-/// `is_cs` classifies entry tokens that are callee-saved (readable only
-/// to save them); `describe_entry` renders an entry token for messages.
+/// `entry_kind` classifies entry tokens by convention role (plain
+/// argument, callee-saved, return address); `describe_entry` renders an
+/// entry token for messages.
 #[allow(clippy::too_many_arguments)]
 pub fn check_read(
     av: &Av,
@@ -61,7 +74,7 @@ pub fn check_read(
     cx: UseCx,
     opts: &Options,
     sink: &mut Sink,
-    is_cs: &dyn Fn(u16) -> bool,
+    entry_kind: &dyn Fn(u16) -> EntryKind,
     describe_entry: &dyn Fn(u16) -> String,
 ) {
     let op = || Some(operand.to_string());
@@ -97,7 +110,19 @@ pub fn check_read(
                 Origin::Inst(_) | Origin::Retval(_) => {}
             }
         }
-        if entry_toks.len() > 1 {
+        // A read that resolves to different *plain* caller values on
+        // different paths is legal dataflow — a phi of relayed
+        // arguments (`x = p1; loop { use x; x = p0; }` merges two
+        // argument relays at the loop join). The return address and
+        // callee-saved slots, though, are only ever moved positionally
+        // by prologue/epilogue machinery, so a read mixing their
+        // identities across paths means some path misplaced a
+        // distance.
+        if entry_toks.len() > 1
+            && entry_toks
+                .iter()
+                .any(|t| entry_kind(*t) != EntryKind::Plain)
+        {
             let named: Vec<String> = entry_toks.iter().map(|t| describe_entry(*t)).collect();
             sink.error(
                 "E-PATH",
@@ -110,16 +135,22 @@ pub fn check_read(
                 ),
             );
         }
-        if opts.conventions && cx != UseCx::StoreValue {
+        // A callee-saved entry value may be *saved* (store) or *relayed*
+        // (mv — the register equivalent of a save/restore pair, used by
+        // the clobber-only epilogues to re-establish the window from the
+        // ring). Any data use is still flagged here: origins follow the
+        // value through relays, so the E-CSREAD fires at the consuming
+        // read instead.
+        if opts.conventions && cx != UseCx::StoreValue && cx != UseCx::Mv {
             for t in &entry_toks {
-                if is_cs(*t) {
+                if entry_kind(*t) == EntryKind::CalleeSaved {
                     sink.error(
                         "E-CSREAD",
                         Some(inst),
                         op(),
                         format!(
                             "reads callee-saved {} before this function has written it \
-                             (only saving it to the stack is allowed)",
+                             (only saving or relaying it is allowed)",
                             describe_entry(*t)
                         ),
                     );
@@ -200,10 +231,19 @@ pub fn store_effect(frame: &mut Frame, base_av: &Av, offset: i32, value: Av) {
 mod tests {
     use super::*;
 
+    /// Tokens >= 100 are callee-saved, token 1 is the return address.
+    fn classify(t: u16) -> EntryKind {
+        match t {
+            1 => EntryKind::RetAddr,
+            t if t >= 100 => EntryKind::CalleeSaved,
+            _ => EntryKind::Plain,
+        }
+    }
+
     fn run_check(av: &Av, cx: UseCx) -> Vec<&'static str> {
         let mut sink = Sink::new("f");
         let opts = Options::default();
-        check_read(av, 0, "x", cx, &opts, &mut sink, &|t| t >= 100, &|t| {
+        check_read(av, 0, "x", cx, &opts, &mut sink, &classify, &|t| {
             format!("tok{t}")
         });
         sink.into_diags().iter().map(|d| d.code).collect()
@@ -219,17 +259,39 @@ mod tests {
 
     #[test]
     fn mixed_entry_anchors_are_path_inconsistent() {
+        // Return address on one path, an argument on the other: no
+        // legal program produces this — a distance was misplaced.
         let mut marks = Marks::new(4);
         let mut av = Av::entry(1);
         av.join_with(&Av::entry(2), &mut marks);
         assert_eq!(run_check(&av, UseCx::Alu), vec!["E-PATH"]);
+        // Callee-saved mixed with an argument: likewise flagged (the
+        // data read also trips E-CSREAD).
+        let mut av = Av::entry(100);
+        av.join_with(&Av::entry(2), &mut marks);
+        assert_eq!(run_check(&av, UseCx::Alu), vec!["E-CSREAD", "E-PATH"]);
     }
 
     #[test]
-    fn callee_saved_read_is_only_legal_as_a_save() {
+    fn mixed_plain_arguments_are_a_legal_phi() {
+        // fuzz seed 777 case 2336: `x = p1; loop { use x; x = p0; }`
+        // merges relays of two different arguments at the loop join —
+        // legal dataflow, not a misplaced distance.
+        let mut marks = Marks::new(4);
+        let mut av = Av::entry(2);
+        av.join_with(&Av::entry(3), &mut marks);
+        assert!(run_check(&av, UseCx::Alu).is_empty());
+    }
+
+    #[test]
+    fn callee_saved_read_is_only_legal_as_a_save_or_relay() {
         let av = Av::entry(100);
         assert_eq!(run_check(&av, UseCx::Alu), vec!["E-CSREAD"]);
+        assert_eq!(run_check(&av, UseCx::Branch), vec!["E-CSREAD"]);
         assert!(run_check(&av, UseCx::StoreValue).is_empty());
+        // Relays are the register analogue of a save/restore: origins
+        // follow the value, so any data use is still flagged there.
+        assert!(run_check(&av, UseCx::Mv).is_empty());
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! with no defined meaning, so reading them is an error (E-CLOBBER).
 
 use crate::cfg::{build_funcs, Flow, Func};
-use crate::check::{addi_result, check_read, load_result, mark_av, store_effect, Options, UseCx};
+use crate::check::{
+    addi_result, check_read, load_result, mark_av, store_effect, EntryKind, Options, UseCx,
+};
 use crate::domain::{join_frames, Av, Frame, Kind, Marks, ENTRY_SITE};
 use crate::engine::{fixpoint, AbsState, Sink};
 use crate::{lint_function, lint_unreachable, FnSummary, LintClass, Report};
@@ -42,9 +44,15 @@ fn describe(t: u16) -> String {
     format!("entry {}[{}]", hand, t as usize % DEPTH)
 }
 
-fn is_cs(t: u16) -> bool {
+fn entry_kind(t: u16) -> EntryKind {
     let (h, d) = (t as usize / DEPTH, t as usize % DEPTH);
-    h == Hand::V.index() && d < V_SAVED
+    if h == Hand::V.index() && d < V_SAVED {
+        EntryKind::CalleeSaved
+    } else if h == Hand::S.index() && d == 0 {
+        EntryKind::RetAddr
+    } else {
+        EntryKind::Plain
+    }
 }
 
 /// Per-hand write windows (index 0 = most recent write) plus the frame.
@@ -154,18 +162,23 @@ fn read_src(
                     Some(src.to_string()),
                     format!(
                         "distance {d} is not encodable on hand {h} (max {})",
-                        if h == Hand::S {
-                            MAX_DISTANCE - 2
-                        } else {
-                            MAX_DISTANCE - 1
-                        }
+                        h.max_src_distance()
                     ),
                 );
                 return Av::inst(i);
             }
             let av = st.hands[h.index()][d as usize].clone();
             mark_av(&av, marks);
-            check_read(&av, i, &src.to_string(), cx, opts, sink, &is_cs, &describe);
+            check_read(
+                &av,
+                i,
+                &src.to_string(),
+                cx,
+                opts,
+                sink,
+                &entry_kind,
+                &describe,
+            );
             av
         }
     }
@@ -519,5 +532,37 @@ mod tests {
             "{}",
             r.render()
         );
+    }
+
+    #[test]
+    fn distance_boundary_for_every_hand() {
+        // The assembler already rejects over-limit distances, so build
+        // raw programs: a read at exactly `max_src_distance` is clean, a
+        // read one past it is E-DIST — for all four hands.
+        use clockhands::inst::Inst;
+        use clockhands::program::Program;
+        for hand in Hand::ALL {
+            let limit = hand.max_src_distance();
+            for (d, want_dist_err) in [(limit, false), (limit + 1, true)] {
+                let mut prog = Program::new();
+                for k in 0..=i64::from(limit) {
+                    prog.insts.push(Inst::Li { dst: hand, imm: k });
+                }
+                prog.insts.push(Inst::Halt {
+                    src: Src::Hand(hand, d),
+                });
+                let r = verify_clockhands(&prog, &Options::default());
+                let has_dist = r.diags.iter().any(|dg| dg.code == "E-DIST");
+                assert_eq!(
+                    has_dist,
+                    want_dist_err,
+                    "{hand}[{d}] (limit {limit}):\n{}",
+                    r.render()
+                );
+                if !want_dist_err {
+                    assert!(r.is_clean(), "{hand}[{d}]:\n{}", r.render());
+                }
+            }
+        }
     }
 }

@@ -16,7 +16,9 @@
 //! them, which is exactly the silent-default gap this verifier closes.
 
 use crate::cfg::{build_funcs, Flow, Func};
-use crate::check::{addi_result, check_read, load_result, mark_av, store_effect, Options, UseCx};
+use crate::check::{
+    addi_result, check_read, load_result, mark_av, store_effect, EntryKind, Options, UseCx,
+};
 use crate::domain::{join_frames, Av, Frame, Kind, Marks};
 use crate::engine::{fixpoint, AbsState, Sink};
 use crate::{lint_function, lint_unreachable, FnSummary, LintClass, Report};
@@ -29,8 +31,14 @@ const CALLEE_SAVED: [u8; 24] = [
     40, 41, 50, 51, 52, 53, 54, 55, 56, 57, 58, 59, // fs0-fs11
 ];
 
-fn is_cs(t: u16) -> bool {
-    t < NUM_REGS as u16 && CALLEE_SAVED.contains(&(t as u8))
+fn entry_kind(t: u16) -> EntryKind {
+    if t == 1 {
+        EntryKind::RetAddr
+    } else if t < NUM_REGS as u16 && CALLEE_SAVED.contains(&(t as u8)) {
+        EntryKind::CalleeSaved
+    } else {
+        EntryKind::Plain
+    }
 }
 
 fn describe(t: u16) -> String {
@@ -137,7 +145,16 @@ fn read_reg(
     }
     let av = st.regs[r.0 as usize].clone();
     mark_av(&av, marks);
-    check_read(&av, i, &r.to_string(), cx, opts, sink, &is_cs, &describe);
+    check_read(
+        &av,
+        i,
+        &r.to_string(),
+        cx,
+        opts,
+        sink,
+        &entry_kind,
+        &describe,
+    );
     av
 }
 

@@ -18,7 +18,9 @@
 //! callee-saved ring slots — everything is positional.
 
 use crate::cfg::{build_funcs, Flow, Func};
-use crate::check::{addi_result, check_read, load_result, mark_av, store_effect, Options, UseCx};
+use crate::check::{
+    addi_result, check_read, load_result, mark_av, store_effect, EntryKind, Options, UseCx,
+};
 use crate::domain::{join_frames, Av, Frame, Kind, Marks, ENTRY_SITE};
 use crate::engine::{fixpoint, AbsState, Sink};
 use crate::{lint_function, lint_unreachable, FnSummary, LintClass, Report};
@@ -146,7 +148,13 @@ fn read_src(
         cx,
         opts,
         sink,
-        &|_| false,
+        &|t| {
+            if t == 1 {
+                EntryKind::RetAddr
+            } else {
+                EntryKind::Plain
+            }
+        },
         &describe,
     );
     av

@@ -65,8 +65,15 @@ serve-bench *ARGS:
     cargo build --release -p ch-bench -p ch-serve
     ./scripts/serve_figures_diff.sh
 
+# Optimization-layer snapshot: compiles every workload with the backend
+# optimizations on and off (Clockhands + STRAIGHT), verifies both,
+# validates both functionally, times both at W8, and rewrites
+# BENCH_8.json with the static/dynamic deltas (see ch_bench::optreport).
+opt-report *ARGS:
+    cargo run --release -p ch-bench --bin figures -- --scale test opt {{ARGS}}
+
 # Everything CI runs.
-ci: build test fmt clippy doc fuzz planted verify-workloads bench-json serve-bench
+ci: build test fmt clippy doc fuzz planted verify-workloads bench-json serve-bench opt-report
 
 # Regenerate every table/figure at test scale with all cores.
 figures *ARGS:

@@ -103,3 +103,36 @@ fn reverted_straight_call_distance_drift_is_flagged() {
         r.render()
     );
 }
+
+/// The E-PATH gate after the `fuzz_seed777_case2336` fix: merging two
+/// *plain* entry tokens (a phi of two relayed arguments) is legal, but
+/// a join where the same slot is an argument on one path and the
+/// return address on the other is still a misplaced distance and must
+/// be flagged. One branch arm pushes one `s` write, the other two, so
+/// `s[2]` resolves to the RA or the argument depending on the path.
+#[test]
+fn entry_mix_involving_return_address_is_still_flagged() {
+    let src = "_start:
+         li t, 5
+         mv s, t[0]
+         call s, f
+         halt s[1]
+         f:
+         bne s[1], zero, .two
+         mv s, s[1]
+         j .join
+         .two:
+         mv s, s[1]
+         mv s, s[2]
+         .join:
+         mv t, s[2]
+         halt t[0]";
+    let prog = clockhands::asm::assemble(src).expect("assembles");
+    let r = verify_clockhands(&prog, &Options::default());
+    assert!(!r.is_clean());
+    assert!(
+        r.errors().any(|d| d.code == "E-PATH"),
+        "expected E-PATH:\n{}",
+        r.render()
+    );
+}
