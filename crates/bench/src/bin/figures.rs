@@ -31,7 +31,10 @@
 //! layer off (`OptConfig::none()`) — the escape hatch for bisecting a
 //! miscompile down to one optimization pass. `opt` (not part of the
 //! default run) measures both configurations side by side and writes
-//! the `BENCH_8.json` snapshot; see `ch_bench::optreport`.
+//! the `BENCH_8.json` snapshot; see `ch_bench::optreport`. `density`
+//! (not part of the default run) measures static code size and fetch
+//! behaviour for every ISA under both binary encodings and writes the
+//! `BENCH_9.json` snapshot; see `ch_bench::densityreport`.
 //!
 //! With no ids, everything runs (in paper order). Independent
 //! `(workload, isa, width)` jobs inside each experiment are fanned out
@@ -130,9 +133,11 @@ fn main() {
                 "verify" => bench::verify_lints(scale),
                 "bench" => bench::bench_experiment(scale),
                 "opt" => bench::opt_experiment(scale),
+                "density" => bench::density_experiment(scale),
                 other => {
                     eprintln!(
-                        "unknown experiment `{other}` (known: {all:?}, plus `bench` and `opt`)"
+                        "unknown experiment `{other}` (known: {all:?}, plus `bench`, `opt`, \
+                         and `density`)"
                     );
                     std::process::exit(2);
                 }

@@ -35,7 +35,7 @@ use ch_analysis::{
 use ch_common::config::{MachineConfig, WidthClass};
 use ch_common::op::OpClass;
 use ch_common::stats::{BusyClock, Counters, ExperimentTiming};
-use ch_common::{DynInst, IsaKind};
+use ch_common::{DynInst, EncodingVariant, IsaKind};
 use ch_energy::energy;
 use ch_fpga::resources;
 use ch_sim::{run_fast_profiled, BranchProfile, SoaTrace};
@@ -45,6 +45,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 pub mod cache;
+pub mod densityreport;
 pub mod driver;
 pub mod optreport;
 pub mod remote;
@@ -52,6 +53,7 @@ pub mod report;
 pub mod sweep;
 
 pub use cache::KeyedOnce;
+pub use densityreport::density_experiment;
 pub use driver::{jobs, par_for_each, par_map, set_jobs};
 pub use optreport::opt_experiment;
 pub use report::bench_experiment;
@@ -66,12 +68,20 @@ static BUSY: BusyClock = BusyClock::new();
 
 type TraceKey = (Workload, IsaKind, u8);
 type SimKey = (Workload, IsaKind, WidthClass, u8);
+type EncKey = (Workload, IsaKind, u8, EncodingVariant);
+type EncSimKey = (Workload, IsaKind, WidthClass, u8, EncodingVariant);
 
 static TRACE_CACHE: KeyedOnce<TraceKey, Arc<[DynInst]>> = KeyedOnce::new();
 static SOA_CACHE: KeyedOnce<TraceKey, Arc<SoaTrace>> = KeyedOnce::new();
 static PROFILE_CACHE: KeyedOnce<TraceKey, Arc<BranchProfile>> = KeyedOnce::new();
 static SIM_CACHE: KeyedOnce<SimKey, Counters> = KeyedOnce::new();
 static REF_SIM_CACHE: KeyedOnce<SimKey, Counters> = KeyedOnce::new();
+static SET_CACHE: KeyedOnce<(Workload, u8), Arc<ch_compiler::CompiledSet>> = KeyedOnce::new();
+static ENCODED_CACHE: KeyedOnce<(Workload, u8, EncodingVariant), Arc<ch_compiler::EncodedSet>> =
+    KeyedOnce::new();
+static ENC_SOA_CACHE: KeyedOnce<EncKey, Arc<SoaTrace>> = KeyedOnce::new();
+static ENC_PROFILE_CACHE: KeyedOnce<EncKey, Arc<BranchProfile>> = KeyedOnce::new();
+static ENC_SIM_CACHE: KeyedOnce<EncSimKey, Counters> = KeyedOnce::new();
 
 fn scale_id(s: Scale) -> u8 {
     match s {
@@ -136,7 +146,7 @@ pub fn branch_profile(w: Workload, isa: IsaKind, scale: Scale) -> Arc<BranchProf
 pub fn simulate(w: Workload, isa: IsaKind, width: WidthClass, scale: Scale) -> Counters {
     SIM_CACHE.get_or_compute((w, isa, width, scale_id(scale)), || {
         if let Some(addr) = remote::server() {
-            return remote::fetch_sim(&addr, w, isa, width, scale);
+            return remote::fetch_sim(&addr, w, isa, width, scale, EncodingVariant::Fixed);
         }
         let t = soa_trace(w, isa, scale);
         let p = branch_profile(w, isa, scale);
@@ -152,6 +162,101 @@ pub fn simulate_reference(w: Workload, isa: IsaKind, width: WidthClass, scale: S
     REF_SIM_CACHE.get_or_compute((w, isa, width, scale_id(scale)), || {
         let t = trace(w, isa, scale);
         BUSY.time(|| ch_sim::run_reference(MachineConfig::preset(width, isa), t.iter()))
+    })
+}
+
+/// The compiled (unencoded) three-ISA program set of one workload
+/// (cached per process; one compile shared by every encoding variant).
+pub fn compiled_set(w: Workload, scale: Scale) -> Arc<ch_compiler::CompiledSet> {
+    SET_CACHE.get_or_compute((w, scale_id(scale)), || {
+        BUSY.time(|| {
+            let set = ch_compiler::compile(&w.source(scale))
+                .unwrap_or_else(|e| panic!("{}: compile failed: {e}", w.name()));
+            Arc::new(set)
+        })
+    })
+}
+
+/// The byte-accurate binary layout of one workload's programs under one
+/// encoding variant (cached per process).
+pub fn encoded_set(
+    w: Workload,
+    scale: Scale,
+    variant: EncodingVariant,
+) -> Arc<ch_compiler::EncodedSet> {
+    ENCODED_CACHE.get_or_compute((w, scale_id(scale), variant), || {
+        let set = compiled_set(w, scale);
+        BUSY.time(|| {
+            let enc = ch_compiler::encode_set(&set, variant)
+                .unwrap_or_else(|e| panic!("{}/{variant}: encode failed: {e}", w.name()));
+            Arc::new(enc)
+        })
+    })
+}
+
+fn encoded_layout(set: &ch_compiler::EncodedSet, isa: IsaKind) -> &ch_encode::Layout {
+    match isa {
+        IsaKind::Riscv => &set.riscv.layout,
+        IsaKind::Straight => &set.straight.layout,
+        IsaKind::Clockhands => &set.clockhands.layout,
+    }
+}
+
+/// The committed trace of one workload relocated onto the byte-accurate
+/// layout of one encoding variant, in the fast engine's layout (cached
+/// per process). Under [`EncodingVariant::Fixed`] the relocation is the
+/// identity, so the trace — and every counter simulated from it — is
+/// byte-identical to the abstract-PC [`soa_trace`].
+pub fn encoded_soa_trace(
+    w: Workload,
+    isa: IsaKind,
+    scale: Scale,
+    variant: EncodingVariant,
+) -> Arc<SoaTrace> {
+    ENC_SOA_CACHE.get_or_compute((w, isa, scale_id(scale), variant), || {
+        let t = trace(w, isa, scale);
+        let enc = encoded_set(w, scale, variant);
+        BUSY.time(|| {
+            let mut relocated = t.to_vec();
+            ch_encode::relocate_trace(&mut relocated, encoded_layout(&enc, isa));
+            Arc::new(SoaTrace::new(relocated.iter()))
+        })
+    })
+}
+
+/// The branch-predictor replay over a relocated trace (cached per
+/// process). Compressed layouts move PCs, which moves predictor index
+/// bits, so the replay is per-variant.
+pub fn encoded_branch_profile(
+    w: Workload,
+    isa: IsaKind,
+    scale: Scale,
+    variant: EncodingVariant,
+) -> Arc<BranchProfile> {
+    ENC_PROFILE_CACHE.get_or_compute((w, isa, scale_id(scale), variant), || {
+        let t = encoded_soa_trace(w, isa, scale, variant);
+        let cfg = MachineConfig::preset(WidthClass::W4, isa);
+        BUSY.time(|| Arc::new(BranchProfile::new(&cfg, &t)))
+    })
+}
+
+/// Simulates one workload on one Table 2 machine with its code laid out
+/// under `variant` (cached per process; routed to a sweep server like
+/// [`simulate`] when one is configured).
+pub fn simulate_encoded(
+    w: Workload,
+    isa: IsaKind,
+    width: WidthClass,
+    scale: Scale,
+    variant: EncodingVariant,
+) -> Counters {
+    ENC_SIM_CACHE.get_or_compute((w, isa, width, scale_id(scale), variant), || {
+        if let Some(addr) = remote::server() {
+            return remote::fetch_sim(&addr, w, isa, width, scale, variant);
+        }
+        let t = encoded_soa_trace(w, isa, scale, variant);
+        let p = encoded_branch_profile(w, isa, scale, variant);
+        BUSY.time(|| run_fast_profiled(MachineConfig::preset(width, isa), &t, &p))
     })
 }
 

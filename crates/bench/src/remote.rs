@@ -63,9 +63,10 @@ pub enum Request {
     },
 }
 
-/// The `sim` request: one `(workload, isa, width, scale, engine)`
-/// configuration. Fields are raw strings — the server normalizes them
-/// to a canonical config key (accepting the documented aliases).
+/// The `sim` request: one `(workload, isa, width, scale, encoding,
+/// engine)` configuration. Fields are raw strings — the server
+/// normalizes them to a canonical config key (accepting the documented
+/// aliases).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimRequest {
     /// Client-chosen id echoed in the response.
@@ -78,6 +79,9 @@ pub struct SimRequest {
     pub width: String,
     /// Problem size (`test`/`small`/`full`); defaults to `test`.
     pub scale: String,
+    /// Binary encoding variant (`fixed`/`compressed`); defaults to
+    /// `fixed`, the abstract-PC-compatible layout.
+    pub encoding: String,
     /// Engine (`fast`/`reference`/`poison`); defaults to `fast`.
     pub engine: String,
     /// Per-request timeout in ms; `0` means the server default.
@@ -98,6 +102,10 @@ pub struct SweepRequest {
     pub widths: Vec<String>,
     /// Problem size (`test`/`small`/`full`); defaults to `test`.
     pub scale: String,
+    /// Binary encoding variant (`fixed`/`compressed`); defaults to
+    /// `fixed`. One sweep covers one encoding — sweeping both is two
+    /// requests, so every streamed key stays inside one variant.
+    pub encoding: String,
     /// Engine (`fast`/`reference`/`poison`); defaults to `fast`.
     pub engine: String,
     /// Whole-sweep timeout in ms; `0` means the server default.
@@ -140,7 +148,7 @@ pub enum Response {
 pub struct ResultRecord {
     /// Echo of the request id.
     pub id: u64,
-    /// Canonical config key (`workload/isa/width/scale/engine`).
+    /// Canonical config key (`workload/isa/width/scale/encoding/engine`).
     pub key: String,
     /// Whether the server answered from its completed-work cache
     /// (`false` = this request computed or joined an in-flight run).
@@ -264,6 +272,7 @@ impl Request {
                 isa: get_str(&v, "isa")?.to_string(),
                 width: get_str(&v, "width")?.to_string(),
                 scale: get_str_or(&v, "scale", "test")?.to_string(),
+                encoding: get_str_or(&v, "encoding", "fixed")?.to_string(),
                 engine: get_str_or(&v, "engine", "fast")?.to_string(),
                 timeout_ms: get_u64_or(&v, "timeout_ms", 0)?,
             })),
@@ -273,6 +282,7 @@ impl Request {
                 isas: get_list(&v, "isas")?,
                 widths: get_list(&v, "widths")?,
                 scale: get_str_or(&v, "scale", "test")?.to_string(),
+                encoding: get_str_or(&v, "encoding", "fixed")?.to_string(),
                 engine: get_str_or(&v, "engine", "fast")?.to_string(),
                 timeout_ms: get_u64_or(&v, "timeout_ms", 0)?,
             })),
@@ -293,6 +303,7 @@ impl Request {
                     ("isa".to_string(), Json::Str(r.isa.clone())),
                     ("width".to_string(), Json::Str(r.width.clone())),
                     ("scale".to_string(), Json::Str(r.scale.clone())),
+                    ("encoding".to_string(), Json::Str(r.encoding.clone())),
                     ("engine".to_string(), Json::Str(r.engine.clone())),
                 ];
                 obj.push(("timeout_ms".to_string(), Json::Int(r.timeout_ms as i64)));
@@ -305,6 +316,7 @@ impl Request {
                 ("isas".to_string(), str_list(&r.isas)),
                 ("widths".to_string(), str_list(&r.widths)),
                 ("scale".to_string(), Json::Str(r.scale.clone())),
+                ("encoding".to_string(), Json::Str(r.encoding.clone())),
                 ("engine".to_string(), Json::Str(r.engine.clone())),
                 ("timeout_ms".to_string(), Json::Int(r.timeout_ms as i64)),
             ])
@@ -615,6 +627,7 @@ pub(crate) fn fetch_sim(
     isa: ch_common::IsaKind,
     width: ch_common::config::WidthClass,
     scale: ch_workloads::Scale,
+    encoding: ch_common::EncodingVariant,
 ) -> Counters {
     let req = SimRequest {
         id: 0,
@@ -622,6 +635,7 @@ pub(crate) fn fetch_sim(
         isa: isa.name().to_string(),
         width: width.label().to_string(),
         scale: scale.name().to_string(),
+        encoding: encoding.name().to_string(),
         engine: "fast".to_string(),
         timeout_ms: 0,
     };
@@ -668,6 +682,7 @@ mod tests {
                 isa: "clockhands".into(),
                 width: "8f".into(),
                 scale: "test".into(),
+                encoding: "compressed".into(),
                 engine: "fast".into(),
                 timeout_ms: 5000,
             }),
@@ -677,6 +692,7 @@ mod tests {
                 isas: vec![],
                 widths: vec!["4f".into()],
                 scale: "small".into(),
+                encoding: "fixed".into(),
                 engine: "reference".into(),
                 timeout_ms: 0,
             }),
@@ -695,6 +711,7 @@ mod tests {
             Request::Sim(s) => {
                 assert_eq!(s.id, 0);
                 assert_eq!(s.scale, "test");
+                assert_eq!(s.encoding, "fixed");
                 assert_eq!(s.engine, "fast");
                 assert_eq!(s.timeout_ms, 0);
             }
@@ -737,7 +754,7 @@ mod tests {
             },
             Response::Result(Box::new(ResultRecord {
                 id: 3,
-                key: "xz/clockhands/8f/test/fast".into(),
+                key: "xz/clockhands/8f/test/fixed/fast".into(),
                 cached: true,
                 wait_ms: 0.125,
                 counters,
@@ -764,7 +781,7 @@ mod tests {
             },
             Response::Error(ErrorRecord {
                 id: 5,
-                key: Some("xz/clockhands/8f/test/poison".into()),
+                key: Some("xz/clockhands/8f/test/fixed/poison".into()),
                 code: "poisoned".into(),
                 message: "injected panic".into(),
                 retry_after_ms: None,

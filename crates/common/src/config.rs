@@ -133,6 +133,10 @@ pub struct MachineConfig {
     pub width_class: WidthClass,
     /// Fetch/decode/rename/dispatch width, instructions per cycle.
     pub front_width: u32,
+    /// Fetch-group budget in bytes per cycle (`4 × front_width`: the
+    /// fixed-width fetch bandwidth; compressed encodings pack more
+    /// instructions into the same bytes, up to `front_width`).
+    pub fetch_bytes: u32,
     /// Front-end depth in cycles: fetch(3)+decode(1)+[rename(2)+]dispatch(1).
     pub front_latency: u32,
     /// Maximum instructions issued to execution per cycle.
@@ -245,6 +249,7 @@ impl MachineConfig {
             isa,
             width_class: width,
             front_width: w,
+            fetch_bytes: 4 * w,
             front_latency: if isa.needs_rename() { 7 } else { 5 },
             issue_width,
             issue_latency: 4,

@@ -108,6 +108,9 @@ pub struct DynInst {
     pub seq: u64,
     /// Program counter of the static instruction.
     pub pc: u64,
+    /// Encoded size of the static instruction in bytes (4 for the
+    /// abstract fixed-width layout; 2 or 4 under a compressed encoding).
+    pub size: u8,
     /// Operation class.
     pub class: OpClass,
     /// Producer `seq` for each register source; [`NO_PRODUCER`] when absent.
@@ -121,17 +124,25 @@ pub struct DynInst {
 }
 
 impl DynInst {
-    /// Creates a record with no sources, destination, memory, or control.
+    /// Creates a record with no sources, destination, memory, or control,
+    /// at the abstract fixed-width size of 4 bytes.
     pub fn new(seq: u64, pc: u64, class: OpClass) -> Self {
         DynInst {
             seq,
             pc,
+            size: 4,
             class,
             srcs: [NO_PRODUCER; 2],
             dst: None,
             mem: None,
             ctrl: None,
         }
+    }
+
+    /// Sets the encoded instruction size in bytes.
+    pub fn with_size(mut self, size: u8) -> Self {
+        self.size = size;
+        self
     }
 
     /// Sets up to two register-source producers.

@@ -112,6 +112,54 @@ impl std::fmt::Display for IsaKind {
     }
 }
 
+/// Which binary instruction encoding a program was laid out with.
+///
+/// Every ISA has a fixed-width 32-bit format and a compressed
+/// variable-width (16/32-bit) variant in the RVC style; the choice
+/// affects byte PCs, code size, and fetch bandwidth but never the
+/// committed instruction stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EncodingVariant {
+    /// Fixed-width 32-bit instructions: every PC is `base + 4 * index`.
+    #[default]
+    Fixed,
+    /// Variable-width 16/32-bit instructions (à la RVC / multi-width).
+    Compressed,
+}
+
+impl EncodingVariant {
+    /// Both variants, fixed first (the abstract-PC-compatible one).
+    pub const ALL: [EncodingVariant; 2] = [EncodingVariant::Fixed, EncodingVariant::Compressed];
+
+    /// Canonical lowercase identifier used in config keys and on the
+    /// sweep-service wire (`fixed` / `compressed`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EncodingVariant::Fixed => "fixed",
+            EncodingVariant::Compressed => "compressed",
+        }
+    }
+
+    /// Parses an encoding identifier, accepting the canonical [`name`]
+    /// (case-insensitively) plus the short aliases `f`/`32` and
+    /// `c`/`rvc`/`16`.
+    ///
+    /// [`name`]: EncodingVariant::name
+    pub fn from_name(s: &str) -> Option<EncodingVariant> {
+        match s.to_ascii_lowercase().as_str() {
+            "fixed" | "f" | "32" => Some(EncodingVariant::Fixed),
+            "compressed" | "c" | "rvc" | "16" => Some(EncodingVariant::Compressed),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EncodingVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +183,23 @@ mod tests {
         assert_eq!(IsaKind::Clockhands.to_string(), "Clockhands");
         assert_eq!(IsaKind::Straight.to_string(), "STRAIGHT");
         assert_eq!(IsaKind::Riscv.to_string(), "RISC-V");
+    }
+
+    #[test]
+    fn encoding_variant_names_roundtrip() {
+        for v in EncodingVariant::ALL {
+            assert_eq!(EncodingVariant::from_name(v.name()), Some(v));
+        }
+        assert_eq!(
+            EncodingVariant::from_name("RVC"),
+            Some(EncodingVariant::Compressed)
+        );
+        assert_eq!(
+            EncodingVariant::from_name("f"),
+            Some(EncodingVariant::Fixed)
+        );
+        assert_eq!(EncodingVariant::from_name("huffman"), None);
+        assert_eq!(EncodingVariant::default(), EncodingVariant::Fixed);
+        assert_eq!(EncodingVariant::Compressed.to_string(), "compressed");
     }
 }

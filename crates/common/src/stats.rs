@@ -286,8 +286,16 @@ pub struct Counters {
     pub fetched: u64,
     /// Fetch groups (I-cache lookups).
     pub fetch_groups: u64,
+    /// Encoded bytes fetched (sum of committed instruction sizes,
+    /// including refetches after squash) — the numerator of
+    /// fetch-bandwidth utilization against `fetch_groups × fetch_bytes`.
+    pub fetch_bytes: u64,
     /// I-cache misses.
     pub icache_misses: u64,
+    /// Instructions whose encoding straddled an I-cache line boundary
+    /// (each costs a second I-cache line access; impossible under the
+    /// aligned fixed-width layout).
+    pub icache_straddles: u64,
     /// Instructions decoded.
     pub decoded: u64,
     /// Instructions passing the physical-register allocation stage.
@@ -369,7 +377,9 @@ macro_rules! counter_scalars {
             cycles,
             fetched,
             fetch_groups,
+            fetch_bytes,
             icache_misses,
+            icache_straddles,
             decoded,
             allocated,
             rmt_reads,

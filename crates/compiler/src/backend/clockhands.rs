@@ -27,7 +27,7 @@ use ch_common::exec::{AluOp, LoadOp, StoreOp};
 use clockhands::hand::Hand;
 use clockhands::inst::{Inst as ChInst, Src};
 use clockhands::program::Program;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Per-hand in-block relay threshold (the hard limit is
 /// [`Hand::max_src_distance`]: 15 on t/u/v, 14 on `s`).
@@ -97,10 +97,9 @@ pub fn compile_with(module: &Module, opt: &OptConfig) -> Result<Program, String>
             let emitted = |func: &Function, ca: bool| -> Option<usize> {
                 let mut tmp = Program::new();
                 let mut fx = Vec::new();
-                FnCg::new(func, module, &mut tmp, &mut fx, opt, ca)
-                    .run()
-                    .ok()
-                    .map(|()| tmp.insts.len())
+                let mut cg = FnCg::new(func, module, &mut tmp, &mut fx, opt, ca);
+                cg.converge_fillers = false;
+                cg.run().ok().map(|()| tmp.insts.len())
             };
             let mut best: Option<usize> = None;
             for &(func, ca) in &cands {
@@ -197,6 +196,33 @@ struct FnCg<'a> {
     depth: Vec<u32>,
     /// Fix-up writes emitted this pass.
     fix_writes: u64,
+    /// Filler (`li 0`) writes emitted this pass: never-read pads over
+    /// holes in a join layout, the W-REDUNDANT-FIX lint population.
+    filler_writes: u64,
+    /// Values banned from natural status, per (join block, hand). When
+    /// an edge pads the hole under a natural with a filler, the natural
+    /// is demoted to a relay on every later pass — the relay group is
+    /// contiguous from distance 0, so the hole (and its filler) is gone.
+    /// Monotone, which is what lets the pass loop converge to zero
+    /// fillers: every padding pass bans at least one new value.
+    hole_banned: Vec<[HashSet<VReg>; 2]>,
+    /// Record bans only once the ordinary layout fixpoint has settled
+    /// (pass ≥ 3). Earlier passes emit transient fillers that the
+    /// fixpoint removes on its own; reacting to those would perturb
+    /// joins that end up clean anyway.
+    ban_fillers: bool,
+    /// Run the filler-convergence tail at all. Off during variant
+    /// measurement (`compile_with`'s candidate ranking), so candidate
+    /// sizes — and therefore which variant wins — are judged exactly as
+    /// before; the tail then runs only on the winner's real emission,
+    /// keeping its blast radius to the joins that actually pad.
+    converge_fillers: bool,
+    /// Joins that gained a ban in the current pass. During the tail,
+    /// `update_layouts` rebuilds only these — every other join keeps
+    /// its settled layout verbatim, so the tail repairs padding joins
+    /// without re-running the global layout optimization (which would
+    /// reshape code far from any filler).
+    ban_dirty: HashSet<usize>,
     /// Previous pass's deliveries keyed by source block (drift detection:
     /// a value is only a stable natural if two consecutive passes deliver
     /// it identically from the same predecessor).
@@ -453,6 +479,11 @@ impl<'a> FnCg<'a> {
             deliveries: Vec::new(),
             depth: loops.depth.clone(),
             fix_writes: 0,
+            filler_writes: 0,
+            hole_banned: vec![[HashSet::new(), HashSet::new()]; f.blocks.len()],
+            ban_fillers: false,
+            converge_fillers: true,
+            ban_dirty: HashSet::new(),
             deliveries_prev: Vec::new(),
             cost_anchor,
         }
@@ -654,19 +685,28 @@ impl<'a> FnCg<'a> {
         let fn_start = self.out.insts.len();
         let cf_start = self.call_fixups.len();
         self.deliveries_prev = vec![HashMap::new(); self.f.blocks.len()];
-        for pass in 0..4 {
+        // Up to 4 passes reach the layout fixpoint; beyond that, extra
+        // passes run only while joins still pad layout holes with
+        // never-read fillers — each such pass bans at least one natural
+        // (see `hole_banned`), so the tail is finite and short. The hard
+        // cap is a safety net, not a tuning knob.
+        for pass in 0..32 {
             self.out.insts.truncate(fn_start);
             self.call_fixups.truncate(cf_start);
             self.fixups.clear();
             self.pending.clear();
             self.deliveries = vec![Vec::new(); self.f.blocks.len()];
             self.fix_writes = 0;
+            self.filler_writes = 0;
+            self.ban_fillers = self.converge_fillers && pass >= 3;
+            self.ban_dirty.clear();
             let order = rpo(self.f);
             for (oi, &b) in order.iter().enumerate() {
                 let next = order.get(oi + 1).copied();
                 self.gen_block(b, oi == 0, next)?;
             }
-            if pass == 3 || self.fix_writes == 0 {
+            let last_pass = if self.converge_fillers { 31 } else { 3 };
+            if self.fix_writes == 0 || (pass >= 3 && self.filler_writes == 0) || pass == last_pass {
                 break;
             }
             self.update_layouts();
@@ -701,12 +741,19 @@ impl<'a> FnCg<'a> {
     fn update_layouts(&mut self) {
         const LIMIT: i64 = 12;
         for b in 0..self.f.blocks.len() {
+            // During the filler-convergence tail the layouts are settled;
+            // only joins that just gained a ban are rebuilt, so the tail
+            // cannot restructure code away from the padding joins.
+            if self.ban_fillers && !self.ban_dirty.contains(&b) {
+                continue;
+            }
             let cands = self.deliveries[b].clone();
             if cands.is_empty() {
                 continue;
             }
             let hottest = cands.iter().map(|&(_, d, _)| d).max().unwrap();
             let prev = self.deliveries_prev[b].clone();
+            let banned = self.hole_banned[b].clone();
             let (t_order, u_order) = self.entry_order[b].clone();
             let build = |from: usize, nat: &HashMap<VReg, i64>| -> [Vec<(VReg, i64)>; 2] {
                 let stable = |v: VReg, d: i64| -> bool {
@@ -723,7 +770,10 @@ impl<'a> FnCg<'a> {
                     for &v in order {
                         match nat.get(&v) {
                             Some(&d)
-                                if (0..=LIMIT).contains(&d) && stable(v, d) && used.insert(d) =>
+                                if (0..=LIMIT).contains(&d)
+                                    && stable(v, d)
+                                    && !banned[hi].contains(&v)
+                                    && used.insert(d) =>
                             {
                                 naturals.push((v, d));
                             }
@@ -1286,9 +1336,24 @@ impl<'a> FnCg<'a> {
                     // such write — a value-carrying move was measured to
                     // splice an extra hop into the value's dependence
                     // chain and cost 0.5–1.8% cycles on hot edges. The
-                    // scheduler attacks the gaps themselves instead, by
-                    // making hot-edge natural deliveries contiguous.
-                    None => self.push(ChInst::Li { dst: hand, imm: 0 }),
+                    // pad also bans the natural sitting above the hole,
+                    // so the next pass rebuilds this join gap-free and
+                    // the filler disappears from the final code.
+                    None => {
+                        self.filler_writes += 1;
+                        if self.ban_fillers {
+                            if let Some(&(v, _)) = targets
+                                .iter()
+                                .filter(|&&(_, d)| d > slot)
+                                .min_by_key(|&&(_, d)| d)
+                            {
+                                if self.hole_banned[t][hi].insert(v) {
+                                    self.ban_dirty.insert(t);
+                                }
+                            }
+                        }
+                        self.push(ChInst::Li { dst: hand, imm: 0 });
+                    }
                 }
             }
         }

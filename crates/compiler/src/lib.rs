@@ -45,6 +45,7 @@ pub mod passes;
 
 use ch_baselines::riscv::RvProgram;
 use ch_baselines::straight::StProgram;
+use ch_common::EncodingVariant;
 use clockhands::Program as ChProgram;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -194,4 +195,41 @@ pub fn compile_verified(src: &str) -> Result<CompiledSet, CompileError> {
     let set = compile(src)?;
     verify_set(&set)?;
     Ok(set)
+}
+
+/// A [`CompiledSet`] run through the `ch-encode` layout pass: real code
+/// bytes, literal pools, and byte PCs for each ISA under one
+/// [`EncodingVariant`].
+#[derive(Debug, Clone)]
+pub struct EncodedSet {
+    /// Which binary encoding variant the set was laid out under.
+    pub variant: EncodingVariant,
+    /// RISC-V-like binary, encoded.
+    pub riscv: ch_encode::EncodedProgram,
+    /// STRAIGHT binary, encoded.
+    pub straight: ch_encode::EncodedProgram,
+    /// Clockhands binary, encoded.
+    pub clockhands: ch_encode::EncodedProgram,
+}
+
+/// Lays out a compiled set as real code bytes under `variant`.
+///
+/// The backends only emit encodable programs (registers below 64, hand
+/// distances inside the ring, targets inside the program), so a failure
+/// here means a backend bug, reported as a structured
+/// [`ch_encode::EncodeError`] rather than a panic.
+///
+/// # Errors
+///
+/// Returns the first [`ch_encode::EncodeError`] across the three ISAs.
+pub fn encode_set(
+    set: &CompiledSet,
+    variant: EncodingVariant,
+) -> Result<EncodedSet, ch_encode::EncodeError> {
+    Ok(EncodedSet {
+        variant,
+        riscv: ch_encode::encode_riscv(&set.riscv.insts, variant)?,
+        straight: ch_encode::encode_straight(&set.straight.insts, variant)?,
+        clockhands: ch_encode::encode_clockhands(&set.clockhands.insts, variant)?,
+    })
 }

@@ -4,12 +4,12 @@
 //! client likes (`ch` or `clockhands`, `8f` or `w8` or `8`); the server
 //! normalizes to one [`ConfigKey`] before touching the job registry, so
 //! all spellings of the same configuration dedupe to one job. The
-//! canonical rendering is `workload/isa/width/scale/engine`, e.g.
-//! `xz/clockhands/8f/test/fast` — this exact string travels in every
-//! `result` and `error` record.
+//! canonical rendering is `workload/isa/width/scale/encoding/engine`,
+//! e.g. `xz/clockhands/8f/test/fixed/fast` — this exact string travels
+//! in every `result` and `error` record.
 
 use ch_common::config::WidthClass;
-use ch_common::IsaKind;
+use ch_common::{EncodingVariant, IsaKind};
 use ch_workloads::{Scale, Workload};
 
 /// Which engine computes the configuration.
@@ -61,6 +61,8 @@ pub struct ConfigKey {
     pub width: WidthClass,
     /// The problem size.
     pub scale: Scale,
+    /// The binary encoding variant the code is laid out under.
+    pub encoding: EncodingVariant,
     /// The engine that computes it.
     pub engine: Engine,
 }
@@ -73,9 +75,10 @@ impl ConfigKey {
         isa: &str,
         width: &str,
         scale: &str,
+        encoding: &str,
         engine: &str,
     ) -> Result<ConfigKey, String> {
-        Ok(ConfigKey {
+        let key = ConfigKey {
             workload: Workload::from_name(workload).ok_or_else(|| {
                 format!("unknown workload `{workload}` (coremark|bzip2|mcf|lbm|xz)")
             })?,
@@ -85,19 +88,37 @@ impl ConfigKey {
                 .ok_or_else(|| format!("unknown width `{width}` (4f|6f|8f|12f|16f)"))?,
             scale: Scale::from_name(scale)
                 .ok_or_else(|| format!("unknown scale `{scale}` (test|small|full)"))?,
+            encoding: EncodingVariant::from_name(encoding)
+                .ok_or_else(|| format!("unknown encoding `{encoding}` (fixed|compressed)"))?,
             engine: Engine::from_name(engine)
                 .ok_or_else(|| format!("unknown engine `{engine}` (fast|reference|poison)"))?,
-        })
+        };
+        key.validate()?;
+        Ok(key)
     }
 
-    /// The canonical `workload/isa/width/scale/engine` rendering.
+    /// Rejects combinations no engine computes: the reference simulator
+    /// is ground truth for the abstract fixed-width model only.
+    fn validate(&self) -> Result<(), String> {
+        if self.engine == Engine::Reference && self.encoding != EncodingVariant::Fixed {
+            return Err(format!(
+                "engine `reference` only supports encoding `fixed`, not `{}`",
+                self.encoding
+            ));
+        }
+        Ok(())
+    }
+
+    /// The canonical `workload/isa/width/scale/encoding/engine`
+    /// rendering.
     pub fn canonical(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}",
+            "{}/{}/{}/{}/{}/{}",
             self.workload.name(),
             self.isa.name(),
             self.width.label(),
             self.scale.name(),
+            self.encoding.name(),
             self.engine.name()
         )
     }
@@ -123,10 +144,13 @@ pub fn expand_sweep(
     isas: &[String],
     widths: &[String],
     scale: &str,
+    encoding: &str,
     engine: &str,
 ) -> Result<Vec<ConfigKey>, String> {
     let scale = Scale::from_name(scale)
         .ok_or_else(|| format!("unknown scale `{scale}` (test|small|full)"))?;
+    let encoding = EncodingVariant::from_name(encoding)
+        .ok_or_else(|| format!("unknown encoding `{encoding}` (fixed|compressed)"))?;
     let engine = Engine::from_name(engine)
         .ok_or_else(|| format!("unknown engine `{engine}` (fast|reference|poison)"))?;
     let workloads: Vec<Workload> = if workloads.is_empty() {
@@ -156,13 +180,16 @@ pub fn expand_sweep(
     for &workload in &workloads {
         for &isa in &isas {
             for &width in &widths {
-                keys.push(ConfigKey {
+                let key = ConfigKey {
                     workload,
                     isa,
                     width,
                     scale,
+                    encoding,
                     engine,
-                });
+                };
+                key.validate()?;
+                keys.push(key);
             }
         }
     }
@@ -175,27 +202,41 @@ mod tests {
 
     #[test]
     fn aliases_normalize_to_one_key() {
-        let a = ConfigKey::parse("xz", "clockhands", "8f", "test", "fast").unwrap();
-        let b = ConfigKey::parse("XZ", "ch", "w8", "Test", "FAST").unwrap();
-        let c = ConfigKey::parse("xz", "c", "8", "test", "fast").unwrap();
+        let a = ConfigKey::parse("xz", "clockhands", "8f", "test", "fixed", "fast").unwrap();
+        let b = ConfigKey::parse("XZ", "ch", "w8", "Test", "Fixed", "FAST").unwrap();
+        let c = ConfigKey::parse("xz", "c", "8", "test", "fixed", "fast").unwrap();
         assert_eq!(a, b);
         assert_eq!(a, c);
-        assert_eq!(a.canonical(), "xz/clockhands/8f/test/fast");
+        assert_eq!(a.canonical(), "xz/clockhands/8f/test/fixed/fast");
+        let z = ConfigKey::parse("xz", "ch", "8f", "test", "compressed", "fast").unwrap();
+        assert_ne!(a, z, "encoding is part of the dedup key");
+        assert_eq!(z.canonical(), "xz/clockhands/8f/test/compressed/fast");
     }
 
     #[test]
     fn unknown_fields_name_themselves() {
-        let e = ConfigKey::parse("quake", "ch", "8f", "test", "fast").unwrap_err();
+        let e = ConfigKey::parse("quake", "ch", "8f", "test", "fixed", "fast").unwrap_err();
         assert!(e.contains("quake"), "{e}");
-        let e = ConfigKey::parse("xz", "ch", "9f", "test", "fast").unwrap_err();
+        let e = ConfigKey::parse("xz", "ch", "9f", "test", "fixed", "fast").unwrap_err();
         assert!(e.contains("9f"), "{e}");
-        let e = ConfigKey::parse("xz", "ch", "8f", "test", "warp").unwrap_err();
+        let e = ConfigKey::parse("xz", "ch", "8f", "test", "huffman", "fast").unwrap_err();
+        assert!(e.contains("huffman"), "{e}");
+        let e = ConfigKey::parse("xz", "ch", "8f", "test", "fixed", "warp").unwrap_err();
         assert!(e.contains("warp"), "{e}");
     }
 
     #[test]
+    fn reference_engine_rejects_compressed_encoding() {
+        let e = ConfigKey::parse("xz", "ch", "8f", "test", "compressed", "reference").unwrap_err();
+        assert!(e.contains("reference"), "{e}");
+        assert!(expand_sweep(&[], &[], &[], "test", "compressed", "reference").is_err());
+        // Fixed-width reference remains valid.
+        assert!(ConfigKey::parse("xz", "ch", "8f", "test", "fixed", "reference").is_ok());
+    }
+
+    #[test]
     fn sweep_expansion_is_width_minor() {
-        let keys = expand_sweep(&[], &[], &[], "test", "fast").unwrap();
+        let keys = expand_sweep(&[], &[], &[], "test", "fixed", "fast").unwrap();
         assert_eq!(keys.len(), 75);
         // All widths of one (workload, isa) are adjacent.
         assert_eq!(keys[0].workload, keys[4].workload);
@@ -207,17 +248,22 @@ mod tests {
             &["ch".into()],
             &["4f".into(), "16f".into()],
             "small",
+            "fixed",
             "reference",
         )
         .unwrap();
         assert_eq!(filtered.len(), 4);
-        assert_eq!(filtered[0].canonical(), "xz/clockhands/4f/small/reference");
+        assert_eq!(
+            filtered[0].canonical(),
+            "xz/clockhands/4f/small/fixed/reference"
+        );
     }
 
     #[test]
     fn sweep_expansion_rejects_unknown_names() {
-        assert!(expand_sweep(&["nope".into()], &[], &[], "test", "fast").is_err());
-        assert!(expand_sweep(&[], &[], &[], "huge", "fast").is_err());
-        assert!(expand_sweep(&[], &[], &[], "test", "warp").is_err());
+        assert!(expand_sweep(&["nope".into()], &[], &[], "test", "fixed", "fast").is_err());
+        assert!(expand_sweep(&[], &[], &[], "huge", "fixed", "fast").is_err());
+        assert!(expand_sweep(&[], &[], &[], "test", "huffman", "fast").is_err());
+        assert!(expand_sweep(&[], &[], &[], "test", "fixed", "warp").is_err());
     }
 }

@@ -3,10 +3,10 @@
 //! ```text
 //! ch-serve serve  [--addr A] [--workers N] [--queue N] [--timeout-ms MS]
 //! ch-serve submit [--addr A] --workload W --isa I --width WID
-//!                 [--scale S] [--engine E] [--timeout-ms MS]
+//!                 [--scale S] [--encoding ENC] [--engine E] [--timeout-ms MS]
 //! ch-serve sweep  [--addr A] [--workloads W,..] [--isas I,..]
-//!                 [--widths WID,..] [--scale S] [--engine E]
-//!                 [--timeout-ms MS]
+//!                 [--widths WID,..] [--scale S] [--encoding ENC]
+//!                 [--engine E] [--timeout-ms MS]
 //! ch-serve stats  [--addr A]
 //! ch-serve bench  [--scale S] [--workers N]
 //! ```
@@ -32,8 +32,8 @@ fn usage() -> ! {
         "ch-serve <serve|submit|sweep|stats|bench> [options]\n\
          \n\
          serve  [--addr A] [--workers N] [--queue N] [--timeout-ms MS]\n\
-         submit [--addr A] --workload W --isa I --width WID [--scale S] [--engine E] [--timeout-ms MS]\n\
-         sweep  [--addr A] [--workloads W,..] [--isas I,..] [--widths WID,..] [--scale S] [--engine E] [--timeout-ms MS]\n\
+         submit [--addr A] --workload W --isa I --width WID [--scale S] [--encoding ENC] [--engine E] [--timeout-ms MS]\n\
+         sweep  [--addr A] [--workloads W,..] [--isas I,..] [--widths WID,..] [--scale S] [--encoding ENC] [--engine E] [--timeout-ms MS]\n\
          stats  [--addr A]\n\
          bench  [--scale S] [--workers N]\n\
          \n\
@@ -164,6 +164,7 @@ fn cmd_submit(opts: &Opts) {
         "isa",
         "width",
         "scale",
+        "encoding",
         "engine",
         "timeout-ms",
     ]);
@@ -174,6 +175,7 @@ fn cmd_submit(opts: &Opts) {
         isa: opts.require("isa"),
         width: opts.require("width"),
         scale: opts.get("scale").unwrap_or("test").to_string(),
+        encoding: opts.get("encoding").unwrap_or("fixed").to_string(),
         engine: opts.get("engine").unwrap_or("fast").to_string(),
         timeout_ms: opts.number("timeout-ms", 0),
     };
@@ -200,6 +202,7 @@ fn cmd_sweep(opts: &Opts) {
         "isas",
         "widths",
         "scale",
+        "encoding",
         "engine",
         "timeout-ms",
     ]);
@@ -210,6 +213,7 @@ fn cmd_sweep(opts: &Opts) {
         isas: opts.list("isas"),
         widths: opts.list("widths"),
         scale: opts.get("scale").unwrap_or("test").to_string(),
+        encoding: opts.get("encoding").unwrap_or("fixed").to_string(),
         engine: opts.get("engine").unwrap_or("fast").to_string(),
         timeout_ms: opts.number("timeout-ms", 0),
     };
@@ -282,6 +286,7 @@ fn timed_sweep(addr: &str, scale: &str) -> (f64, u64) {
                 isas: vec![],
                 widths: vec![],
                 scale: scale.to_string(),
+                encoding: "fixed".to_string(),
                 engine: "fast".to_string(),
                 timeout_ms: 0,
             },

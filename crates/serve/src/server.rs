@@ -165,7 +165,14 @@ fn timeout_of(ms: u64) -> Option<Duration> {
 }
 
 fn handle_sim(writer: &mut TcpStream, service: &Service, req: &SimRequest) -> std::io::Result<()> {
-    let key = match ConfigKey::parse(&req.workload, &req.isa, &req.width, &req.scale, &req.engine) {
+    let key = match ConfigKey::parse(
+        &req.workload,
+        &req.isa,
+        &req.width,
+        &req.scale,
+        &req.encoding,
+        &req.engine,
+    ) {
         Ok(k) => k,
         Err(msg) => return write_line(writer, &Response::Error(bad_request(req.id, msg))),
     };
@@ -187,6 +194,7 @@ fn handle_sweep(
         &req.isas,
         &req.widths,
         &req.scale,
+        &req.encoding,
         &req.engine,
     ) {
         Ok(keys) => keys,
@@ -282,11 +290,12 @@ mod tests {
                 isa: "ch".into(),
                 width: "w8".into(),
                 scale: "test".into(),
+                encoding: "fixed".into(),
                 engine: "fast".into(),
                 timeout_ms: 0,
             })
             .expect("sim");
-        assert_eq!(r.key, "xz/clockhands/8f/test/fast");
+        assert_eq!(r.key, "xz/clockhands/8f/test/fixed/fast");
         assert_eq!(r.counters.cycles, 800);
         assert!(!r.cached, "first request computes");
         let r2 = client
@@ -296,6 +305,7 @@ mod tests {
                 isa: "clockhands".into(),
                 width: "8f".into(),
                 scale: "test".into(),
+                encoding: "Fixed".into(),
                 engine: "fast".into(),
                 timeout_ms: 0,
             })
@@ -319,6 +329,7 @@ mod tests {
                 isa: "ch".into(),
                 width: "8f".into(),
                 scale: "test".into(),
+                encoding: "fixed".into(),
                 engine: "fast".into(),
                 timeout_ms: 0,
             })
@@ -347,6 +358,7 @@ mod tests {
                     isas: vec!["ch".into(), "rv".into()],
                     widths: vec!["4f".into(), "8f".into()],
                     scale: "test".into(),
+                    encoding: "compressed".into(),
                     engine: "fast".into(),
                     timeout_ms: 0,
                 },
@@ -358,10 +370,10 @@ mod tests {
         assert_eq!(
             seen,
             vec![
-                "xz/clockhands/4f/test/fast",
-                "xz/clockhands/8f/test/fast",
-                "xz/riscv/4f/test/fast",
-                "xz/riscv/8f/test/fast",
+                "xz/clockhands/4f/test/compressed/fast",
+                "xz/clockhands/8f/test/compressed/fast",
+                "xz/riscv/4f/test/compressed/fast",
+                "xz/riscv/8f/test/compressed/fast",
             ]
         );
     }

@@ -184,13 +184,25 @@ impl Clone for Service {
 /// Runs one configuration on the engine it names, through `ch-bench`'s
 /// process-wide caches (so all widths of one `(workload, isa, scale)`
 /// share a single trace, SoA conversion, and predictor replay).
+///
+/// Fixed-encoding fast jobs run on the abstract-PC path — byte-identical
+/// to the byte-accurate one by the `ch-bench` differential suite, and
+/// cache-shared with every figure — while compressed jobs go through the
+/// relocated-layout path ([`ch_bench::simulate_encoded`]).
 pub fn engine_runner(key: &ConfigKey) -> Counters {
-    match key.engine {
-        Engine::Fast => ch_bench::simulate(key.workload, key.isa, key.width, key.scale),
-        Engine::Reference => {
+    use ch_common::EncodingVariant;
+    match (key.engine, key.encoding) {
+        (Engine::Fast, EncodingVariant::Fixed) => {
+            ch_bench::simulate(key.workload, key.isa, key.width, key.scale)
+        }
+        (Engine::Fast, variant) => {
+            ch_bench::simulate_encoded(key.workload, key.isa, key.width, key.scale, variant)
+        }
+        (Engine::Reference, _) => {
+            // ConfigKey::validate pins reference jobs to the fixed layout.
             ch_bench::simulate_reference(key.workload, key.isa, key.width, key.scale)
         }
-        Engine::Poison => panic!("poison engine requested for {key}"),
+        (Engine::Poison, _) => panic!("poison engine requested for {key}"),
     }
 }
 
@@ -458,7 +470,7 @@ mod tests {
     }
 
     fn key(width: &str) -> ConfigKey {
-        ConfigKey::parse("xz", "ch", width, "test", "fast").unwrap()
+        ConfigKey::parse("xz", "ch", width, "test", "fixed", "fast").unwrap()
     }
 
     #[test]
@@ -473,7 +485,7 @@ mod tests {
                 counters_with(k.width.width() as u64)
             }),
         );
-        let keys = expand_sweep(&[], &[], &[], "test", "fast").unwrap();
+        let keys = expand_sweep(&[], &[], &[], "test", "fixed", "fast").unwrap();
         std::thread::scope(|s| {
             for _ in 0..4 {
                 let svc = svc.clone();
@@ -507,12 +519,12 @@ mod tests {
                 counters_with(1)
             }),
         );
-        let poisoned = ConfigKey::parse("xz", "ch", "8f", "test", "poison").unwrap();
+        let poisoned = ConfigKey::parse("xz", "ch", "8f", "test", "fixed", "poison").unwrap();
         let e1 = svc.submit(poisoned, None).unwrap_err();
         match &e1 {
             SubmitError::Poisoned(msg) => {
                 assert!(msg.contains("injected failure"), "{msg}");
-                assert!(msg.contains("xz/clockhands/8f/test/poison"), "{msg}");
+                assert!(msg.contains("xz/clockhands/8f/test/fixed/poison"), "{msg}");
             }
             other => panic!("expected poisoned, got {other:?}"),
         }

@@ -46,6 +46,7 @@ fn concurrent_duplicate_sweeps_dedupe_and_match() {
                     isas: vec![],
                     widths: vec!["4f".into(), "8f".into()],
                     scale: "test".into(),
+                    encoding: "fixed".into(),
                     engine: "fast".into(),
                     timeout_ms: 0,
                 },
@@ -98,6 +99,7 @@ fn poisoned_config_is_isolated_and_idempotent() {
             isa: "ch".into(),
             width: "8f".into(),
             scale: "test".into(),
+            encoding: "fixed".into(),
             engine: "poison".into(),
             timeout_ms: 0,
         })
@@ -113,6 +115,7 @@ fn poisoned_config_is_isolated_and_idempotent() {
                 isa: "rv".into(),
                 width: "4f".into(),
                 scale: "test".into(),
+                encoding: "fixed".into(),
                 engine: "fast".into(),
                 timeout_ms: 0,
             })
@@ -124,7 +127,10 @@ fn poisoned_config_is_isolated_and_idempotent() {
         other => panic!("expected poisoned error, got {other:?}"),
     };
     assert_eq!(e1.code, "poisoned");
-    assert_eq!(e1.key.as_deref(), Some("xz/clockhands/8f/test/poison"));
+    assert_eq!(
+        e1.key.as_deref(),
+        Some("xz/clockhands/8f/test/fixed/poison")
+    );
     assert!(e1.message.contains("poison engine"), "{}", e1.message);
     let healthy = healthy.join().expect("healthy thread");
     assert!(healthy.is_ok(), "in-flight request survived the panic");
@@ -173,6 +179,7 @@ fn timeout_abandons_wait_not_computation() {
         isa: "ch".into(),
         width: "4f".into(),
         scale: "test".into(),
+        encoding: "fixed".into(),
         engine: "fast".into(),
         timeout_ms: 40,
     };
@@ -186,6 +193,7 @@ fn timeout_abandons_wait_not_computation() {
                 isa: "ch".into(),
                 width: "16f".into(),
                 scale: "test".into(),
+                encoding: "fixed".into(),
                 engine: "fast".into(),
                 timeout_ms: 0,
             })
@@ -197,7 +205,7 @@ fn timeout_abandons_wait_not_computation() {
         other => panic!("expected timeout, got {other:?}"),
     };
     assert_eq!(e.code, "timeout");
-    assert_eq!(e.key.as_deref(), Some("xz/clockhands/4f/test/fast"));
+    assert_eq!(e.key.as_deref(), Some("xz/clockhands/4f/test/fixed/fast"));
     let other = other.join().expect("thread").expect("fast request");
     assert_eq!(other.counters.cycles, 16, "in-flight request unaffected");
 

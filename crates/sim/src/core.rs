@@ -169,6 +169,7 @@ pub struct Simulator<T: PipelineTracer = NullTracer> {
     ras: Ras,
     fetch_cycle: u64,
     group_used: u32,
+    group_bytes: u32,
     redirect_at: u64,
 
     // Rings indexed by sequence number (power-of-two lengths sized to
@@ -238,6 +239,7 @@ impl<T: PipelineTracer> Simulator<T> {
             ras: Ras::new(cfg.ras_entries as usize),
             fetch_cycle: 0,
             group_used: 0,
+            group_bytes: 0,
             redirect_at: 0,
             ready_ring: vec![0; seq_ring_len(&cfg)],
             commit_ring: vec![0; seq_ring_len(&cfg)],
@@ -360,7 +362,10 @@ impl<T: PipelineTracer> Simulator<T> {
             self.fetch_cycle = self.fetch_cycle.max(self.redirect_at);
             self.redirect_at = 0;
             self.group_used = 0;
+            self.group_bytes = 0;
         }
+        let size = inst.size as u64;
+        let line = self.cfg.l1i.line as u64;
         if self.group_used == 0 {
             c.fetch_groups += 1;
             if !self.icache.access(inst.pc) {
@@ -370,19 +375,30 @@ impl<T: PipelineTracer> Simulator<T> {
             }
             // Next-line instruction prefetch hides sequential-stream
             // misses (taken branches still pay on arrival).
-            let line = self.cfg.l1i.line as u64;
             self.icache.prefill(inst.pc + line);
             self.icache.prefill(inst.pc + 2 * line);
         }
+        // An instruction straddling an I$ line boundary touches both
+        // lines (impossible for the aligned fixed-width layout).
+        if inst.pc / line != (inst.pc + size - 1) / line {
+            c.icache_straddles += 1;
+            if !self.icache.access(inst.pc + size - 1) {
+                c.icache_misses += 1;
+                self.fetch_cycle += self.dmem.l2.latency as u64;
+            }
+        }
         let fetch_time = self.fetch_cycle;
         self.group_used += 1;
+        self.group_bytes += size as u32;
         c.fetched += 1;
-        let mut group_break = self.group_used >= cfg.front_width;
+        c.fetch_bytes += size;
+        let mut group_break =
+            self.group_used >= cfg.front_width || self.group_bytes >= cfg.fetch_bytes;
 
         // ---------- Branch prediction ----------
         let mut mispredicted = false;
         if let Some(ctrl) = inst.ctrl {
-            let fallthrough = inst.pc + 4;
+            let fallthrough = inst.pc + size;
             match ctrl.kind {
                 CtrlKind::Cond => {
                     c.branch_preds += 1;
@@ -431,6 +447,7 @@ impl<T: PipelineTracer> Simulator<T> {
         if group_break {
             self.fetch_cycle += 1;
             self.group_used = 0;
+            self.group_bytes = 0;
         }
 
         // ---------- Allocation (rename / RP-calculation) ----------

@@ -78,6 +78,7 @@ use std::collections::VecDeque;
 // bits 17..=18 destination hand (Clockhands)
 // bit  19      destination is a hand write
 // bits 20..=21 number of register sources
+// bit  22      16-bit compact encoding (instruction size 2, not 4)
 const FU_MASK: u32 = 0x7;
 const LAT_SHIFT: u32 = 3;
 const LAT_MASK: u32 = 0xf;
@@ -94,6 +95,8 @@ const HAND_SHIFT: u32 = 17;
 const HAND_MASK: u32 = 0x3;
 const DST_HAND: u32 = 1 << 19;
 const NSRC_SHIFT: u32 = 20;
+/// The static instruction took a 16-bit compact encoding (size 2, not 4).
+const COMPACT: u32 = 1 << 22;
 
 const CTRL_CALL: u32 = 0;
 const CTRL_RET: u32 = 1;
@@ -181,6 +184,13 @@ impl SoaTrace {
                 | (inst.class.exec_latency() << LAT_SHIFT)
                 | ((fu.pipelined() as u32) * PIPELINED)
                 | (nsrc << NSRC_SHIFT);
+            debug_assert!(
+                inst.size == 4 || inst.size == 2,
+                "instruction sizes are 2 or 4 bytes"
+            );
+            if inst.size == 2 {
+                m |= COMPACT;
+            }
             t.totals.nsrc += nsrc as u64;
             if inst.class == OpClass::Load {
                 m |= IS_LOAD;
@@ -246,6 +256,7 @@ impl SoaTrace {
         DynInst {
             seq: i as u64,
             pc: self.pc[i],
+            size: if m & COMPACT != 0 { 2 } else { 4 },
             class: self.class[i],
             srcs: self.srcs[i],
             dst: self.dst[i],
@@ -352,7 +363,8 @@ impl BranchProfile {
                     }
                 }
                 CTRL_CALL => {
-                    ras.push(pc + 4);
+                    let size = if m & COMPACT != 0 { 2 } else { 4 };
+                    ras.push(pc + size);
                     if btb.lookup(pc) != Some(target) {
                         f |= BP_BUBBLE;
                         btb.update(pc, target);
@@ -479,6 +491,7 @@ impl<T: PipelineTracer> FastEngine<T> {
         let mut icache = Cache::new(&cfg.l1i);
         let mut fetch_cycle = 0u64;
         let mut group_used = 0u32;
+        let mut group_bytes = 0u32;
         let mut redirect_at = 0u64;
 
         // Rings (same sizing and packing as the reference — see core.rs).
@@ -535,6 +548,7 @@ impl<T: PipelineTracer> FastEngine<T> {
 
         let rob = cfg.rob as u64;
         let front_width = cfg.front_width;
+        let fetch_budget = cfg.fetch_bytes;
         let front_latency = cfg.front_latency as u64;
         let issue_lat = cfg.issue_latency as u64;
         let issue_width = cfg.issue_width;
@@ -556,7 +570,9 @@ impl<T: PipelineTracer> FastEngine<T> {
                 fetch_cycle = fetch_cycle.max(redirect_at);
                 redirect_at = 0;
                 group_used = 0;
+                group_bytes = 0;
             }
+            let size = if m & COMPACT != 0 { 2u64 } else { 4 };
             if group_used == 0 {
                 c.fetch_groups += 1;
                 if !icache.access(pc) {
@@ -566,9 +582,20 @@ impl<T: PipelineTracer> FastEngine<T> {
                 icache.prefill(pc + line);
                 icache.prefill(pc + 2 * line);
             }
+            // A unit straddling an I$ line boundary touches both lines
+            // (impossible for the aligned fixed-width layout).
+            if pc / line != (pc + size - 1) / line {
+                c.icache_straddles += 1;
+                if !icache.access(pc + size - 1) {
+                    c.icache_misses += 1;
+                    fetch_cycle += dmem.l2.latency as u64;
+                }
+            }
             let fetch_time = fetch_cycle;
             group_used += 1;
-            let mut group_break = group_used >= front_width;
+            group_bytes += size as u32;
+            c.fetch_bytes += size;
+            let mut group_break = group_used >= front_width || group_bytes >= fetch_budget;
 
             // ---------- Branch prediction (pre-replayed) ----------
             let mut mispredicted = false;
@@ -584,6 +611,7 @@ impl<T: PipelineTracer> FastEngine<T> {
             if group_break {
                 fetch_cycle += 1;
                 group_used = 0;
+                group_bytes = 0;
             }
 
             // ---------- Allocation ----------

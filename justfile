@@ -72,8 +72,16 @@ serve-bench *ARGS:
 opt-report *ARGS:
     cargo run --release -p ch-bench --bin figures -- --scale test opt {{ARGS}}
 
+# Code-density snapshot: encodes every workload for all three ISAs
+# under both binary encodings (fixed / compressed), round-trip-checks
+# the bytes, simulates with byte-accurate fetch, and rewrites
+# BENCH_9.json with bytes/inst, static size, fetch-bandwidth
+# utilization, and I$ behaviour (see ch_bench::densityreport).
+density *ARGS:
+    cargo run --release -p ch-bench --bin figures -- --scale test density {{ARGS}}
+
 # Everything CI runs.
-ci: build test fmt clippy doc fuzz planted verify-workloads bench-json serve-bench opt-report
+ci: build test fmt clippy doc fuzz planted verify-workloads bench-json serve-bench opt-report density
 
 # Regenerate every table/figure at test scale with all cores.
 figures *ARGS:
